@@ -1,0 +1,84 @@
+// Command mkse-client is the user CLI: it enrolls with the data owner,
+// searches the cloud with multiple keywords, and retrieves + decrypts
+// documents through the blinded protocol.
+//
+// Usage:
+//
+//	mkse-client -owner localhost:7001 -cloud localhost:7002 -user alice \
+//	            search cloud encrypted ranked
+//	mkse-client -owner ... -cloud ... -user alice get doc-00042
+//	mkse-client -owner ... -cloud ... -user alice searchget cloud privacy
+//
+// Subcommands: search <kw...>, get <docID>, searchget <kw...> (search then
+// retrieve the best match).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mkse/internal/service"
+)
+
+func main() {
+	var (
+		ownerAddr = flag.String("owner", "localhost:7001", "owner daemon address")
+		cloudAddr = flag.String("cloud", "localhost:7002", "cloud daemon address")
+		user      = flag.String("user", "cli-user", "user identity to enroll as")
+		topK      = flag.Int("top", 10, "maximum matches to request (τ)")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: mkse-client [flags] search|get|searchget <args...>")
+		os.Exit(2)
+	}
+
+	client, err := service.Dial(*user, *ownerAddr, *cloudAddr)
+	if err != nil {
+		log.Fatalf("mkse-client: %v", err)
+	}
+	defer client.Close()
+
+	switch args[0] {
+	case "search":
+		matches, err := client.Search(args[1:], *topK)
+		if err != nil {
+			log.Fatalf("mkse-client: search: %v", err)
+		}
+		if len(matches) == 0 {
+			fmt.Println("no matches")
+			return
+		}
+		fmt.Printf("%-4s %-30s %s\n", "rank", "document", "")
+		for _, m := range matches {
+			fmt.Printf("%-4d %-30s\n", m.Rank, m.DocID)
+		}
+	case "get":
+		pt, err := client.Retrieve(args[1])
+		if err != nil {
+			log.Fatalf("mkse-client: retrieve: %v", err)
+		}
+		os.Stdout.Write(pt)
+	case "searchget":
+		matches, err := client.Search(args[1:], 1)
+		if err != nil {
+			log.Fatalf("mkse-client: search: %v", err)
+		}
+		if len(matches) == 0 {
+			fmt.Println("no matches")
+			return
+		}
+		fmt.Fprintf(os.Stderr, "best match: %s (rank %d)\n", matches[0].DocID, matches[0].Rank)
+		pt, err := client.Retrieve(matches[0].DocID)
+		if err != nil {
+			log.Fatalf("mkse-client: retrieve: %v", err)
+		}
+		os.Stdout.Write(pt)
+	default:
+		fmt.Fprintf(os.Stderr, "mkse-client: unknown subcommand %q\n", args[0])
+		os.Exit(2)
+	}
+}

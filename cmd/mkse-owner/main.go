@@ -1,0 +1,163 @@
+// Command mkse-owner runs the data-owner daemon of Figure 1 and performs the
+// offline stage: it indexes and encrypts every document under -docs (plain
+// text files; file name = document ID), uploads them to the cloud daemon,
+// then serves enrollment, trapdoor and blind-decryption requests.
+//
+// Usage:
+//
+//	mkse-owner -listen :7001 -cloud localhost:7002 -docs ./corpus [-levels 1,5,10]
+//
+// With -synthetic N it generates N synthetic documents instead of reading a
+// directory, which is handy for trying the system end to end.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"mkse/internal/cliutil"
+	"mkse/internal/core"
+	"mkse/internal/corpus"
+	"mkse/internal/service"
+	"mkse/internal/store"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", ":7001", "address to listen on")
+		cloud     = flag.String("cloud", "localhost:7002", "cloud daemon address to upload to")
+		docsDir   = flag.String("docs", "", "directory of plaintext documents to index")
+		synthetic = flag.Int("synthetic", 0, "generate N synthetic documents instead of -docs")
+		levels    = flag.String("levels", "1", "comma-separated ranking thresholds (η levels)")
+		seed      = flag.Int64("seed", 1, "seed for random keywords / synthetic corpus")
+		state     = flag.String("state", "", "path to persist/restore the owner's secret state (protect this file!)")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "mkse-owner ", log.LstdFlags)
+
+	p := core.DefaultParams()
+	lv, err := cliutil.ParseLevels(*levels)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mkse-owner: %v\n", err)
+		os.Exit(2)
+	}
+	p.Levels = lv
+
+	var owner *core.Owner
+	if *state != "" {
+		if restored, err := store.LoadOwnerFile(*state); err == nil {
+			owner = restored
+			logger.Printf("restored owner state from %s (epoch %d)", *state, owner.Epoch())
+		} else if !os.IsNotExist(err) {
+			log.Fatalf("mkse-owner: restoring %s: %v", *state, err)
+		}
+	}
+	if owner == nil {
+		owner, err = core.NewOwner(p, *seed)
+		if err != nil {
+			log.Fatalf("mkse-owner: %v", err)
+		}
+	}
+
+	docs, err := loadDocuments(*docsDir, *synthetic, *seed)
+	if err != nil {
+		log.Fatalf("mkse-owner: %v", err)
+	}
+	logger.Printf("indexing %d documents (η=%d)", len(docs), p.Eta())
+	// Register the observed keyword universe so clients may use vector-mode
+	// trapdoors (§4.2's alternative delivery).
+	dictSet := make(map[string]bool)
+	for _, d := range docs {
+		for w := range d.TermFreqs {
+			dictSet[w] = true
+		}
+	}
+	dictionary := make([]string, 0, len(dictSet))
+	for w := range dictSet {
+		dictionary = append(dictionary, w)
+	}
+	owner.RegisterDictionary(dictionary)
+
+	items := make([]service.UploadItem, 0, len(docs))
+	for _, d := range docs {
+		si, enc, err := owner.Prepare(d)
+		if err != nil {
+			log.Fatalf("mkse-owner: preparing %q: %v", d.ID, err)
+		}
+		items = append(items, service.UploadItem{Index: si, Doc: enc})
+	}
+	if len(items) > 0 {
+		if err := service.UploadAll(*cloud, items); err != nil {
+			log.Fatalf("mkse-owner: upload: %v", err)
+		}
+		logger.Printf("uploaded %d documents to %s", len(items), *cloud)
+	}
+
+	if *state != "" {
+		if err := store.SaveOwnerFile(*state, owner); err != nil {
+			log.Fatalf("mkse-owner: saving state: %v", err)
+		}
+		logger.Printf("owner state saved to %s", *state)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			if err := store.SaveOwnerFile(*state, owner); err != nil {
+				logger.Printf("state save failed: %v", err)
+				os.Exit(1)
+			}
+			logger.Printf("owner state saved to %s", *state)
+			os.Exit(0)
+		}()
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("mkse-owner: %v", err)
+	}
+	logger.Printf("listening on %s", l.Addr())
+	if err := (&service.OwnerService{Owner: owner, Logger: logger}).Serve(l); err != nil {
+		log.Fatalf("mkse-owner: %v", err)
+	}
+}
+
+// loadDocuments reads a directory of plain-text documents, or generates a
+// synthetic corpus when n > 0 and no directory is given.
+func loadDocuments(dir string, n int, seed int64) ([]*corpus.Document, error) {
+	if dir == "" {
+		if n <= 0 {
+			return nil, nil // serve with an empty database
+		}
+		return corpus.Generate(corpus.Config{
+			NumDocs: n, KeywordsPerDoc: 20, Dictionary: corpus.Dictionary(4000),
+			MaxTermFreq: 15, ContentWords: 50, Seed: seed,
+		})
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("reading corpus directory: %w", err)
+	}
+	var docs []*corpus.Document
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		body, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("reading %s: %w", e.Name(), err)
+		}
+		tf := corpus.Tokenize(string(body), 3)
+		if len(tf) == 0 {
+			continue
+		}
+		docs = append(docs, &corpus.Document{ID: e.Name(), TermFreqs: tf, Content: body})
+	}
+	return docs, nil
+}

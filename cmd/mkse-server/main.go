@@ -1,0 +1,88 @@
+// Command mkse-server runs the cloud-server daemon of Figure 1: it stores
+// encrypted documents and searchable indices uploaded by a data owner and
+// answers anonymous search/fetch requests from users. It holds no key
+// material.
+//
+// Usage:
+//
+//	mkse-server -listen :7002 [-levels 1,5,10] [-snapshot cloud.db]
+//
+// With -snapshot the daemon restores its database from the given file at
+// startup (if it exists) and writes it back on SIGINT/SIGTERM, so owners do
+// not need to re-upload across restarts. The scheme parameters must match
+// the owner daemon's.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"mkse/internal/cliutil"
+	"mkse/internal/core"
+	"mkse/internal/service"
+	"mkse/internal/store"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":7002", "address to listen on")
+		levels   = flag.String("levels", "1", "comma-separated ranking thresholds (η levels)")
+		snapshot = flag.String("snapshot", "", "path to persist/restore the database")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "mkse-server ", log.LstdFlags)
+
+	p := core.DefaultParams()
+	lv, err := cliutil.ParseLevels(*levels)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mkse-server: %v\n", err)
+		os.Exit(2)
+	}
+	p.Levels = lv
+
+	var server *core.Server
+	if *snapshot != "" {
+		if restored, err := store.LoadFile(*snapshot); err == nil {
+			server = restored
+			logger.Printf("restored %d documents from %s", server.NumDocuments(), *snapshot)
+		} else if !os.IsNotExist(err) {
+			log.Fatalf("mkse-server: restoring %s: %v", *snapshot, err)
+		}
+	}
+	if server == nil {
+		server, err = core.NewServer(p)
+		if err != nil {
+			log.Fatalf("mkse-server: %v", err)
+		}
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("mkse-server: %v", err)
+	}
+
+	if *snapshot != "" {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			if err := store.SaveFile(*snapshot, server); err != nil {
+				logger.Printf("snapshot failed: %v", err)
+				os.Exit(1)
+			}
+			logger.Printf("snapshotted %d documents to %s", server.NumDocuments(), *snapshot)
+			os.Exit(0)
+		}()
+	}
+
+	logger.Printf("listening on %s (r=%d, η=%d)", l.Addr(), server.Params().R, server.Params().Eta())
+	if err := (&service.CloudService{Server: server, Logger: logger}).Serve(l); err != nil {
+		log.Fatalf("mkse-server: %v", err)
+	}
+}

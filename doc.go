@@ -1,0 +1,49 @@
+// Package mkse is a Go implementation of the efficient and secure ranked
+// multi-keyword search (MKS) scheme of Örencik & Savaş, "Efficient and
+// Secure Ranked Multi-Keyword Search on Encrypted Cloud Data" (PAIS/EDBT
+// Workshops 2012).
+//
+// # The scheme in one paragraph
+//
+// A data owner derives, for every keyword, a short bit index: an HMAC under
+// a secret per-bin key, reduced from GF(2^d) digits to r bits (r = 448,
+// d = 6 by default). A document's searchable index is the bitwise AND of
+// its keywords' indices; a query index is the bitwise AND of the searched
+// keywords' trapdoors plus V randomly chosen decoy-keyword trapdoors. The
+// cloud server — which holds only encrypted documents, RSA-wrapped document
+// keys and these opaque bit indices — matches a query against a document
+// with a single r-bit comparison (every 0 of the query must be 0 in the
+// document index), walks η cumulative term-frequency levels to assign a
+// rank, and returns the top-τ matches. Document retrieval runs a Chaum
+// blind-decryption protocol with the owner so that nobody, owner included,
+// learns which document the user read.
+//
+// # Package layout
+//
+// This root package is the public API: parameters, the three roles (Owner,
+// CloudServer, User), an in-process System harness, and the networked
+// Client/daemon types. The implementation lives in internal packages:
+//
+//   - internal/core — the scheme itself (index/trapdoor/query generation,
+//     oblivious ranked search, blinded retrieval)
+//   - internal/bitindex, internal/kdf, internal/bins — index substrates
+//   - internal/blindrsa, internal/sym — cryptographic substrates
+//   - internal/analysis — the Section 6/7 analytic model
+//   - internal/baseline/caomrse, internal/baseline/wangcsi — the paper's
+//     comparison baselines
+//   - internal/protocol, internal/service — the three-party TCP deployment
+//
+// # Quickstart
+//
+// See examples/quickstart for a complete program:
+//
+//	sys, _ := mkse.NewSystem(mkse.DefaultParams())
+//	_ = sys.AddDocument("report-1", []byte("the quarterly cloud revenue grew"))
+//	alice, _ := sys.NewUser("alice")
+//	matches, _ := sys.Search(alice, []string{"cloud", "revenue"}, 10)
+//	plaintext, _ := sys.Retrieve(alice, matches[0].DocID)
+//
+// The cmd/ directory ships the three daemons (mkse-owner, mkse-server,
+// mkse-client) and the experiment driver (mkse-bench) that regenerates
+// every table and figure of the paper's evaluation; see EXPERIMENTS.md.
+package mkse

@@ -1,0 +1,31 @@
+// Ranking: the Section 5 study, runnable. Builds the paper's synthetic
+// collection (1000 equal-length files; 3 query keywords, each in 200 files;
+// 20 files containing all three with term frequencies uniform in [1,15]),
+// ranks the all-match documents with the encrypted η = 5 level scheme, and
+// compares against the classical relevance score of Equation 4.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mkse/internal/experiments"
+)
+
+func main() {
+	fmt.Println("Section 5 ranking study — level ranking vs Equation 4 relevance score")
+	fmt.Println("paper: top-1 agreement ≈40%, top-1 within top-3 = 100%, ≥4 of top-5 ≈80%")
+	fmt.Println()
+
+	res, err := experiments.RankingQuality(25, 2012)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Format())
+
+	fmt.Println("Interpretation: the level ranking collapses term frequencies into η")
+	fmt.Println("buckets keyed by the LEAST frequent query keyword, so it cannot")
+	fmt.Println("reproduce the reference order exactly — but the documents the user")
+	fmt.Println("actually wants land in the first few retrieved results, which is what")
+	fmt.Println("the top-τ retrieval interface needs.")
+}

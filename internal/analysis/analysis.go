@@ -1,0 +1,184 @@
+// Package analysis implements the analytic model of the MKS scheme's query
+// randomization and security arguments (Örencik & Savaş, Sections 6 and 7):
+// the zero-count functions F(x) and C(x), the expected Hamming distance
+// between query indices (Equation 5), the expected random-keyword overlap
+// (Equation 6), the trapdoor-forgery bound of Theorem 3 (Equation 7), and a
+// false-accept probability estimate backing the Figure 3 experiment.
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model fixes the index geometry: r index bits, d-bit reduction digits.
+// The paper's implementation uses r = 448, d = 6.
+type Model struct {
+	R int // index size in bits
+	D int // digit size in bits; a digit is zero with probability 2^(−d)
+}
+
+// NewModel validates the geometry.
+func NewModel(r, d int) (Model, error) {
+	if r <= 0 || d <= 0 || d > 32 {
+		return Model{}, fmt.Errorf("analysis: invalid model r=%d d=%d", r, d)
+	}
+	return Model{R: r, D: d}, nil
+}
+
+// p0 is the probability that a single keyword leaves a given index bit zero.
+func (m Model) p0() float64 { return math.Pow(2, -float64(m.D)) }
+
+// F returns the expected number of 0 bits in an index built from x keywords,
+// computed by the paper's recurrence
+//
+//	F(1) = r / 2^d
+//	F(x) = F(x−1) + F(1) − C(x−1).
+//
+// F(0) = 0 by convention (the empty AND is the all-ones vector).
+func (m Model) F(x int) float64 {
+	if x < 0 {
+		panic(fmt.Sprintf("analysis: F(%d) undefined", x))
+	}
+	f := 0.0
+	f1 := float64(m.R) * m.p0()
+	for i := 1; i <= x; i++ {
+		f = f + f1 - f*m.p0() // C(i−1) = F(i−1)/2^d
+	}
+	return f
+}
+
+// FClosed is the closed form of the recurrence, F(x) = r·(1 − (1 − 2^−d)^x).
+// It agrees with F to floating-point accuracy and is O(1); exported so tests
+// can cross-check the paper's recurrence against the direct derivation.
+func (m Model) FClosed(x int) float64 {
+	if x < 0 {
+		panic(fmt.Sprintf("analysis: F(%d) undefined", x))
+	}
+	return float64(m.R) * (1 - math.Pow(1-m.p0(), float64(x)))
+}
+
+// C returns the expected number of 0 positions shared between an x-keyword
+// query index and an independent single-keyword index: C(x) = F(x)/2^d.
+func (m Model) C(x int) float64 { return m.F(x) * m.p0() }
+
+// ExpectedHamming evaluates Equation 5: the expected Hamming distance between
+// two query indices built from x keywords each, sharing xbar common keywords.
+//
+//	Δ = (F(x) − F(x̄))·(r − F(x))/r + F(x)·(r − F(x))/r
+//
+// Two identical queries (x̄ = x) built deterministically have distance
+// F(x)·(r−F(x))/r only because the model treats the non-shared zero mass as
+// independent; with x̄ = x the first term vanishes.
+func (m Model) ExpectedHamming(x, xbar int) float64 {
+	if xbar > x {
+		panic(fmt.Sprintf("analysis: shared keywords x̄=%d exceed x=%d", xbar, x))
+	}
+	fx := m.F(x)
+	fxb := m.F(xbar)
+	r := float64(m.R)
+	return (fx-fxb)*(r-fx)/r + fx*(r-fx)/r
+}
+
+// ExpectedOverlap evaluates Equation 6 generalized to any U ≥ V: the expected
+// number of random keywords shared by two independent V-of-U selections. It
+// is the mean of a hypergeometric distribution, V²/U; for the paper's
+// U = 2V this is V/2.
+func ExpectedOverlap(u, v int) float64 {
+	if u <= 0 || v < 0 || v > u {
+		panic(fmt.Sprintf("analysis: invalid overlap parameters U=%d V=%d", u, v))
+	}
+	return float64(v) * float64(v) / float64(u)
+}
+
+// ExpectedOverlapExact evaluates the sum of Equation 6 literally:
+// Σ_{i=0}^{V} i · C(V,i)·C(U−V, V−i) / C(U,V). Exposed so tests can confirm
+// the paper's claim that the sum collapses to V/2 when U = 2V.
+func ExpectedOverlapExact(u, v int) float64 {
+	if u <= 0 || v < 0 || v > u {
+		panic(fmt.Sprintf("analysis: invalid overlap parameters U=%d V=%d", u, v))
+	}
+	logDenom := logBinomial(u, v)
+	sum := 0.0
+	for i := 0; i <= v; i++ {
+		if v-i > u-v { // second factor would be C(U−V, k) with k > U−V: zero
+			continue
+		}
+		w := math.Exp(logBinomial(v, i) + logBinomial(u-v, v-i) - logDenom)
+		sum += float64(i) * w
+	}
+	return sum
+}
+
+// logBinomial returns ln C(n, k) via log-gamma, valid for large n.
+func logBinomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	ln1, _ := math.Lgamma(float64(n + 1))
+	ln2, _ := math.Lgamma(float64(k + 1))
+	ln3, _ := math.Lgamma(float64(n - k + 1))
+	return ln1 - ln2 - ln3
+}
+
+// LogBinomial exposes ln C(n,k) for experiment code (e.g. the brute-force
+// attack cost estimate of Section 4.1: ~25000² keyword pairs ≈ 2^28).
+func LogBinomial(n, k int) float64 { return logBinomial(n, k) }
+
+// TrapdoorForgeryBound evaluates the Theorem 3 bound (Equation 7) on the
+// probability that an adversary holding a two-keyword randomized query index
+// can assemble a valid single-keyword trapdoor. Following the proof's
+// worst-case instantiation: x_i = x_j = r/2^d non-overlapping zeros per
+// genuine keyword, and the random keywords contribute ratio·x_i further
+// zeros, with ratio = F(V)/F(1). The adversary must choose all x_i genuine
+// zeros and none of the x_j zeros when picking x_i + y positions out of the
+// x total zeros:
+//
+//	P(vT) < C(x − x_i − x_j, y) / C(x, x_i + y)
+//
+// maximized over the adversary's free choice of y. The paper evaluates this
+// to ≈ 2^−9 for r = 448, d = 6, V = 30.
+func (m Model) TrapdoorForgeryBound(v int) float64 {
+	xi := float64(m.R) * m.p0()
+	ratio := m.F(v) / m.F(1)
+	x := ratio*xi + 2*xi // total zeros: random mass + two genuine keywords
+	best := 0.0
+	xiI := int(math.Round(xi))
+	xI := int(math.Round(x))
+	rest := xI - 2*xiI
+	for y := 0; y <= rest; y++ {
+		p := math.Exp(logBinomial(rest, y) - logBinomial(xI, xiI+y))
+		if p > best {
+			best = p
+		}
+	}
+	return best
+}
+
+// FalseAcceptProbability estimates the per-document probability that a query
+// of n genuine keywords falsely matches a document of m genuine keywords
+// (that contains none of the query's genuine keywords), when every document
+// index carries u random keywords and the query carries v of them. The
+// query's random-keyword zeros are automatically covered (its v randoms are a
+// subset of the document's u), so a false accept requires every genuine query
+// zero to coincide with a document zero:
+//
+//	P ≈ pDoc^F(n), pDoc = 1 − (1 − 2^−d)^(m+u)
+//
+// This is the analytic shape behind Figure 3: FAR grows steeply with m
+// because pDoc → 1 as the document index fills with zeros.
+func (m Model) FalseAcceptProbability(docKeywords, u, n int) float64 {
+	if docKeywords < 0 || u < 0 || n <= 0 {
+		panic(fmt.Sprintf("analysis: invalid FAR parameters m=%d u=%d n=%d", docKeywords, u, n))
+	}
+	pDoc := 1 - math.Pow(1-m.p0(), float64(docKeywords+u))
+	return math.Pow(pDoc, m.FClosed(n))
+}
+
+// BruteForceTrials returns log2 of the number of trials needed to brute-force
+// a query of k keywords over a dictionary of size n when the index hash is
+// public (the Section 4.1 attack on the keyless scheme of Wang et al. [14]):
+// log2(C(n, k)). For n = 25000, k = 2 the paper reports < 2^28 pairs.
+func BruteForceTrials(dictionary, keywords int) float64 {
+	return logBinomial(dictionary, keywords) / math.Ln2
+}

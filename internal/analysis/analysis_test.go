@@ -1,0 +1,328 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func paperModel(t testing.TB) Model {
+	m, err := NewModel(448, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewModelValidation(t *testing.T) {
+	cases := []struct{ r, d int }{{0, 6}, {-1, 6}, {448, 0}, {448, 33}}
+	for _, c := range cases {
+		if _, err := NewModel(c.r, c.d); err == nil {
+			t.Errorf("NewModel(%d,%d) accepted", c.r, c.d)
+		}
+	}
+}
+
+func TestF1MatchesPaper(t *testing.T) {
+	m := paperModel(t)
+	// F(1) = r/2^d = 448/64 = 7.
+	if got := m.F(1); math.Abs(got-7) > 1e-12 {
+		t.Errorf("F(1) = %v, want 7", got)
+	}
+}
+
+func TestFZeroIsZero(t *testing.T) {
+	m := paperModel(t)
+	if m.F(0) != 0 {
+		t.Errorf("F(0) = %v, want 0", m.F(0))
+	}
+}
+
+func TestFMonotoneBoundedByR(t *testing.T) {
+	m := paperModel(t)
+	prev := 0.0
+	for x := 1; x <= 200; x++ {
+		f := m.F(x)
+		if f <= prev {
+			t.Fatalf("F not strictly increasing at x=%d: %v <= %v", x, f, prev)
+		}
+		if f >= float64(m.R) {
+			t.Fatalf("F(%d) = %v exceeds r", x, f)
+		}
+		prev = f
+	}
+}
+
+// The paper's recurrence must agree with the closed form r(1-(1-2^-d)^x).
+func TestFRecurrenceMatchesClosedForm(t *testing.T) {
+	for _, geom := range []struct{ r, d int }{{448, 6}, {448, 8}, {1024, 4}, {64, 1}} {
+		m, err := NewModel(geom.r, geom.d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for x := 0; x <= 100; x++ {
+			rec, cf := m.F(x), m.FClosed(x)
+			if math.Abs(rec-cf) > 1e-9*float64(geom.r) {
+				t.Fatalf("r=%d d=%d x=%d: recurrence %v vs closed form %v", geom.r, geom.d, x, rec, cf)
+			}
+		}
+	}
+}
+
+func TestCIsFOver2d(t *testing.T) {
+	m := paperModel(t)
+	for x := 1; x < 50; x++ {
+		if math.Abs(m.C(x)-m.F(x)/64) > 1e-12 {
+			t.Fatalf("C(%d) != F(%d)/64", x, x)
+		}
+	}
+}
+
+// Monte-Carlo validation of F(x): simulate keyword indices as independent
+// Bernoulli digit reductions and compare mean zero counts.
+func TestFMatchesSimulation(t *testing.T) {
+	m := paperModel(t)
+	rng := rand.New(rand.NewSource(1))
+	const trials = 2000
+	for _, x := range []int{1, 2, 5, 30, 62} {
+		total := 0
+		for tr := 0; tr < trials; tr++ {
+			zeros := 0
+			for bit := 0; bit < m.R; bit++ {
+				allOne := true
+				for k := 0; k < x; k++ {
+					if rng.Intn(64) == 0 { // digit is zero w.p. 2^-6
+						allOne = false
+						break
+					}
+				}
+				if !allOne {
+					zeros++
+				}
+			}
+			total += zeros
+		}
+		mean := float64(total) / trials
+		want := m.F(x)
+		// Tolerance: 5 standard errors of the mean (σ per trial < sqrt(r)/1).
+		tol := 5 * math.Sqrt(float64(m.R)) / math.Sqrt(trials) * 3
+		if math.Abs(mean-want) > tol {
+			t.Errorf("x=%d: simulated mean zeros %.2f vs F(x)=%.2f (tol %.2f)", x, mean, want, tol)
+		}
+	}
+}
+
+func TestFPanicsOnNegative(t *testing.T) {
+	m := paperModel(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("F(-1) did not panic")
+		}
+	}()
+	m.F(-1)
+}
+
+func TestExpectedHammingProperties(t *testing.T) {
+	m := paperModel(t)
+	// Identical keyword sets (x̄ = x) minimize the distance; disjoint sets
+	// (x̄ = 0) maximize it; the function is decreasing in x̄.
+	x := 35 // 5 genuine + 30 random, the Figure 2(b) regime
+	prev := math.Inf(1)
+	for xbar := 0; xbar <= x; xbar++ {
+		d := m.ExpectedHamming(x, xbar)
+		if d < 0 || d > float64(m.R) {
+			t.Fatalf("Δ out of range at x̄=%d: %v", xbar, d)
+		}
+		if d > prev {
+			t.Fatalf("Δ not non-increasing in x̄ at %d: %v > %v", xbar, d, prev)
+		}
+		prev = d
+	}
+}
+
+// The Section 6 design claim: with V = 30 of U = 60 random keywords, the
+// distance between two queries with the *same* genuine keywords is close to
+// the distance between queries with different genuine keywords — close enough
+// that an adversary "basically needs to make a random guess". We check the
+// two expectations are within 15% of each other for 2–6 genuine keywords.
+func TestRandomizationMasksSearchPattern(t *testing.T) {
+	m := paperModel(t)
+	const v, u = 30, 60
+	overlapRandom := ExpectedOverlap(u, v) // 15 shared random keywords on average
+	for n := 2; n <= 6; n++ {
+		x := n + v
+		// Same genuine keywords: share n genuine + E[overlap] random.
+		sameD := m.ExpectedHamming(x, n+int(overlapRandom))
+		// Different genuine keywords: share only random overlap.
+		diffD := m.ExpectedHamming(x, int(overlapRandom))
+		if sameD >= diffD {
+			t.Errorf("n=%d: same-query distance %.1f not below different-query %.1f", n, sameD, diffD)
+		}
+		if (diffD-sameD)/diffD > 0.15 {
+			t.Errorf("n=%d: distance gap %.1f%% too large for masking claim", n, 100*(diffD-sameD)/diffD)
+		}
+	}
+}
+
+func TestExpectedOverlapPaperValue(t *testing.T) {
+	// Equation 6 with U = 2V: EO = V/2.
+	if got := ExpectedOverlap(60, 30); got != 15 {
+		t.Errorf("ExpectedOverlap(60,30) = %v, want 15", got)
+	}
+}
+
+func TestExpectedOverlapExactMatchesClosedForm(t *testing.T) {
+	for _, c := range []struct{ u, v int }{{60, 30}, {40, 20}, {10, 5}, {100, 25}, {7, 7}, {9, 0}} {
+		exact := ExpectedOverlapExact(c.u, c.v)
+		closed := ExpectedOverlap(c.u, c.v)
+		if math.Abs(exact-closed) > 1e-9 {
+			t.Errorf("U=%d V=%d: exact %v vs closed %v", c.u, c.v, exact, closed)
+		}
+	}
+}
+
+func TestExpectedOverlapPanics(t *testing.T) {
+	cases := []struct{ u, v int }{{0, 0}, {5, 6}, {5, -1}}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ExpectedOverlap(%d,%d) did not panic", c.u, c.v)
+				}
+			}()
+			ExpectedOverlap(c.u, c.v)
+		}()
+	}
+}
+
+// Monte-Carlo check of the hypergeometric overlap: draw two V-subsets of U
+// and count the intersection.
+func TestExpectedOverlapMatchesSimulation(t *testing.T) {
+	const u, v, trials = 60, 30, 5000
+	rng := rand.New(rand.NewSource(2))
+	total := 0
+	for tr := 0; tr < trials; tr++ {
+		a := rng.Perm(u)[:v]
+		b := rng.Perm(u)[:v]
+		inA := make(map[int]bool, v)
+		for _, i := range a {
+			inA[i] = true
+		}
+		for _, i := range b {
+			if inA[i] {
+				total++
+			}
+		}
+	}
+	mean := float64(total) / trials
+	if math.Abs(mean-15) > 0.3 {
+		t.Errorf("simulated overlap %.3f, want 15 ± 0.3", mean)
+	}
+}
+
+func TestLogBinomialKnownValues(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{4, 2, math.Log(6)},
+		{10, 0, 0},
+		{10, 10, 0},
+		{52, 5, math.Log(2598960)},
+	}
+	for _, c := range cases {
+		if got := LogBinomial(c.n, c.k); math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("LogBinomial(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+	if !math.IsInf(LogBinomial(3, 5), -1) {
+		t.Error("LogBinomial(3,5) should be -Inf")
+	}
+}
+
+// Section 4.1: 25000 keywords, 2-keyword queries → < 2^28 candidate pairs.
+func TestBruteForceTrialsPaperValue(t *testing.T) {
+	// The paper approximates 25000² < 2^28 and "approximately 2^27 trials";
+	// the exact pair count C(25000,2) is 2^28.2. Accept the neighbourhood.
+	bits := BruteForceTrials(25000, 2)
+	if bits < 27 || bits > 29 {
+		t.Errorf("BruteForceTrials(25000,2) = 2^%.2f, paper estimates ≈ 2^27–2^28", bits)
+	}
+}
+
+// Theorem 3: the paper eyeballs the Equation 7 bound as ≈ 2^-9. Evaluating
+// the binomials exactly (even with the paper's own "20·xi zeros" shortcut)
+// gives ≈ 2^-14 — i.e. the theorem's claim P(vT) < 2^-9 holds with margin.
+// Assert the exact bound is at most the paper's estimate and not absurdly
+// small (which would indicate a formula bug).
+func TestTrapdoorForgeryBoundPaperValue(t *testing.T) {
+	m := paperModel(t)
+	p := m.TrapdoorForgeryBound(30)
+	if p <= 0 || p >= 1 {
+		t.Fatalf("bound %v outside (0,1)", p)
+	}
+	bits := -math.Log2(p)
+	if bits < 9 {
+		t.Errorf("forgery bound = 2^-%.2f, weaker than the paper's 2^-9 claim", bits)
+	}
+	if bits > 20 {
+		t.Errorf("forgery bound = 2^-%.2f, implausibly strong — check formula", bits)
+	}
+}
+
+func TestFalseAcceptProbabilityShape(t *testing.T) {
+	m := paperModel(t)
+	// More keywords per document → higher false-accept probability.
+	prev := 0.0
+	for _, mk := range []int{10, 20, 30, 40} {
+		p := m.FalseAcceptProbability(mk, 60, 2)
+		if p <= prev {
+			t.Fatalf("FAR estimate not increasing in doc keywords at m=%d", mk)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("FAR estimate %v outside [0,1]", p)
+		}
+		prev = p
+	}
+	// More query keywords → lower false-accept probability.
+	prev = 1.0
+	for n := 2; n <= 5; n++ {
+		p := m.FalseAcceptProbability(40, 60, n)
+		if p >= prev {
+			t.Fatalf("FAR estimate not decreasing in query keywords at n=%d", n)
+		}
+		prev = p
+	}
+}
+
+func TestFalseAcceptProbabilityPanics(t *testing.T) {
+	m := paperModel(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for n=0")
+		}
+	}()
+	m.FalseAcceptProbability(10, 60, 0)
+}
+
+// Quick property: Δ(x, x̄) is always within [0, r] for valid inputs.
+func TestExpectedHammingQuick(t *testing.T) {
+	m := paperModel(t)
+	f := func(a, b uint8) bool {
+		x := int(a)%80 + 1
+		xbar := int(b) % (x + 1)
+		d := m.ExpectedHamming(x, xbar)
+		return d >= 0 && d <= float64(m.R)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkF62(b *testing.B) {
+	m := paperModel(b)
+	for i := 0; i < b.N; i++ {
+		m.F(62)
+	}
+}

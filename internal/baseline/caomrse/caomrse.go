@@ -1,0 +1,198 @@
+// Package caomrse implements the MRSE_I scheme of Cao, Wang, Li, Ren and Lou
+// ("Privacy-preserving multi-keyword ranked search over encrypted cloud
+// data", INFOCOM 2011) — the closest prior work and the baseline the paper
+// compares against in Section 8.1. MRSE encrypts per-document binary keyword
+// vectors with the secure kNN technique: a random split driven by a secret
+// bit string S followed by multiplication with two secret invertible
+// (n+2)×(n+2) matrices, so the server can compute inner-product similarity
+// scores without learning the vectors.
+//
+// The cost shape that the paper exploits is visible directly in the code:
+// index generation is two O(n²) matrix-vector products per document and
+// search is one O(n) score per document, where n is the *dictionary* size —
+// versus MKS's constant-size 448-bit index and single binary comparison.
+package caomrse
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"mkse/internal/corpus"
+	"mkse/internal/matrix"
+)
+
+// Scheme holds the MRSE secret key material: the split indicator S and the
+// two invertible matrices (kept as the transposes/inverses actually applied).
+type Scheme struct {
+	dict []string
+	pos  map[string]int
+	n    int // dictionary size; vectors have dimension n+2
+
+	s            []int // split indicator S ∈ {0,1}^(n+2)
+	m1T, m2T     *matrix.Matrix
+	m1Inv, m2Inv *matrix.Matrix
+
+	epsSigma float64 // magnitude of the dummy randomness ε in data vectors
+	rng      *rand.Rand
+}
+
+// Index is an encrypted document index: the pair {M1ᵀp′, M2ᵀp″}.
+type Index struct {
+	DocID string
+	A, B  []float64
+}
+
+// Trapdoor is an encrypted query: the pair {M1⁻¹q′, M2⁻¹q″}.
+type Trapdoor struct {
+	A, B []float64
+}
+
+// New creates an MRSE instance over the given dictionary. Key generation
+// draws S, M1, M2 from the seeded RNG and inverts both matrices — the O(n³)
+// setup cost that already dominates at "several thousand" keywords.
+func New(dict []string, seed int64) (*Scheme, error) {
+	if len(dict) == 0 {
+		return nil, fmt.Errorf("caomrse: empty dictionary")
+	}
+	pos := make(map[string]int, len(dict))
+	for i, w := range dict {
+		if _, dup := pos[w]; dup {
+			return nil, fmt.Errorf("caomrse: duplicate dictionary word %q", w)
+		}
+		pos[w] = i
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := len(dict)
+	dim := n + 2
+	s := make([]int, dim)
+	for i := range s {
+		s[i] = rng.Intn(2)
+	}
+	m1 := matrix.RandomInvertible(dim, rng)
+	m2 := matrix.RandomInvertible(dim, rng)
+	m1Inv, err := m1.Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("caomrse: inverting M1: %w", err)
+	}
+	m2Inv, err := m2.Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("caomrse: inverting M2: %w", err)
+	}
+	return &Scheme{
+		dict: dict, pos: pos, n: n,
+		s:   s,
+		m1T: m1.Transpose(), m2T: m2.Transpose(),
+		m1Inv: m1Inv, m2Inv: m2Inv,
+		epsSigma: 0.01,
+		rng:      rng,
+	}, nil
+}
+
+// DictionarySize returns n.
+func (s *Scheme) DictionarySize() int { return s.n }
+
+// dataVector builds the extended plaintext vector p̃ = (p, ε, 1) for a
+// document: p[j] = 1 iff the document contains dictionary word j, ε is the
+// scheme's dummy randomness.
+func (s *Scheme) dataVector(doc *corpus.Document) []float64 {
+	p := make([]float64, s.n+2)
+	for w := range doc.TermFreqs {
+		if j, ok := s.pos[w]; ok {
+			p[j] = 1
+		}
+	}
+	p[s.n] = s.rng.NormFloat64() * s.epsSigma // ε
+	p[s.n+1] = 1
+	return p
+}
+
+// split applies the secure-kNN split: positions where indicator == splitOn
+// are split into two random shares; other positions are duplicated.
+func (s *Scheme) split(v []float64, splitOn int) (a, b []float64) {
+	a = make([]float64, len(v))
+	b = make([]float64, len(v))
+	for j, x := range v {
+		if s.s[j] == splitOn {
+			r := s.rng.Float64()*2 - 1
+			a[j] = x/2 + r
+			b[j] = x/2 - r
+		} else {
+			a[j] = x
+			b[j] = x
+		}
+	}
+	return a, b
+}
+
+// BuildIndex encrypts one document's keyword vector — the per-document cost
+// the paper measures at "about 4500 s" for 6000 documents.
+func (s *Scheme) BuildIndex(doc *corpus.Document) *Index {
+	p := s.dataVector(doc)
+	a, b := s.split(p, 1) // data vectors split where S[j] = 1
+	return &Index{DocID: doc.ID, A: s.m1T.MulVec(a), B: s.m2T.MulVec(b)}
+}
+
+// Trapdoor encrypts a query: q̃ = (r·q, r, t) with fresh r > 0 and t, split
+// complementarily (where S[j] = 0), then multiplied by the inverse matrices.
+// The scaling by r and offset t randomize scores across queries while
+// preserving the per-query ranking.
+func (s *Scheme) Trapdoor(query []string) (*Trapdoor, error) {
+	if len(query) == 0 {
+		return nil, fmt.Errorf("caomrse: empty query")
+	}
+	q := make([]float64, s.n+2)
+	known := 0
+	for _, w := range query {
+		if j, ok := s.pos[w]; ok {
+			q[j] = 1
+			known++
+		}
+	}
+	if known == 0 {
+		return nil, fmt.Errorf("caomrse: no query keyword appears in the dictionary")
+	}
+	r := 0.5 + s.rng.Float64() // r > 0
+	t := s.rng.Float64()
+	for j := 0; j < s.n; j++ {
+		q[j] *= r
+	}
+	q[s.n] = r
+	q[s.n+1] = t
+	a, b := s.split(q, 0) // query vectors split where S[j] = 0
+	return &Trapdoor{A: s.m1Inv.MulVec(a), B: s.m2Inv.MulVec(b)}, nil
+}
+
+// Score computes the similarity the server evaluates per document:
+// I·T = p̃·q̃ = r·(p·q + ε) + t. Within one trapdoor, higher means more
+// query keywords matched.
+func Score(idx *Index, td *Trapdoor) float64 {
+	return matrix.Dot(idx.A, td.A) + matrix.Dot(idx.B, td.B)
+}
+
+// Search scores every index against the trapdoor and returns document IDs in
+// descending score order, truncated to topK (topK <= 0 returns all).
+func Search(indices []*Index, td *Trapdoor, topK int) []string {
+	type scored struct {
+		id string
+		s  float64
+	}
+	all := make([]scored, len(indices))
+	for i, idx := range indices {
+		all[i] = scored{idx.DocID, Score(idx, td)}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].s != all[j].s {
+			return all[i].s > all[j].s
+		}
+		return all[i].id < all[j].id
+	})
+	if topK <= 0 || topK > len(all) {
+		topK = len(all)
+	}
+	out := make([]string, topK)
+	for i := 0; i < topK; i++ {
+		out[i] = all[i].id
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+package caomrse
+
+import (
+	"math"
+	"testing"
+
+	"mkse/internal/corpus"
+)
+
+func smallScheme(t testing.TB, n int, seed int64) *Scheme {
+	t.Helper()
+	s, err := New(corpus.Dictionary(n), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func doc(id string, words ...string) *corpus.Document {
+	tf := make(map[string]int, len(words))
+	for _, w := range words {
+		tf[w] = 1
+	}
+	return &corpus.Document{ID: id, TermFreqs: tf}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 1); err == nil {
+		t.Error("empty dictionary accepted")
+	}
+	if _, err := New([]string{"a", "a"}, 1); err == nil {
+		t.Error("duplicate dictionary accepted")
+	}
+}
+
+// The secure-kNN correctness property: the encrypted score equals the
+// plaintext extended inner product r·(p·q + ε) + t, which means documents
+// with more matching keywords score strictly higher (ε kept small).
+func TestScoreOrdersByMatchCount(t *testing.T) {
+	s := smallScheme(t, 50, 1)
+	d3 := s.BuildIndex(doc("three", "kw00001", "kw00002", "kw00003"))
+	d2 := s.BuildIndex(doc("two", "kw00001", "kw00002", "kw00040"))
+	d1 := s.BuildIndex(doc("one", "kw00001", "kw00041", "kw00042"))
+	d0 := s.BuildIndex(doc("zero", "kw00043", "kw00044", "kw00045"))
+	td, err := s.Trapdoor([]string{"kw00001", "kw00002", "kw00003"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3, s2, s1, s0 := Score(d3, td), Score(d2, td), Score(d1, td), Score(d0, td)
+	if !(s3 > s2 && s2 > s1 && s1 > s0) {
+		t.Errorf("scores not ordered by match count: %v %v %v %v", s3, s2, s1, s0)
+	}
+}
+
+// Score must reproduce r(p·q + ε) + t up to numerical error. We cannot see
+// r, t, ε directly, but the *differences* between documents scored under the
+// same trapdoor expose r: score(A) − score(B) = r(p_A·q − p_B·q + ε_A − ε_B).
+// With matches differing by exactly one keyword, the gap must be ≈ r, a
+// constant across pairs.
+func TestScoreGapsConsistent(t *testing.T) {
+	s := smallScheme(t, 40, 2)
+	docs := []*Index{
+		s.BuildIndex(doc("m0", "kw00030")),
+		s.BuildIndex(doc("m1", "kw00001")),
+		s.BuildIndex(doc("m2", "kw00001", "kw00002")),
+		s.BuildIndex(doc("m3", "kw00001", "kw00002", "kw00003")),
+	}
+	td, err := s.Trapdoor([]string{"kw00001", "kw00002", "kw00003"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap1 := Score(docs[1], td) - Score(docs[0], td)
+	gap2 := Score(docs[2], td) - Score(docs[1], td)
+	gap3 := Score(docs[3], td) - Score(docs[2], td)
+	// ε noise is O(0.01·r); gaps must agree within a few percent.
+	if math.Abs(gap2-gap1) > 0.2*math.Abs(gap1) || math.Abs(gap3-gap2) > 0.2*math.Abs(gap2) {
+		t.Errorf("inconsistent score gaps %v %v %v (inner product not preserved)", gap1, gap2, gap3)
+	}
+	if gap1 <= 0 {
+		t.Errorf("per-keyword score increment %v not positive (r must be > 0)", gap1)
+	}
+}
+
+// Index and trapdoor vectors must not expose the plaintext binary vectors:
+// two documents with the same keywords but different ε/splits encrypt
+// differently, and a trapdoor is randomized per query.
+func TestEncryptionIsRandomized(t *testing.T) {
+	s := smallScheme(t, 30, 3)
+	a := s.BuildIndex(doc("a", "kw00005"))
+	b := s.BuildIndex(doc("b", "kw00005"))
+	same := true
+	for i := range a.A {
+		if a.A[i] != b.A[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("two indexes of identical documents have identical A vectors")
+	}
+	t1, err := s.Trapdoor([]string{"kw00005"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := s.Trapdoor([]string{"kw00005"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same = true
+	for i := range t1.A {
+		if t1.A[i] != t2.A[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("two trapdoors for the same query are identical")
+	}
+}
+
+// Even though absolute scores are randomized per trapdoor (r, t), the
+// *ranking* induced on a fixed corpus must be stable across trapdoors for
+// the same query.
+func TestRankingStableAcrossTrapdoors(t *testing.T) {
+	s := smallScheme(t, 40, 4)
+	indices := []*Index{
+		s.BuildIndex(doc("d3", "kw00001", "kw00002", "kw00003")),
+		s.BuildIndex(doc("d1", "kw00001")),
+		s.BuildIndex(doc("d2", "kw00001", "kw00002")),
+		s.BuildIndex(doc("d0", "kw00020")),
+	}
+	query := []string{"kw00001", "kw00002", "kw00003"}
+	var first []string
+	for trial := 0; trial < 5; trial++ {
+		td, err := s.Trapdoor(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Search(indices, td, 0)
+		if first == nil {
+			first = got
+			continue
+		}
+		for i := range got {
+			if got[i] != first[i] {
+				t.Fatalf("trial %d: ranking %v differs from first %v", trial, got, first)
+			}
+		}
+	}
+	if first[0] != "d3" || first[1] != "d2" || first[2] != "d1" {
+		t.Errorf("ranking %v, want d3 > d2 > d1 > d0", first)
+	}
+}
+
+func TestSearchTopK(t *testing.T) {
+	s := smallScheme(t, 20, 5)
+	indices := []*Index{
+		s.BuildIndex(doc("x", "kw00001")),
+		s.BuildIndex(doc("y", "kw00002")),
+		s.BuildIndex(doc("z", "kw00001", "kw00002")),
+	}
+	td, err := s.Trapdoor([]string{"kw00001", "kw00002"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := Search(indices, td, 1)
+	if len(top) != 1 || top[0] != "z" {
+		t.Errorf("top-1 = %v, want [z]", top)
+	}
+}
+
+func TestTrapdoorValidation(t *testing.T) {
+	s := smallScheme(t, 10, 6)
+	if _, err := s.Trapdoor(nil); err == nil {
+		t.Error("empty query accepted")
+	}
+	if _, err := s.Trapdoor([]string{"not-in-dictionary"}); err == nil {
+		t.Error("out-of-dictionary query accepted")
+	}
+}
+
+func TestDictionarySize(t *testing.T) {
+	if smallScheme(t, 33, 7).DictionarySize() != 33 {
+		t.Error("DictionarySize wrong")
+	}
+}
+
+func BenchmarkBuildIndexDict500(b *testing.B) {
+	s, err := New(corpus.Dictionary(500), 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := doc("bench", "kw00001", "kw00002", "kw00003", "kw00004")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.BuildIndex(d)
+	}
+}
+
+func BenchmarkScoreDict500(b *testing.B) {
+	s, err := New(corpus.Dictionary(500), 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx := s.BuildIndex(doc("bench", "kw00001"))
+	td, err := s.Trapdoor([]string{"kw00001"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Score(idx, td)
+	}
+}

@@ -1,0 +1,110 @@
+// Package wangcsi implements the common-secure-index scheme of Wang, Wang &
+// Pieprzyk ("An efficient scheme of common secure indices for conjunctive
+// keyword-based retrieval on encrypted data", WISA 2009) — the indexing
+// method MKS builds on — in its original *keyless* form, where a single hash
+// function is "secretly shared between all authorized users".
+//
+// Örencik & Savaş argue (Section 4.1) that once this shared function leaks
+// to the server, the whole system falls to a brute-force dictionary attack:
+// with ~25000 candidate keywords and 1–2 terms per query, enumerating
+// keyword (pairs) and re-deriving indices identifies the queried terms in at
+// most ~2^28 trials. This package implements both the scheme and that
+// attack, so the repository can demonstrate concretely why MKS's per-bin
+// secret keys matter.
+package wangcsi
+
+import (
+	"mkse/internal/bitindex"
+	"mkse/internal/kdf"
+)
+
+// PublicHashKey is the "shared" HMAC key of the original scheme. Its value
+// is immaterial — the point is that the adversary is assumed to know it.
+var PublicHashKey = []byte("wang-csi-shared-hash-function!!!")
+
+// Scheme is a common-secure-index instance with the (leaked) shared hash.
+type Scheme struct {
+	r, d int
+	key  []byte
+}
+
+// New creates a scheme with the given index geometry and the well-known
+// shared hash key.
+func New(r, d int) *Scheme {
+	return &Scheme{r: r, d: d, key: PublicHashKey}
+}
+
+// NewWithKey creates a scheme under a different shared key; used to model
+// the pre-leak state.
+func NewWithKey(r, d int, key []byte) *Scheme {
+	return &Scheme{r: r, d: d, key: key}
+}
+
+// hmacBytes is the expansion length l/8.
+func (s *Scheme) hmacBytes() int { return (s.r*s.d + 7) / 8 }
+
+// KeywordIndex derives a keyword's bit index exactly as MKS does
+// (Equation 1), but under the shared hash.
+func (s *Scheme) KeywordIndex(w string) *bitindex.Vector {
+	return bitindex.Reduce(kdf.ExpandString(s.key, w, s.hmacBytes()), s.r, s.d)
+}
+
+// BuildIndex ANDs the keyword indices (Equation 2).
+func (s *Scheme) BuildIndex(words []string) *bitindex.Vector {
+	v := bitindex.NewOnes(s.r)
+	for _, w := range words {
+		v.AndInto(s.KeywordIndex(w))
+	}
+	return v
+}
+
+// AttackResult reports a brute-force run.
+type AttackResult struct {
+	Trials     int      // candidate evaluations performed
+	Candidates []string // keywords (or "a+b" pairs) whose index equals the target
+}
+
+// BruteForceSingle enumerates the dictionary looking for single keywords
+// whose index equals the observed query index. With the shared hash known,
+// a one-keyword query is recovered in at most |dict| trials.
+func (s *Scheme) BruteForceSingle(q *bitindex.Vector, dict []string) AttackResult {
+	var res AttackResult
+	for _, w := range dict {
+		res.Trials++
+		if s.KeywordIndex(w).Equal(q) {
+			res.Candidates = append(res.Candidates, w)
+		}
+	}
+	return res
+}
+
+// BruteForcePair enumerates unordered keyword pairs. maxTrials bounds the
+// work (0 = unbounded); the attack aborts once the bound is hit, returning
+// whatever it found. The full 25000-word dictionary gives C(25000,2) ≈ 2^28
+// pairs — large but, as the paper stresses, entirely feasible offline.
+func (s *Scheme) BruteForcePair(q *bitindex.Vector, dict []string, maxTrials int) AttackResult {
+	var res AttackResult
+	// Precompute single-keyword indices once: the pair index is their AND,
+	// so the inner loop is a cheap AND + compare instead of two HMACs.
+	singles := make([]*bitindex.Vector, len(dict))
+	for i, w := range dict {
+		singles[i] = s.KeywordIndex(w)
+	}
+	for i := 0; i < len(dict); i++ {
+		// Pruning: every zero of a factor survives the AND, so a viable
+		// factor's zeros must be a subset of the target's zeros.
+		if !q.Matches(singles[i]) {
+			continue
+		}
+		for j := i + 1; j < len(dict); j++ {
+			res.Trials++
+			if maxTrials > 0 && res.Trials > maxTrials {
+				return res
+			}
+			if singles[i].And(singles[j]).Equal(q) {
+				res.Candidates = append(res.Candidates, dict[i]+"+"+dict[j])
+			}
+		}
+	}
+	return res
+}

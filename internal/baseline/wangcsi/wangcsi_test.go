@@ -1,0 +1,123 @@
+package wangcsi
+
+import (
+	"strings"
+	"testing"
+
+	"mkse/internal/corpus"
+)
+
+func TestKeywordIndexDeterministic(t *testing.T) {
+	s := New(448, 6)
+	if !s.KeywordIndex("cloud").Equal(s.KeywordIndex("cloud")) {
+		t.Error("index not deterministic")
+	}
+	if s.KeywordIndex("cloud").Equal(s.KeywordIndex("server")) {
+		t.Error("distinct keywords share an index")
+	}
+}
+
+func TestBuildIndexIsConjunction(t *testing.T) {
+	s := New(448, 6)
+	a := s.KeywordIndex("alpha")
+	b := s.KeywordIndex("beta")
+	q := s.BuildIndex([]string{"alpha", "beta"})
+	if !q.Equal(a.And(b)) {
+		t.Error("BuildIndex is not the AND of keyword indices")
+	}
+}
+
+// The paper's core security argument (Section 4.1): with the shared hash
+// public, a single-keyword query is recovered exactly by dictionary
+// enumeration.
+func TestBruteForceRecoversSingleKeyword(t *testing.T) {
+	s := New(448, 6)
+	dict := corpus.Dictionary(5000)
+	secret := dict[1234]
+	q := s.BuildIndex([]string{secret})
+	res := s.BruteForceSingle(q, dict)
+	if len(res.Candidates) != 1 || res.Candidates[0] != secret {
+		t.Errorf("attack recovered %v, want [%s]", res.Candidates, secret)
+	}
+	if res.Trials != 5000 {
+		t.Errorf("trials = %d, want 5000", res.Trials)
+	}
+}
+
+func TestBruteForceRecoversKeywordPair(t *testing.T) {
+	s := New(448, 6)
+	dict := corpus.Dictionary(800)
+	w1, w2 := dict[17], dict[523]
+	q := s.BuildIndex([]string{w1, w2})
+	res := s.BruteForcePair(q, dict, 0)
+	found := false
+	for _, c := range res.Candidates {
+		if c == w1+"+"+w2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("attack did not recover the pair; candidates: %v", res.Candidates)
+	}
+	// The zero-subset pruning should have cut the naive C(800,2)=319600
+	// trials down dramatically (only pairs whose first factor's zeros are
+	// contained in the target's survive).
+	if res.Trials >= 319600 {
+		t.Errorf("pruning ineffective: %d trials", res.Trials)
+	}
+}
+
+func TestBruteForcePairRespectsBudget(t *testing.T) {
+	s := New(448, 6)
+	dict := corpus.Dictionary(400)
+	q := s.BuildIndex([]string{dict[0], dict[399]})
+	res := s.BruteForcePair(q, dict, 50)
+	if res.Trials > 51 {
+		t.Errorf("budget exceeded: %d trials", res.Trials)
+	}
+}
+
+// The MKS defence: the same attack run against an index built under a
+// *secret* key finds nothing (or only hash-collision noise), because the
+// adversary's candidate indices are computed under the wrong function.
+func TestAttackFailsAgainstKeyedIndex(t *testing.T) {
+	adversary := New(448, 6)
+	owner := NewWithKey(448, 6, []byte("secret-bin-key-unknown-to-attacker"))
+	dict := corpus.Dictionary(5000)
+	secret := dict[42]
+	q := owner.BuildIndex([]string{secret})
+	res := adversary.BruteForceSingle(q, dict)
+	for _, c := range res.Candidates {
+		if c == secret {
+			t.Fatal("attack recovered the keyword despite the secret key")
+		}
+	}
+	if len(res.Candidates) != 0 {
+		// Any candidate would be an accidental full-index collision,
+		// astronomically unlikely at r=448.
+		t.Errorf("unexpected collision candidates: %v", res.Candidates)
+	}
+}
+
+func TestAttackCandidatesNamedSensibly(t *testing.T) {
+	s := New(64, 4)
+	dict := []string{"aa", "bb"}
+	q := s.BuildIndex([]string{"aa", "bb"})
+	res := s.BruteForcePair(q, dict, 0)
+	for _, c := range res.Candidates {
+		if !strings.Contains(c, "+") {
+			t.Errorf("pair candidate %q not in a+b form", c)
+		}
+	}
+}
+
+func BenchmarkBruteForceSingle25k(b *testing.B) {
+	s := New(448, 6)
+	dict := corpus.Dictionary(25000)
+	q := s.BuildIndex([]string{dict[12345]})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.BruteForceSingle(q, dict)
+	}
+}

@@ -1,0 +1,275 @@
+// Package bitindex implements the r-bit searchable index vectors at the heart
+// of the MKS scheme (Örencik & Savaş, PAIS 2012, Section 4.1).
+//
+// A keyword index is derived from an l = r·d bit HMAC output: the output is
+// viewed as r digits of d bits each (elements of GF(2^d)) and every digit is
+// reduced to a single bit — 0 if the digit is zero, 1 otherwise (Equation 1 of
+// the paper). A document index is the bitwise AND of its keyword indices
+// (Equation 2), and a query matches a document iff every 0 bit of the query is
+// also 0 in the document index (Equation 3).
+package bitindex
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Vector is a fixed-length bit vector of Len() bits stored in 64-bit words.
+// The zero value is an empty vector; use New to allocate one of a given
+// length. Vectors of different lengths are never equal and may not be
+// combined.
+type Vector struct {
+	words []uint64
+	n     int // number of valid bits
+}
+
+// New returns an all-zero vector of n bits. It panics if n <= 0, mirroring
+// make's behaviour for negative sizes: a zero- or negative-width index is a
+// programming error, not a runtime condition.
+func New(n int) *Vector {
+	if n <= 0 {
+		panic(fmt.Sprintf("bitindex: invalid vector length %d", n))
+	}
+	return &Vector{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// NewOnes returns an all-ones vector of n bits. An all-ones vector is the
+// identity element of And: it is the natural accumulator seed when folding
+// keyword indices into a document index (Equation 2).
+func NewOnes(n int) *Vector {
+	v := New(n)
+	for i := range v.words {
+		v.words[i] = ^uint64(0)
+	}
+	v.clampTail()
+	return v
+}
+
+// clampTail zeroes the unused high bits of the last word so that word-wise
+// operations (popcount, equality, match tests) never see garbage.
+func (v *Vector) clampTail() {
+	if rem := v.n % 64; rem != 0 {
+		v.words[len(v.words)-1] &= (uint64(1) << uint(rem)) - 1
+	}
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vector) Len() int { return v.n }
+
+// Bit returns bit i (0 or 1). It panics if i is out of range.
+func (v *Vector) Bit(i int) int {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitindex: bit %d out of range [0,%d)", i, v.n))
+	}
+	return int(v.words[i/64] >> (uint(i) % 64) & 1)
+}
+
+// SetBit sets bit i to b (0 or 1). It panics if i is out of range.
+func (v *Vector) SetBit(i, b int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitindex: bit %d out of range [0,%d)", i, v.n))
+	}
+	if b == 0 {
+		v.words[i/64] &^= 1 << (uint(i) % 64)
+	} else {
+		v.words[i/64] |= 1 << (uint(i) % 64)
+	}
+}
+
+// Clone returns a deep copy of v.
+func (v *Vector) Clone() *Vector {
+	w := &Vector{words: make([]uint64, len(v.words)), n: v.n}
+	copy(w.words, v.words)
+	return w
+}
+
+// And returns the bitwise product v ∧ u as a new vector (Equation 2's ⊓
+// operation). It panics if the lengths differ.
+func (v *Vector) And(u *Vector) *Vector {
+	w := v.Clone()
+	w.AndInto(u)
+	return w
+}
+
+// AndInto folds u into v in place: v ← v ∧ u. It panics if the lengths
+// differ. Folding in place avoids one allocation per keyword during index
+// construction, which dominates the data owner's offline cost (Figure 4(a)).
+func (v *Vector) AndInto(u *Vector) {
+	if v.n != u.n {
+		panic(fmt.Sprintf("bitindex: length mismatch %d != %d", v.n, u.n))
+	}
+	for i := range v.words {
+		v.words[i] &= u.words[i]
+	}
+}
+
+// Matches reports whether a document index v matches query q under the
+// paper's match relation (Equation 3): every position where q is 0 must also
+// be 0 in v, i.e. v ∧ ¬q = 0. It panics if the lengths differ.
+func (v *Vector) Matches(q *Vector) bool {
+	if v.n != q.n {
+		panic(fmt.Sprintf("bitindex: length mismatch %d != %d", v.n, q.n))
+	}
+	for i := range v.words {
+		if v.words[i]&^q.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether v and u have the same length and identical bits.
+func (v *Vector) Equal(u *Vector) bool {
+	if v.n != u.n {
+		return false
+	}
+	for i := range v.words {
+		if v.words[i] != u.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// OnesCount returns the number of 1 bits.
+func (v *Vector) OnesCount() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// ZerosCount returns the number of 0 bits. Section 6 of the paper reasons
+// about queries through their zero counts (the function F(x)).
+func (v *Vector) ZerosCount() int { return v.n - v.OnesCount() }
+
+// Hamming returns the Hamming distance between v and u — the number of
+// positions at which they differ. This is the similarity metric of the
+// query-randomization analysis (Section 6, Figure 2). It panics if the
+// lengths differ.
+func (v *Vector) Hamming(u *Vector) int {
+	if v.n != u.n {
+		panic(fmt.Sprintf("bitindex: length mismatch %d != %d", v.n, u.n))
+	}
+	d := 0
+	for i := range v.words {
+		d += bits.OnesCount64(v.words[i] ^ u.words[i])
+	}
+	return d
+}
+
+// ZeroPositions returns the sorted positions of all 0 bits.
+func (v *Vector) ZeroPositions() []int {
+	out := make([]int, 0, v.ZerosCount())
+	for i := 0; i < v.n; i++ {
+		if v.Bit(i) == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// String renders the vector as a compact hex string, most significant word
+// last (little-endian word order, matching the in-memory layout).
+func (v *Vector) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bitindex.Vector(len=%d, ones=%d, 0x", v.n, v.OnesCount())
+	for i := len(v.words) - 1; i >= 0; i-- {
+		fmt.Fprintf(&b, "%016x", v.words[i])
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// ByteLen returns the number of bytes MarshalBinary produces for a vector of
+// n bits, excluding the 4-byte length header.
+func ByteLen(n int) int { return (n + 7) / 8 }
+
+// MarshalBinary encodes the vector as a 4-byte big-endian bit length followed
+// by ceil(n/8) little-endian payload bytes. The r-bit payload is exactly what
+// the user transmits to the server as a query (Table 1: "Search: r" bits).
+func (v *Vector) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 4+ByteLen(v.n))
+	binary.BigEndian.PutUint32(out, uint32(v.n))
+	for i, w := range v.words {
+		for j := 0; j < 8; j++ {
+			idx := 4 + i*8 + j
+			if idx >= len(out) {
+				break
+			}
+			out[idx] = byte(w >> (8 * uint(j)))
+		}
+	}
+	return out, nil
+}
+
+// ErrCorrupt is returned by UnmarshalBinary when the input is malformed.
+var ErrCorrupt = errors.New("bitindex: corrupt encoding")
+
+// UnmarshalBinary decodes data produced by MarshalBinary.
+func (v *Vector) UnmarshalBinary(data []byte) error {
+	if len(data) < 4 {
+		return ErrCorrupt
+	}
+	n := int(binary.BigEndian.Uint32(data))
+	if n <= 0 || len(data) != 4+ByteLen(n) {
+		return ErrCorrupt
+	}
+	v.n = n
+	v.words = make([]uint64, (n+63)/64)
+	for i := range v.words {
+		var w uint64
+		for j := 0; j < 8; j++ {
+			idx := 4 + i*8 + j
+			if idx >= len(data) {
+				break
+			}
+			w |= uint64(data[idx]) << (8 * uint(j))
+		}
+		v.words[i] = w
+	}
+	// Reject encodings with set bits beyond the declared length; accepting
+	// them would make two representations of the same vector unequal.
+	tail := v.words[len(v.words)-1]
+	v.clampTail()
+	if v.words[len(v.words)-1] != tail {
+		return ErrCorrupt
+	}
+	return nil
+}
+
+// Reduce derives an r-bit keyword index from raw pseudorandom bytes under the
+// paper's digit reduction (Equation 1): the first r·d bits of src are read as
+// r consecutive d-bit digits; output bit j is 0 iff digit j is the zero
+// element of GF(2^d). It panics if src is shorter than r·d bits or if the
+// parameters are out of range (d in [1,32], r > 0).
+//
+// The probability of a 0 output bit is 2^(−d) per position, which is the
+// quantity F(1) = r/2^d of the Section 6 analysis.
+func Reduce(src []byte, r, d int) *Vector {
+	if r <= 0 || d <= 0 || d > 32 {
+		panic(fmt.Sprintf("bitindex: invalid reduction parameters r=%d d=%d", r, d))
+	}
+	need := (r*d + 7) / 8
+	if len(src) < need {
+		panic(fmt.Sprintf("bitindex: source too short: have %d bytes, need %d for r=%d d=%d", len(src), need, r, d))
+	}
+	v := New(r)
+	bitPos := 0
+	for j := 0; j < r; j++ {
+		digit := uint64(0)
+		for k := 0; k < d; k++ {
+			b := uint64(src[bitPos/8]>>(uint(bitPos)%8)) & 1
+			digit |= b << uint(k)
+			bitPos++
+		}
+		if digit != 0 {
+			v.SetBit(j, 1)
+		}
+	}
+	return v
+}

@@ -1,0 +1,479 @@
+package bitindex
+
+import (
+	"crypto/rand"
+	"math"
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomVector(rng *mrand.Rand, n int) *Vector {
+	v := New(n)
+	for i := 0; i < n; i++ {
+		v.SetBit(i, rng.Intn(2))
+	}
+	return v
+}
+
+func TestNewIsAllZero(t *testing.T) {
+	for _, n := range []int{1, 7, 63, 64, 65, 448, 1000} {
+		v := New(n)
+		if v.Len() != n {
+			t.Fatalf("Len() = %d, want %d", v.Len(), n)
+		}
+		if v.OnesCount() != 0 {
+			t.Errorf("New(%d) has %d ones, want 0", n, v.OnesCount())
+		}
+		if v.ZerosCount() != n {
+			t.Errorf("New(%d) has %d zeros, want %d", n, v.ZerosCount(), n)
+		}
+	}
+}
+
+func TestNewOnesIsAllOnes(t *testing.T) {
+	for _, n := range []int{1, 7, 63, 64, 65, 448} {
+		v := NewOnes(n)
+		if v.OnesCount() != n {
+			t.Errorf("NewOnes(%d) has %d ones, want %d", n, v.OnesCount(), n)
+		}
+		for i := 0; i < n; i++ {
+			if v.Bit(i) != 1 {
+				t.Fatalf("NewOnes(%d).Bit(%d) = 0", n, i)
+			}
+		}
+	}
+}
+
+func TestNewPanicsOnBadLength(t *testing.T) {
+	for _, n := range []int{0, -1, -64} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", n)
+				}
+			}()
+			New(n)
+		}()
+	}
+}
+
+func TestSetBitGetBit(t *testing.T) {
+	v := New(130)
+	positions := []int{0, 1, 63, 64, 65, 127, 128, 129}
+	for _, p := range positions {
+		v.SetBit(p, 1)
+	}
+	for _, p := range positions {
+		if v.Bit(p) != 1 {
+			t.Errorf("Bit(%d) = 0 after SetBit(%d,1)", p, p)
+		}
+	}
+	if v.OnesCount() != len(positions) {
+		t.Errorf("OnesCount = %d, want %d", v.OnesCount(), len(positions))
+	}
+	for _, p := range positions {
+		v.SetBit(p, 0)
+	}
+	if v.OnesCount() != 0 {
+		t.Errorf("OnesCount = %d after clearing, want 0", v.OnesCount())
+	}
+}
+
+func TestBitPanicsOutOfRange(t *testing.T) {
+	v := New(10)
+	for _, p := range []int{-1, 10, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Bit(%d) did not panic", p)
+				}
+			}()
+			v.Bit(p)
+		}()
+	}
+}
+
+func TestAndBasic(t *testing.T) {
+	a := New(8)
+	b := New(8)
+	a.SetBit(0, 1)
+	a.SetBit(1, 1)
+	b.SetBit(1, 1)
+	b.SetBit(2, 1)
+	c := a.And(b)
+	if c.Bit(0) != 0 || c.Bit(1) != 1 || c.Bit(2) != 0 {
+		t.Errorf("And produced %v", c)
+	}
+	// operands untouched
+	if a.Bit(0) != 1 || b.Bit(2) != 1 {
+		t.Error("And mutated its operands")
+	}
+}
+
+func TestAndIdentity(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(1))
+	v := randomVector(rng, 448)
+	if !v.And(NewOnes(448)).Equal(v) {
+		t.Error("v AND ones != v")
+	}
+	if v.And(New(448)).OnesCount() != 0 {
+		t.Error("v AND zeros != zeros")
+	}
+}
+
+func TestAndLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("And with mismatched lengths did not panic")
+		}
+	}()
+	New(8).And(New(9))
+}
+
+// The fundamental correctness property of the scheme: a document index that
+// was produced by ANDing a superset of the query's keyword indices always
+// matches the query (no false rejects, Section 4.3).
+func TestMatchNoFalseRejects(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(2))
+	const r = 448
+	for trial := 0; trial < 200; trial++ {
+		nDoc := 1 + rng.Intn(30)
+		keywords := make([]*Vector, nDoc)
+		for i := range keywords {
+			keywords[i] = randomVector(rng, r)
+		}
+		doc := NewOnes(r)
+		for _, k := range keywords {
+			doc.AndInto(k)
+		}
+		// Query over a random subset of the document's keywords.
+		q := NewOnes(r)
+		for _, k := range keywords {
+			if rng.Intn(2) == 0 {
+				q.AndInto(k)
+			}
+		}
+		if !doc.Matches(q) {
+			t.Fatalf("trial %d: document index does not match query over its own keywords", trial)
+		}
+	}
+}
+
+func TestMatchDetectsForeignZeros(t *testing.T) {
+	const r = 64
+	doc := NewOnes(r) // document with "no zeros"
+	q := NewOnes(r)
+	q.SetBit(5, 0)
+	// Query demands a zero at position 5; document has a 1 there -> no match.
+	if doc.Matches(q) {
+		t.Error("document with 1 at a query-zero position must not match")
+	}
+	doc.SetBit(5, 0)
+	if !doc.Matches(q) {
+		t.Error("document with 0 at every query-zero position must match")
+	}
+}
+
+func TestMatchesSelf(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		v := randomVector(rng, 200)
+		if !v.Matches(v) {
+			t.Fatal("vector does not match itself")
+		}
+	}
+}
+
+// Property: match is exactly "zeros(q) ⊆ zeros(doc)".
+func TestMatchEquivalentToZeroSubset(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(4))
+	for i := 0; i < 300; i++ {
+		doc := randomVector(rng, 96)
+		q := randomVector(rng, 96)
+		want := true
+		for j := 0; j < 96; j++ {
+			if q.Bit(j) == 0 && doc.Bit(j) != 0 {
+				want = false
+				break
+			}
+		}
+		if got := doc.Matches(q); got != want {
+			t.Fatalf("Matches = %v, zero-subset says %v\ndoc=%v\nq=%v", got, want, doc, q)
+		}
+	}
+}
+
+// Property: AND-ing more trapdoors into a query only zeroes more bits, so any
+// document matching the bigger query also matches the smaller one
+// (monotonicity of conjunctive search).
+func TestMatchMonotoneUnderAnd(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		doc := randomVector(rng, 128)
+		q1 := randomVector(rng, 128)
+		q2 := q1.And(randomVector(rng, 128))
+		if doc.Matches(q2) && !doc.Matches(q1) {
+			t.Fatal("match not monotone: matches narrower query but not broader")
+		}
+	}
+}
+
+func TestHammingAxioms(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(6))
+	f := func(seedA, seedB, seedC int64) bool {
+		a := randomVector(mrand.New(mrand.NewSource(seedA)), 160)
+		b := randomVector(mrand.New(mrand.NewSource(seedB)), 160)
+		c := randomVector(mrand.New(mrand.NewSource(seedC)), 160)
+		// identity, symmetry, triangle inequality
+		if a.Hamming(a) != 0 {
+			return false
+		}
+		if a.Hamming(b) != b.Hamming(a) {
+			return false
+		}
+		return a.Hamming(c) <= a.Hamming(b)+b.Hamming(c)
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHammingManual(t *testing.T) {
+	a := New(70)
+	b := New(70)
+	b.SetBit(0, 1)
+	b.SetBit(64, 1)
+	b.SetBit(69, 1)
+	if d := a.Hamming(b); d != 3 {
+		t.Errorf("Hamming = %d, want 3", d)
+	}
+}
+
+func TestZeroPositions(t *testing.T) {
+	v := NewOnes(10)
+	v.SetBit(2, 0)
+	v.SetBit(7, 0)
+	zs := v.ZeroPositions()
+	if len(zs) != 2 || zs[0] != 2 || zs[1] != 7 {
+		t.Errorf("ZeroPositions = %v, want [2 7]", zs)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := NewOnes(65)
+	b := a.Clone()
+	b.SetBit(64, 0)
+	if a.Bit(64) != 1 {
+		t.Error("Clone shares storage with original")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Error("Clone not equal to original")
+	}
+}
+
+func TestEqualDifferentLengths(t *testing.T) {
+	if New(8).Equal(New(9)) {
+		t.Error("vectors of different lengths compare equal")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(7))
+	for _, n := range []int{1, 8, 63, 64, 65, 448, 449, 1000} {
+		v := randomVector(rng, n)
+		data, err := v.MarshalBinary()
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		if len(data) != 4+ByteLen(n) {
+			t.Errorf("encoded length %d, want %d", len(data), 4+ByteLen(n))
+		}
+		var u Vector
+		if err := u.UnmarshalBinary(data); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if !v.Equal(&u) {
+			t.Errorf("round trip mismatch for n=%d", n)
+		}
+	}
+}
+
+func TestUnmarshalRejectsCorrupt(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0, 0, 0},                // too short for header
+		{0, 0, 0, 0},             // zero length
+		{0xff, 0xff, 0xff, 0xff}, // absurd length with no payload
+		{0, 0, 0, 9, 0xff},       // 9 bits claimed, 1 payload byte (needs 2)
+		{0, 0, 0, 4, 0xf0},       // set bits beyond declared length
+	}
+	for i, data := range cases {
+		var v Vector
+		if err := v.UnmarshalBinary(data); err == nil {
+			t.Errorf("case %d: corrupt input accepted", i)
+		}
+	}
+}
+
+func TestMarshalRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := mrand.New(mrand.NewSource(seed))
+		n := 1 + rng.Intn(600)
+		v := randomVector(rng, n)
+		data, _ := v.MarshalBinary()
+		var u Vector
+		if err := u.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		return v.Equal(&u)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReduceZeroSource(t *testing.T) {
+	// An all-zero source reduces to the all-zero vector: every digit is 0.
+	src := make([]byte, 448*6/8)
+	v := Reduce(src, 448, 6)
+	if v.OnesCount() != 0 {
+		t.Errorf("all-zero source gave %d ones, want 0", v.OnesCount())
+	}
+}
+
+func TestReduceAllOnesSource(t *testing.T) {
+	src := make([]byte, 448*6/8)
+	for i := range src {
+		src[i] = 0xff
+	}
+	v := Reduce(src, 448, 6)
+	if v.OnesCount() != 448 {
+		t.Errorf("all-one source gave %d ones, want 448", v.OnesCount())
+	}
+}
+
+func TestReduceSingleDigit(t *testing.T) {
+	// d=8: each source byte is one digit.
+	src := []byte{0, 1, 0, 255, 7, 0}
+	v := Reduce(src, 6, 8)
+	want := []int{0, 1, 0, 1, 1, 0}
+	for i, w := range want {
+		if v.Bit(i) != w {
+			t.Errorf("bit %d = %d, want %d", i, v.Bit(i), w)
+		}
+	}
+}
+
+func TestReduceD1IsIdentity(t *testing.T) {
+	// With d=1 the reduction is the identity on bits.
+	src := []byte{0b10110100}
+	v := Reduce(src, 8, 1)
+	want := []int{0, 0, 1, 0, 1, 1, 0, 1} // LSB-first within the byte
+	for i, w := range want {
+		if v.Bit(i) != w {
+			t.Errorf("bit %d = %d, want %d", i, v.Bit(i), w)
+		}
+	}
+}
+
+func TestReduceCrossesByteBoundaries(t *testing.T) {
+	// d=6, r=4 consumes 3 bytes; verify digit extraction across boundaries.
+	// Bits (LSB-first): digit0 = bits 0..5, digit1 = bits 6..11, etc.
+	src := []byte{0b11000000, 0b00001111, 0b00000011}
+	// digit0 = bits0-5 of byte0 = 000000 -> 0
+	// digit1 = bits6-7 of byte0 (11) + bits0-3 of byte1 (1111) -> nonzero
+	// digit2 = bits4-7 of byte1 (0000) + bits0-1 of byte2 (11) -> nonzero
+	// digit3 = bits2-7 of byte2 = 000000 -> 0
+	v := Reduce(src, 4, 6)
+	want := []int{0, 1, 1, 0}
+	for i, w := range want {
+		if v.Bit(i) != w {
+			t.Errorf("digit %d -> bit %d, want %d", i, v.Bit(i), w)
+		}
+	}
+}
+
+// Statistical property from Section 6: with uniform source bits the expected
+// number of zeros in a reduced index is F(1) = r/2^d.
+func TestReduceZeroDensityMatchesF1(t *testing.T) {
+	const r, d, trials = 448, 6, 400
+	totalZeros := 0
+	src := make([]byte, r*d/8)
+	for i := 0; i < trials; i++ {
+		if _, err := rand.Read(src); err != nil {
+			t.Fatal(err)
+		}
+		totalZeros += Reduce(src, r, d).ZerosCount()
+	}
+	mean := float64(totalZeros) / trials
+	want := float64(r) / math.Pow(2, d) // = 7.0
+	// Standard deviation of zeros per index is sqrt(r·p·(1-p)) ≈ 2.63, so the
+	// mean over 400 trials has σ ≈ 0.13; a ±0.7 window is > 5σ.
+	if math.Abs(mean-want) > 0.7 {
+		t.Errorf("mean zeros per index = %.3f, want %.3f ± 0.7 (F(1)=r/2^d)", mean, want)
+	}
+}
+
+func TestReducePanics(t *testing.T) {
+	src := make([]byte, 8)
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"short source", func() { Reduce(src, 448, 6) }},
+		{"zero r", func() { Reduce(src, 0, 6) }},
+		{"zero d", func() { Reduce(src, 8, 0) }},
+		{"huge d", func() { Reduce(src, 1, 64) }},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", tc.name)
+				}
+			}()
+			tc.fn()
+		}()
+	}
+}
+
+func TestStringIncludesLength(t *testing.T) {
+	s := NewOnes(448).String()
+	if len(s) == 0 {
+		t.Fatal("empty String()")
+	}
+}
+
+func BenchmarkAndInto448(b *testing.B) {
+	rng := mrand.New(mrand.NewSource(9))
+	v := randomVector(rng, 448)
+	u := randomVector(rng, 448)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.AndInto(u)
+	}
+}
+
+func BenchmarkMatches448(b *testing.B) {
+	rng := mrand.New(mrand.NewSource(10))
+	v := randomVector(rng, 448)
+	q := randomVector(rng, 448)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.Matches(q)
+	}
+}
+
+func BenchmarkReduce448x6(b *testing.B) {
+	src := make([]byte, 448*6/8)
+	if _, err := rand.Read(src); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Reduce(src, 448, 6)
+	}
+}

@@ -1,0 +1,274 @@
+// Package blindrsa implements the RSA machinery of the MKS document-retrieval
+// protocol (Örencik & Savaş, Section 4.4) and the user-authentication
+// signatures of the non-impersonation property (Theorem 4).
+//
+// The data owner encrypts each per-document symmetric key sk as a *textbook*
+// RSA ciphertext y = sk^e mod N and stores y at the cloud server. A user who
+// retrieves a document blinds y with a random factor c —
+//
+//	z = c^e · y mod N
+//
+// — sends z to the owner, receives z̄ = z^d mod N, and unblinds
+//
+//	sk = z̄ · c^(−1) mod N.
+//
+// The owner decrypts without learning which document's key it handled;
+// Chaum-style blinding requires the raw (unpadded, multiplicatively
+// homomorphic) RSA primitive, which is why this package performs modular
+// exponentiation directly with math/big instead of using crypto/rsa's padded
+// modes. This is faithful to the paper; the blinded values are random-looking
+// group elements, and sk itself is a uniformly random AES key, so the usual
+// structured-plaintext objections to textbook RSA do not apply here.
+package blindrsa
+
+import (
+	"crypto"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// DefaultModulusBits matches the paper's choice of a 1024-bit modulus
+// ("N is chosen as a 1024-bit integer", Section 8.1). Deployments should use
+// 2048+; every function here accepts any size.
+const DefaultModulusBits = 1024
+
+// PublicKey is an RSA public key (N, e).
+type PublicKey struct {
+	N *big.Int
+	E *big.Int
+}
+
+// PrivateKey is an RSA key pair. It retains the stdlib key for signing and
+// exposes N, e, d for the raw blind-decryption arithmetic.
+type PrivateKey struct {
+	PublicKey
+	D *big.Int
+
+	std *rsa.PrivateKey
+}
+
+// GenerateKey creates an RSA key pair with the given modulus size in bits,
+// drawing primes from crypto/rand (the paper: "the product of two randomly
+// chosen 512-bit prime numbers").
+func GenerateKey(bits int) (*PrivateKey, error) {
+	if bits < 512 {
+		return nil, fmt.Errorf("blindrsa: modulus size %d too small (min 512)", bits)
+	}
+	std, err := rsa.GenerateKey(rand.Reader, bits)
+	if err != nil {
+		return nil, fmt.Errorf("blindrsa: key generation: %w", err)
+	}
+	return &PrivateKey{
+		PublicKey: PublicKey{N: std.N, E: big.NewInt(int64(std.E))},
+		D:         new(big.Int).Set(std.D),
+		std:       std,
+	}, nil
+}
+
+// Public returns the public half of the key.
+func (k *PrivateKey) Public() *PublicKey { return &k.PublicKey }
+
+// ModulusBytes returns the modulus size in bytes; fixed-width encodings of
+// group elements use this length (Table 1 counts logN-bit messages).
+func (p *PublicKey) ModulusBytes() int { return (p.N.BitLen() + 7) / 8 }
+
+var (
+	// ErrMessageTooLong is returned when a plaintext does not fit below N.
+	ErrMessageTooLong = errors.New("blindrsa: message representative out of range")
+	// ErrVerification is returned when a signature does not verify.
+	ErrVerification = errors.New("blindrsa: signature verification failed")
+)
+
+// EncryptInt computes the textbook RSA encryption m^e mod N. The plaintext
+// must satisfy 0 < m < N.
+func (p *PublicKey) EncryptInt(m *big.Int) (*big.Int, error) {
+	if m.Sign() <= 0 || m.Cmp(p.N) >= 0 {
+		return nil, ErrMessageTooLong
+	}
+	return new(big.Int).Exp(m, p.E, p.N), nil
+}
+
+// DecryptInt computes the raw RSA decryption c^d mod N. This is also the
+// owner-side operation of the blind-decryption protocol: the owner applies it
+// to a blinded ciphertext without being able to tell what it is decrypting.
+func (k *PrivateKey) DecryptInt(c *big.Int) (*big.Int, error) {
+	if c.Sign() < 0 || c.Cmp(k.N) >= 0 {
+		return nil, ErrMessageTooLong
+	}
+	return new(big.Int).Exp(c, k.D, k.N), nil
+}
+
+// EncryptKey encrypts a symmetric key (an arbitrary byte string shorter than
+// the modulus) and returns a fixed-width ciphertext of ModulusBytes() bytes.
+func (p *PublicKey) EncryptKey(sk []byte) ([]byte, error) {
+	if len(sk) == 0 || len(sk) >= p.ModulusBytes() {
+		return nil, ErrMessageTooLong
+	}
+	m := new(big.Int).SetBytes(sk)
+	if m.Sign() == 0 {
+		// An all-zero key encodes to the integer 0, which textbook RSA maps
+		// to itself; reject it rather than leak it.
+		return nil, ErrMessageTooLong
+	}
+	c, err := p.EncryptInt(m)
+	if err != nil {
+		return nil, err
+	}
+	return c.FillBytes(make([]byte, p.ModulusBytes())), nil
+}
+
+// DecryptKey inverts EncryptKey, returning the symmetric key left-padded to
+// keyLen bytes.
+func (k *PrivateKey) DecryptKey(ciphertext []byte, keyLen int) ([]byte, error) {
+	c := new(big.Int).SetBytes(ciphertext)
+	m, err := k.DecryptInt(c)
+	if err != nil {
+		return nil, err
+	}
+	if (m.BitLen()+7)/8 > keyLen {
+		return nil, fmt.Errorf("blindrsa: decrypted key longer than %d bytes", keyLen)
+	}
+	return m.FillBytes(make([]byte, keyLen)), nil
+}
+
+// Blinder holds the per-retrieval blinding state on the user side: the random
+// factor c and its modular inverse. A Blinder must be used for exactly one
+// ciphertext and then discarded; reusing c across retrievals would let the
+// owner link them.
+type Blinder struct {
+	pub  *PublicKey
+	c    *big.Int
+	cInv *big.Int
+}
+
+// NewBlinder draws a fresh blinding factor c that is invertible modulo N.
+func NewBlinder(pub *PublicKey, rng io.Reader) (*Blinder, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	for i := 0; i < 64; i++ {
+		c, err := rand.Int(rng, pub.N)
+		if err != nil {
+			return nil, fmt.Errorf("blindrsa: drawing blinding factor: %w", err)
+		}
+		if c.Sign() == 0 {
+			continue
+		}
+		cInv := new(big.Int).ModInverse(c, pub.N)
+		if cInv == nil {
+			// c shares a factor with N — astronomically unlikely for a real
+			// modulus (it would factor N), but handle it.
+			continue
+		}
+		return &Blinder{pub: pub, c: c, cInv: cInv}, nil
+	}
+	return nil, errors.New("blindrsa: could not find invertible blinding factor")
+}
+
+// Blind maps the ciphertext y to z = c^e · y mod N. The result is what the
+// user transmits to the data owner (Table 1: logN bits).
+func (b *Blinder) Blind(y *big.Int) (*big.Int, error) {
+	if y.Sign() < 0 || y.Cmp(b.pub.N) >= 0 {
+		return nil, ErrMessageTooLong
+	}
+	ce := new(big.Int).Exp(b.c, b.pub.E, b.pub.N)
+	ce.Mul(ce, y)
+	return ce.Mod(ce, b.pub.N), nil
+}
+
+// Unblind maps the owner's reply z̄ = z^d back to the plaintext:
+// sk = z̄ · c^(−1) mod N.
+func (b *Blinder) Unblind(zbar *big.Int) (*big.Int, error) {
+	if zbar.Sign() < 0 || zbar.Cmp(b.pub.N) >= 0 {
+		return nil, ErrMessageTooLong
+	}
+	m := new(big.Int).Mul(zbar, b.cInv)
+	return m.Mod(m, b.pub.N), nil
+}
+
+// BlindDecryptKey runs the user's side of the full retrieval protocol against
+// an abstract owner oracle: blind y, submit it via decrypt (the network call
+// to the data owner), unblind, and decode a keyLen-byte symmetric key.
+func BlindDecryptKey(pub *PublicKey, encKey []byte, keyLen int, decrypt func(z *big.Int) (*big.Int, error)) ([]byte, error) {
+	y := new(big.Int).SetBytes(encKey)
+	b, err := NewBlinder(pub, nil)
+	if err != nil {
+		return nil, err
+	}
+	z, err := b.Blind(y)
+	if err != nil {
+		return nil, err
+	}
+	zbar, err := decrypt(z)
+	if err != nil {
+		return nil, err
+	}
+	m, err := b.Unblind(zbar)
+	if err != nil {
+		return nil, err
+	}
+	if (m.BitLen()+7)/8 > keyLen {
+		return nil, fmt.Errorf("blindrsa: unblinded key longer than %d bytes", keyLen)
+	}
+	return m.FillBytes(make([]byte, keyLen)), nil
+}
+
+// Marshal serializes the public key in PKCS#1 DER form.
+func (p *PublicKey) Marshal() []byte {
+	return x509.MarshalPKCS1PublicKey(&rsa.PublicKey{N: p.N, E: int(p.E.Int64())})
+}
+
+// ParsePublicKey restores a public key serialized by PublicKey.Marshal.
+func ParsePublicKey(der []byte) (*PublicKey, error) {
+	std, err := x509.ParsePKCS1PublicKey(der)
+	if err != nil {
+		return nil, fmt.Errorf("blindrsa: parsing public key: %w", err)
+	}
+	return &PublicKey{N: std.N, E: big.NewInt(int64(std.E))}, nil
+}
+
+// Marshal serializes the private key in PKCS#1 DER form for persistence.
+func (k *PrivateKey) Marshal() []byte {
+	return x509.MarshalPKCS1PrivateKey(k.std)
+}
+
+// ParsePrivateKey restores a private key serialized by Marshal.
+func ParsePrivateKey(der []byte) (*PrivateKey, error) {
+	std, err := x509.ParsePKCS1PrivateKey(der)
+	if err != nil {
+		return nil, fmt.Errorf("blindrsa: parsing private key: %w", err)
+	}
+	return &PrivateKey{
+		PublicKey: PublicKey{N: std.N, E: big.NewInt(int64(std.E))},
+		D:         new(big.Int).Set(std.D),
+		std:       std,
+	}, nil
+}
+
+// Sign produces an RSASSA-PKCS1-v1.5 signature over SHA-256(msg). Every
+// user→owner message in the protocol is signed (Section 4.2: "In order to
+// avoid impersonation, the user signs his messages").
+func (k *PrivateKey) Sign(msg []byte) ([]byte, error) {
+	digest := sha256.Sum256(msg)
+	sig, err := rsa.SignPKCS1v15(rand.Reader, k.std, crypto.SHA256, digest[:])
+	if err != nil {
+		return nil, fmt.Errorf("blindrsa: signing: %w", err)
+	}
+	return sig, nil
+}
+
+// Verify checks an RSASSA-PKCS1-v1.5 signature over SHA-256(msg).
+func (p *PublicKey) Verify(msg, sig []byte) error {
+	digest := sha256.Sum256(msg)
+	std := &rsa.PublicKey{N: p.N, E: int(p.E.Int64())}
+	if err := rsa.VerifyPKCS1v15(std, crypto.SHA256, digest[:], sig); err != nil {
+		return ErrVerification
+	}
+	return nil
+}

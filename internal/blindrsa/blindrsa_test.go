@@ -1,0 +1,381 @@
+package blindrsa
+
+import (
+	"bytes"
+	"crypto/rand"
+	"math/big"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// Key generation is the slowest operation in this package's tests; share one
+// key pair across tests that do not need a fresh key.
+var (
+	testKeyOnce sync.Once
+	testKey     *PrivateKey
+)
+
+func sharedKey(t testing.TB) *PrivateKey {
+	testKeyOnce.Do(func() {
+		k, err := GenerateKey(DefaultModulusBits)
+		if err != nil {
+			t.Fatalf("GenerateKey: %v", err)
+		}
+		testKey = k
+	})
+	return testKey
+}
+
+func TestGenerateKeyTooSmall(t *testing.T) {
+	if _, err := GenerateKey(256); err == nil {
+		t.Error("GenerateKey(256) succeeded, want error")
+	}
+}
+
+func TestEncryptDecryptInt(t *testing.T) {
+	k := sharedKey(t)
+	for _, m := range []int64{1, 2, 42, 1 << 40} {
+		msg := big.NewInt(m)
+		c, err := k.EncryptInt(msg)
+		if err != nil {
+			t.Fatalf("encrypt %d: %v", m, err)
+		}
+		p, err := k.DecryptInt(c)
+		if err != nil {
+			t.Fatalf("decrypt %d: %v", m, err)
+		}
+		if p.Cmp(msg) != 0 {
+			t.Errorf("round trip of %d gave %v", m, p)
+		}
+	}
+}
+
+func TestEncryptIntRejectsOutOfRange(t *testing.T) {
+	k := sharedKey(t)
+	cases := []*big.Int{
+		big.NewInt(0),
+		big.NewInt(-1),
+		new(big.Int).Set(k.N),
+		new(big.Int).Add(k.N, big.NewInt(1)),
+	}
+	for _, m := range cases {
+		if _, err := k.EncryptInt(m); err == nil {
+			t.Errorf("EncryptInt(%v) succeeded, want error", m)
+		}
+	}
+}
+
+func TestEncryptDecryptKeyBytes(t *testing.T) {
+	k := sharedKey(t)
+	sk := make([]byte, 32)
+	if _, err := rand.Read(sk); err != nil {
+		t.Fatal(err)
+	}
+	c, err := k.EncryptKey(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) != k.ModulusBytes() {
+		t.Errorf("ciphertext length %d, want %d", len(c), k.ModulusBytes())
+	}
+	got, err := k.DecryptKey(c, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, sk) {
+		t.Error("DecryptKey did not recover the key")
+	}
+}
+
+func TestEncryptKeyRejectsDegenerate(t *testing.T) {
+	k := sharedKey(t)
+	if _, err := k.EncryptKey(nil); err == nil {
+		t.Error("empty key accepted")
+	}
+	if _, err := k.EncryptKey(make([]byte, 32)); err == nil {
+		t.Error("all-zero key accepted")
+	}
+	if _, err := k.EncryptKey(make([]byte, k.ModulusBytes())); err == nil {
+		t.Error("modulus-sized key accepted")
+	}
+}
+
+// The core protocol property (Section 4.4): blinding then raw decryption then
+// unblinding recovers exactly the plaintext, for any plaintext and blinding
+// factor.
+func TestBlindDecryptionRoundTrip(t *testing.T) {
+	k := sharedKey(t)
+	for trial := 0; trial < 20; trial++ {
+		sk, err := rand.Int(rand.Reader, k.N)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sk.Sign() == 0 {
+			continue
+		}
+		y, err := k.EncryptInt(sk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewBlinder(k.Public(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		z, err := b.Blind(y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zbar, err := k.DecryptInt(z) // owner side
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := b.Unblind(zbar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(sk) != 0 {
+			t.Fatalf("trial %d: blind decryption returned wrong plaintext", trial)
+		}
+	}
+}
+
+// The blinded ciphertext must differ from the raw ciphertext (otherwise the
+// owner learns which document key it decrypts), and two blindings of the same
+// ciphertext must differ from each other (unlinkability).
+func TestBlindingHidesCiphertext(t *testing.T) {
+	k := sharedKey(t)
+	y, err := k.EncryptInt(big.NewInt(123456789))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := NewBlinder(k.Public(), nil)
+	b2, _ := NewBlinder(k.Public(), nil)
+	z1, _ := b1.Blind(y)
+	z2, _ := b2.Blind(y)
+	if z1.Cmp(y) == 0 {
+		t.Error("blinded ciphertext equals raw ciphertext")
+	}
+	if z1.Cmp(z2) == 0 {
+		t.Error("two independent blindings coincide")
+	}
+}
+
+func TestBlindRejectsOutOfRange(t *testing.T) {
+	k := sharedKey(t)
+	b, _ := NewBlinder(k.Public(), nil)
+	if _, err := b.Blind(new(big.Int).Set(k.N)); err == nil {
+		t.Error("Blind accepted y >= N")
+	}
+	if _, err := b.Unblind(new(big.Int).Neg(big.NewInt(1))); err == nil {
+		t.Error("Unblind accepted negative input")
+	}
+}
+
+func TestBlindDecryptKeyHelper(t *testing.T) {
+	k := sharedKey(t)
+	sk := make([]byte, 32)
+	if _, err := rand.Read(sk); err != nil {
+		t.Fatal(err)
+	}
+	sk[0] |= 1 // ensure nonzero
+	encKey, err := k.PublicKey.EncryptKey(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ownerCalls := 0
+	got, err := BlindDecryptKey(k.Public(), encKey, 32, func(z *big.Int) (*big.Int, error) {
+		ownerCalls++
+		// The oracle must never see the raw ciphertext.
+		if z.Cmp(new(big.Int).SetBytes(encKey)) == 0 {
+			t.Error("owner oracle received the unblinded ciphertext")
+		}
+		return k.DecryptInt(z)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ownerCalls != 1 {
+		t.Errorf("owner called %d times, want 1", ownerCalls)
+	}
+	if !bytes.Equal(got, sk) {
+		t.Error("BlindDecryptKey did not recover the key")
+	}
+}
+
+// Property-based check of the multiplicative blinding identity for arbitrary
+// plaintext values: Unblind(Decrypt(Blind(Encrypt(m)))) == m.
+func TestBlindingQuick(t *testing.T) {
+	k := sharedKey(t)
+	f := func(seed [24]byte) bool {
+		m := new(big.Int).SetBytes(seed[:])
+		if m.Sign() == 0 {
+			return true
+		}
+		y, err := k.EncryptInt(m)
+		if err != nil {
+			return false
+		}
+		b, err := NewBlinder(k.Public(), nil)
+		if err != nil {
+			return false
+		}
+		z, err := b.Blind(y)
+		if err != nil {
+			return false
+		}
+		zbar, err := k.DecryptInt(z)
+		if err != nil {
+			return false
+		}
+		got, err := b.Unblind(zbar)
+		return err == nil && got.Cmp(m) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	k := sharedKey(t)
+	msg := []byte("trapdoor request: bins 3, 17, 99")
+	sig, err := k.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.PublicKey.Verify(msg, sig); err != nil {
+		t.Errorf("valid signature rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsTamperedMessage(t *testing.T) {
+	k := sharedKey(t)
+	msg := []byte("retrieve document 42")
+	sig, err := k.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg[0] ^= 1
+	if err := k.PublicKey.Verify(msg, sig); err == nil {
+		t.Error("tampered message accepted")
+	}
+}
+
+func TestVerifyRejectsTamperedSignature(t *testing.T) {
+	k := sharedKey(t)
+	msg := []byte("retrieve document 42")
+	sig, err := k.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig[len(sig)/2] ^= 0xff
+	if err := k.PublicKey.Verify(msg, sig); err == nil {
+		t.Error("tampered signature accepted")
+	}
+}
+
+// Non-impersonation (Theorem 4): a signature produced under one user's key
+// must not verify under another user's public key.
+func TestVerifyRejectsForeignKey(t *testing.T) {
+	k1 := sharedKey(t)
+	k2, err := GenerateKey(DefaultModulusBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("I am user 1")
+	sig, err := k1.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k2.PublicKey.Verify(msg, sig); err == nil {
+		t.Error("signature verified under a foreign public key")
+	}
+}
+
+func TestPrivateKeyMarshalRoundTrip(t *testing.T) {
+	k := sharedKey(t)
+	restored, err := ParsePrivateKey(k.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.N.Cmp(k.N) != 0 || restored.D.Cmp(k.D) != 0 || restored.E.Cmp(k.E) != 0 {
+		t.Error("private key round trip lost components")
+	}
+	// The restored key must decrypt what the original encrypted.
+	c, err := k.EncryptInt(big.NewInt(424242))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := restored.DecryptInt(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Int64() != 424242 {
+		t.Error("restored key decrypts incorrectly")
+	}
+	// And sign verifiably.
+	sig, err := restored.Sign([]byte("post-restore"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.PublicKey.Verify([]byte("post-restore"), sig); err != nil {
+		t.Errorf("signature by restored key rejected: %v", err)
+	}
+}
+
+func TestPublicKeyMarshalRoundTrip(t *testing.T) {
+	k := sharedKey(t)
+	restored, err := ParsePublicKey(k.PublicKey.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.N.Cmp(k.N) != 0 || restored.E.Cmp(k.E) != 0 {
+		t.Error("public key round trip lost components")
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := ParsePrivateKey([]byte("not der")); err == nil {
+		t.Error("garbage private key accepted")
+	}
+	if _, err := ParsePublicKey([]byte{0x30, 0x00}); err == nil {
+		t.Error("garbage public key accepted")
+	}
+}
+
+func TestModulusBytes(t *testing.T) {
+	k := sharedKey(t)
+	if k.ModulusBytes() != 128 {
+		t.Errorf("ModulusBytes = %d for 1024-bit key, want 128", k.ModulusBytes())
+	}
+}
+
+func BenchmarkBlind(b *testing.B) {
+	k := sharedKey(b)
+	y, _ := k.EncryptInt(big.NewInt(987654321))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bl, err := NewBlinder(k.Public(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := bl.Blind(y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOwnerDecrypt(b *testing.B) {
+	k := sharedKey(b)
+	y, _ := k.EncryptInt(big.NewInt(987654321))
+	bl, _ := NewBlinder(k.Public(), nil)
+	z, _ := bl.Blind(y)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.DecryptInt(z); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

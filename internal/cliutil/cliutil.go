@@ -1,0 +1,39 @@
+// Package cliutil holds small flag-parsing helpers shared by the mkse
+// commands.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mkse/internal/rank"
+)
+
+// ParseLevels parses a comma-separated ascending threshold list ("1,5,10")
+// into ranking levels.
+func ParseLevels(s string) (rank.Levels, error) {
+	ints, err := ParseInts(s)
+	if err != nil {
+		return nil, err
+	}
+	lv := rank.Levels(ints)
+	if err := lv.Validate(); err != nil {
+		return nil, err
+	}
+	return lv, nil
+}
+
+// ParseInts parses a comma-separated list of positive integers.
+func ParseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("invalid value %q (want positive integers, comma-separated)", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

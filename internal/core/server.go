@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mkse/internal/bitindex"
+	"mkse/internal/costs"
+)
+
+// Server is the semi-honest cloud server of Figure 1. It stores encrypted
+// documents, RSA-wrapped keys and search indices, and answers queries with
+// the oblivious comparison of Equation 3 plus the level-walking rank
+// assignment of Algorithm 1. It holds no key material: everything it stores
+// and computes on is opaque. A Server is safe for concurrent use.
+type Server struct {
+	params Params
+
+	mu      sync.RWMutex
+	indices []*SearchIndex
+	byID    map[string]int
+	docs    map[string]*EncryptedDocument
+
+	// Costs tallies server-side binary comparisons (Table 2) and traffic.
+	Costs costs.Counters
+}
+
+// NewServer creates an empty server for the given scheme parameters.
+func NewServer(p Params) (*Server, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Server{
+		params: p,
+		byID:   make(map[string]int),
+		docs:   make(map[string]*EncryptedDocument),
+	}, nil
+}
+
+// Params returns the scheme parameters the server was configured with.
+func (s *Server) Params() Params { return s.params }
+
+// Upload stores one document's search index and encrypted payload. Both
+// must refer to the same document ID; re-uploading an existing ID replaces
+// it (the owner refreshing an index after key rotation).
+func (s *Server) Upload(si *SearchIndex, doc *EncryptedDocument) error {
+	if si == nil || doc == nil {
+		return fmt.Errorf("core: nil upload")
+	}
+	if err := si.Validate(s.params); err != nil {
+		return err
+	}
+	if doc.ID != si.DocID {
+		return fmt.Errorf("core: index is for %q but document is %q", si.DocID, doc.ID)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if pos, ok := s.byID[si.DocID]; ok {
+		s.indices[pos] = si
+	} else {
+		s.byID[si.DocID] = len(s.indices)
+		s.indices = append(s.indices, si)
+	}
+	s.docs[doc.ID] = doc
+	return nil
+}
+
+// NumDocuments returns the number of stored documents σ.
+func (s *Server) NumDocuments() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.indices)
+}
+
+// Search runs the ranked oblivious search of Algorithm 1 against every
+// stored index: a document matches if its level-1 index matches the query
+// (Equation 3); its rank is the highest consecutive level that still
+// matches. Results are returned in descending rank order, ties broken by
+// document ID for determinism.
+func (s *Server) Search(q *bitindex.Vector) ([]Match, error) {
+	if q == nil || q.Len() != s.params.R {
+		return nil, fmt.Errorf("core: query must be %d bits", s.params.R)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Match
+	for _, si := range s.indices {
+		s.Costs.BinaryComparisons.Add(1)
+		if !si.Levels[0].Matches(q) {
+			continue
+		}
+		rank := 1
+		for rank < len(si.Levels) {
+			s.Costs.BinaryComparisons.Add(1)
+			if !si.Levels[rank].Matches(q) {
+				break
+			}
+			rank++
+		}
+		out = append(out, Match{DocID: si.DocID, Rank: rank, Meta: si.Levels[0].Clone()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank > out[j].Rank
+		}
+		return out[i].DocID < out[j].DocID
+	})
+	return out, nil
+}
+
+// SearchTop returns only the top-τ matches ("the user can retrieve only the
+// top τ matches where τ is chosen by the user", Section 5). τ ≤ 0 returns
+// every match.
+func (s *Server) SearchTop(q *bitindex.Vector, tau int) ([]Match, error) {
+	all, err := s.Search(q)
+	if err != nil {
+		return nil, err
+	}
+	if tau > 0 && tau < len(all) {
+		all = all[:tau]
+	}
+	return all, nil
+}
+
+// Fetch returns a stored encrypted document by ID (step 3 of Figure 1).
+func (s *Server) Fetch(docID string) (*EncryptedDocument, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	doc, ok := s.docs[docID]
+	if !ok {
+		return nil, fmt.Errorf("core: no document %q", docID)
+	}
+	return doc, nil
+}
+
+// Export iterates over every stored document in upload order, passing its
+// search index and encrypted payload to fn. It is the hook persistence
+// layers (internal/store) snapshot the server through; iteration stops at
+// the first error. The callback must not retain or mutate the arguments
+// beyond the call.
+func (s *Server) Export(fn func(*SearchIndex, *EncryptedDocument) error) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, si := range s.indices {
+		if err := fn(si, s.docs[si.DocID]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DocumentIDs lists stored document IDs in upload order, for tooling.
+func (s *Server) DocumentIDs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, len(s.indices))
+	for i, si := range s.indices {
+		out[i] = si.DocID
+	}
+	return out
+}

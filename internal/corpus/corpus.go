@@ -1,0 +1,262 @@
+// Package corpus generates the synthetic document collections used in the
+// paper's evaluation and provides light text utilities for indexing real
+// documents.
+//
+// The paper evaluates on "a synthetic database ... created by assigning
+// random keywords with random term frequencies for each document" (Section
+// 8.1) and, for the ranking study (Section 5), on a controlled collection of
+// 1000 equal-length files where exactly 20 documents contain all queried
+// keywords with term frequencies uniform in [1, 15]. Both generators are
+// reproduced here with deterministic seeding so every experiment is
+// repeatable.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Document is a plaintext document together with its extracted keyword
+// statistics. TermFreqs maps each keyword to its term frequency (the number
+// of times it appears), the quantity the ranking levels of Section 5 are
+// built from.
+type Document struct {
+	ID        string
+	TermFreqs map[string]int
+	Content   []byte
+}
+
+// Keywords returns the document's keywords in sorted order.
+func (d *Document) Keywords() []string {
+	out := make([]string, 0, len(d.TermFreqs))
+	for w := range d.TermFreqs {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dictionary returns n distinct synthetic keywords. The paper's attack
+// analysis (Section 4.1) works with "approximately 25000 commonly used
+// keywords in English"; only the cardinality matters for the scheme, so we
+// synthesize tokens deterministically.
+func Dictionary(n int) []string {
+	if n <= 0 {
+		panic(fmt.Sprintf("corpus: invalid dictionary size %d", n))
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("kw%05d", i)
+	}
+	return out
+}
+
+// Config drives the synthetic generator.
+type Config struct {
+	NumDocs        int      // number of documents
+	KeywordsPerDoc int      // genuine keywords per document
+	Dictionary     []string // keyword universe to draw from
+	MaxTermFreq    int      // term frequencies drawn uniformly from [1, MaxTermFreq]
+	Zipf           bool     // if set, keyword popularity follows a Zipf law instead of uniform
+	ContentWords   int      // if > 0, synthesize Content with this many filler words
+	Seed           int64    // RNG seed; same seed ⇒ same corpus
+}
+
+// Generate builds a synthetic corpus per the configuration. Each document
+// receives KeywordsPerDoc distinct keywords; with Zipf set, low-index
+// dictionary words are proportionally more popular (s = 1.1), modelling
+// natural keyword skew; otherwise keywords are uniform.
+func Generate(cfg Config) ([]*Document, error) {
+	if cfg.NumDocs <= 0 {
+		return nil, fmt.Errorf("corpus: NumDocs must be positive, got %d", cfg.NumDocs)
+	}
+	if cfg.KeywordsPerDoc <= 0 {
+		return nil, fmt.Errorf("corpus: KeywordsPerDoc must be positive, got %d", cfg.KeywordsPerDoc)
+	}
+	if len(cfg.Dictionary) < cfg.KeywordsPerDoc {
+		return nil, fmt.Errorf("corpus: dictionary of %d words cannot fill %d keywords per document",
+			len(cfg.Dictionary), cfg.KeywordsPerDoc)
+	}
+	if cfg.MaxTermFreq <= 0 {
+		cfg.MaxTermFreq = 15 // the ranking study's upper bound
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var zipf *rand.Zipf
+	if cfg.Zipf {
+		zipf = rand.NewZipf(rng, 1.1, 1, uint64(len(cfg.Dictionary)-1))
+	}
+	docs := make([]*Document, cfg.NumDocs)
+	for i := range docs {
+		tf := make(map[string]int, cfg.KeywordsPerDoc)
+		for len(tf) < cfg.KeywordsPerDoc {
+			var w string
+			if zipf != nil {
+				w = cfg.Dictionary[zipf.Uint64()]
+			} else {
+				w = cfg.Dictionary[rng.Intn(len(cfg.Dictionary))]
+			}
+			if _, dup := tf[w]; !dup {
+				tf[w] = 1 + rng.Intn(cfg.MaxTermFreq)
+			}
+		}
+		doc := &Document{ID: fmt.Sprintf("doc-%05d", i), TermFreqs: tf}
+		if cfg.ContentWords > 0 {
+			doc.Content = synthesizeContent(rng, tf, cfg.ContentWords)
+		}
+		docs[i] = doc
+	}
+	return docs, nil
+}
+
+// synthesizeContent produces document text that actually realizes the term
+// frequencies: each keyword appears exactly tf times, padded with filler.
+func synthesizeContent(rng *rand.Rand, tf map[string]int, fillerWords int) []byte {
+	words := make([]string, 0, fillerWords+len(tf)*4)
+	for w, f := range tf {
+		for i := 0; i < f; i++ {
+			words = append(words, w)
+		}
+	}
+	for i := 0; i < fillerWords; i++ {
+		words = append(words, fmt.Sprintf("filler%04d", rng.Intn(10000)))
+	}
+	rng.Shuffle(len(words), func(i, j int) { words[i], words[j] = words[j], words[i] })
+	return []byte(strings.Join(words, " "))
+}
+
+// RankingStudy reproduces the Section 5 evaluation setup: M files of equal
+// length; ft documents contain each of the query keywords individually;
+// nAllMatch of them contain *all* query keywords; term frequencies of query
+// keywords in the all-match documents are uniform in [1, maxTF]. It returns
+// the corpus, the query keywords, and the IDs of the all-match documents.
+//
+// Paper values: M = 1000, 3 query keywords, ft = 200, nAllMatch = 20,
+// maxTF = 15.
+func RankingStudy(m, queryKeywords, ft, nAllMatch, maxTF int, seed int64) ([]*Document, []string, []string, error) {
+	if nAllMatch > ft || ft > m {
+		return nil, nil, nil, fmt.Errorf("corpus: need nAllMatch <= ft <= m, got %d, %d, %d", nAllMatch, ft, m)
+	}
+	if queryKeywords <= 0 || maxTF <= 0 {
+		return nil, nil, nil, fmt.Errorf("corpus: queryKeywords and maxTF must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	query := make([]string, queryKeywords)
+	for i := range query {
+		query[i] = fmt.Sprintf("query-kw-%d", i)
+	}
+
+	docs := make([]*Document, m)
+	filler := Dictionary(400)
+	for i := range docs {
+		tf := make(map[string]int)
+		// Background keywords so documents are not degenerate.
+		for len(tf) < 10 {
+			w := filler[rng.Intn(len(filler))]
+			if _, dup := tf[w]; !dup {
+				tf[w] = 1 + rng.Intn(maxTF)
+			}
+		}
+		docs[i] = &Document{ID: fmt.Sprintf("doc-%05d", i), TermFreqs: tf}
+	}
+
+	// First nAllMatch documents contain every query keyword.
+	allMatch := make([]string, nAllMatch)
+	for i := 0; i < nAllMatch; i++ {
+		for _, q := range query {
+			docs[i].TermFreqs[q] = 1 + rng.Intn(maxTF)
+		}
+		allMatch[i] = docs[i].ID
+	}
+	// Each query keyword appears in ft documents total: the nAllMatch shared
+	// ones plus ft-nAllMatch additional distinct documents per keyword.
+	next := nAllMatch
+	for _, q := range query {
+		for c := nAllMatch; c < ft; c++ {
+			if next >= m {
+				return nil, nil, nil, fmt.Errorf("corpus: m=%d too small for ft=%d with %d keywords", m, ft, queryKeywords)
+			}
+			docs[next].TermFreqs[q] = 1 + rng.Intn(maxTF)
+			next++
+		}
+	}
+	return docs, query, allMatch, nil
+}
+
+// RandomKeywords returns n random strings that are guaranteed not to collide
+// with Dictionary outputs — the "U random keywords that do not exist in the
+// dictionary (i.e. they are simply random strings)" of Section 6.
+func RandomKeywords(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	out := make([]string, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < n; {
+		var b strings.Builder
+		b.WriteString("rnd-")
+		for j := 0; j < 12; j++ {
+			b.WriteByte(letters[rng.Intn(len(letters))])
+		}
+		w := b.String()
+		if !seen[w] {
+			seen[w] = true
+			out[i] = w
+			i++
+		}
+	}
+	return out
+}
+
+// Tokenize extracts lower-cased alphanumeric tokens of length >= minLen from
+// text and returns their term frequencies. It is the minimal analyzer needed
+// to index real documents with the scheme; full linguistic processing is out
+// of the paper's scope ("analyzing a document for finding the keywords in it
+// is out of the scope of this work", Section 8.1).
+func Tokenize(text string, minLen int) map[string]int {
+	tf := make(map[string]int)
+	var b strings.Builder
+	flush := func() {
+		if b.Len() >= minLen {
+			tf[b.String()]++
+		}
+		b.Reset()
+	}
+	for _, r := range strings.ToLower(text) {
+		if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') {
+			b.WriteRune(r)
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return tf
+}
+
+// TopKeywords returns the up-to-n highest-frequency keywords of a frequency
+// map, ties broken lexicographically — handy for capping keywords per
+// document (the FAR analysis of Section 6.1 assumes < 40 keywords/doc).
+func TopKeywords(tf map[string]int, n int) []string {
+	type kv struct {
+		w string
+		f int
+	}
+	all := make([]kv, 0, len(tf))
+	for w, f := range tf {
+		all = append(all, kv{w, f})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].f != all[j].f {
+			return all[i].f > all[j].f
+		}
+		return all[i].w < all[j].w
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].w
+	}
+	return out
+}

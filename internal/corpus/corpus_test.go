@@ -1,0 +1,319 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDictionaryDistinct(t *testing.T) {
+	d := Dictionary(25000)
+	if len(d) != 25000 {
+		t.Fatalf("len = %d, want 25000", len(d))
+	}
+	seen := make(map[string]bool, len(d))
+	for _, w := range d {
+		if seen[w] {
+			t.Fatalf("duplicate dictionary word %q", w)
+		}
+		seen[w] = true
+	}
+}
+
+func TestDictionaryPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Dictionary(0) did not panic")
+		}
+	}()
+	Dictionary(0)
+}
+
+func TestGenerateBasic(t *testing.T) {
+	docs, err := Generate(Config{
+		NumDocs:        100,
+		KeywordsPerDoc: 20,
+		Dictionary:     Dictionary(4000),
+		MaxTermFreq:    15,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 100 {
+		t.Fatalf("got %d docs, want 100", len(docs))
+	}
+	ids := make(map[string]bool)
+	for _, d := range docs {
+		if ids[d.ID] {
+			t.Fatalf("duplicate doc ID %q", d.ID)
+		}
+		ids[d.ID] = true
+		if len(d.TermFreqs) != 20 {
+			t.Errorf("doc %s has %d keywords, want 20", d.ID, len(d.TermFreqs))
+		}
+		for w, f := range d.TermFreqs {
+			if f < 1 || f > 15 {
+				t.Errorf("doc %s keyword %q has tf %d outside [1,15]", d.ID, w, f)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{NumDocs: 20, KeywordsPerDoc: 5, Dictionary: Dictionary(100), Seed: 42}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if len(a[i].TermFreqs) != len(b[i].TermFreqs) {
+			t.Fatal("same seed produced different corpora")
+		}
+		for w, f := range a[i].TermFreqs {
+			if b[i].TermFreqs[w] != f {
+				t.Fatal("same seed produced different term frequencies")
+			}
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	dict := Dictionary(10)
+	cases := []Config{
+		{NumDocs: 0, KeywordsPerDoc: 1, Dictionary: dict},
+		{NumDocs: 1, KeywordsPerDoc: 0, Dictionary: dict},
+		{NumDocs: 1, KeywordsPerDoc: 11, Dictionary: dict},
+	}
+	for i, cfg := range cases {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestGenerateZipfSkew(t *testing.T) {
+	dict := Dictionary(1000)
+	docs, err := Generate(Config{
+		NumDocs: 500, KeywordsPerDoc: 10, Dictionary: dict, Zipf: true, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowIdx, highIdx := 0, 0
+	for _, d := range docs {
+		for w := range d.TermFreqs {
+			var idx int
+			if _, err := fscan(w, &idx); err != nil {
+				t.Fatalf("unexpected keyword %q", w)
+			}
+			if idx < 100 {
+				lowIdx++
+			} else if idx >= 900 {
+				highIdx++
+			}
+		}
+	}
+	if lowIdx <= highIdx*2 {
+		t.Errorf("Zipf skew not visible: low-index count %d, high-index count %d", lowIdx, highIdx)
+	}
+}
+
+// fscan parses the numeric suffix of a kwNNNNN dictionary word.
+func fscan(w string, idx *int) (int, error) {
+	n := 0
+	for _, c := range strings.TrimPrefix(w, "kw") {
+		if c < '0' || c > '9' {
+			return 0, errParse
+		}
+		n = n*10 + int(c-'0')
+	}
+	*idx = n
+	return 1, nil
+}
+
+var errParse = &parseError{}
+
+type parseError struct{}
+
+func (*parseError) Error() string { return "parse error" }
+
+func TestGenerateContentRealizesTermFreqs(t *testing.T) {
+	docs, err := Generate(Config{
+		NumDocs: 5, KeywordsPerDoc: 8, Dictionary: Dictionary(50),
+		ContentWords: 100, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs {
+		if len(d.Content) == 0 {
+			t.Fatalf("doc %s has no content", d.ID)
+		}
+		got := Tokenize(string(d.Content), 1)
+		for w, f := range d.TermFreqs {
+			if got[w] != f {
+				t.Errorf("doc %s: content has %d occurrences of %q, want %d", d.ID, got[w], w, f)
+			}
+		}
+	}
+}
+
+func TestRankingStudySetup(t *testing.T) {
+	docs, query, allMatch, err := RankingStudy(1000, 3, 200, 20, 15, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 1000 || len(query) != 3 || len(allMatch) != 20 {
+		t.Fatalf("sizes: %d docs, %d query kw, %d all-match", len(docs), len(query), len(allMatch))
+	}
+	// Each query keyword must appear in exactly ft = 200 documents.
+	for _, q := range query {
+		count := 0
+		for _, d := range docs {
+			if _, ok := d.TermFreqs[q]; ok {
+				count++
+			}
+		}
+		if count != 200 {
+			t.Errorf("keyword %q appears in %d docs, want 200", q, count)
+		}
+	}
+	// Exactly the first 20 documents contain all query keywords.
+	full := 0
+	for _, d := range docs {
+		has := 0
+		for _, q := range query {
+			if _, ok := d.TermFreqs[q]; ok {
+				has++
+			}
+		}
+		if has == len(query) {
+			full++
+		}
+	}
+	if full != 20 {
+		t.Errorf("%d docs contain all query keywords, want 20", full)
+	}
+	// TFs of query keywords within bounds.
+	for _, id := range allMatch {
+		var doc *Document
+		for _, d := range docs {
+			if d.ID == id {
+				doc = d
+				break
+			}
+		}
+		if doc == nil {
+			t.Fatalf("all-match doc %s not found", id)
+		}
+		for _, q := range query {
+			f := doc.TermFreqs[q]
+			if f < 1 || f > 15 {
+				t.Errorf("doc %s keyword %q tf %d outside [1,15]", id, q, f)
+			}
+		}
+	}
+}
+
+func TestRankingStudyValidation(t *testing.T) {
+	if _, _, _, err := RankingStudy(100, 3, 200, 20, 15, 1); err == nil {
+		t.Error("ft > m accepted")
+	}
+	if _, _, _, err := RankingStudy(1000, 3, 200, 300, 15, 1); err == nil {
+		t.Error("nAllMatch > ft accepted")
+	}
+	if _, _, _, err := RankingStudy(1000, 0, 200, 20, 15, 1); err == nil {
+		t.Error("zero query keywords accepted")
+	}
+	// m too small to give each keyword its own ft-nAllMatch extra docs.
+	if _, _, _, err := RankingStudy(300, 3, 200, 20, 15, 1); err == nil {
+		t.Error("insufficient m accepted")
+	}
+}
+
+func TestRandomKeywordsDistinctAndDisjoint(t *testing.T) {
+	rnd := RandomKeywords(60, 5)
+	if len(rnd) != 60 {
+		t.Fatalf("got %d random keywords, want 60", len(rnd))
+	}
+	seen := make(map[string]bool)
+	for _, w := range rnd {
+		if seen[w] {
+			t.Fatalf("duplicate random keyword %q", w)
+		}
+		seen[w] = true
+		if !strings.HasPrefix(w, "rnd-") {
+			t.Errorf("random keyword %q could collide with dictionary namespace", w)
+		}
+	}
+}
+
+func TestRandomKeywordsDeterministic(t *testing.T) {
+	a := RandomKeywords(10, 99)
+	b := RandomKeywords(10, 99)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different random keywords")
+		}
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	tf := Tokenize("The cloud, the CLOUD of a server!", 3)
+	if tf["cloud"] != 2 {
+		t.Errorf("cloud tf = %d, want 2", tf["cloud"])
+	}
+	if tf["the"] != 2 {
+		t.Errorf("the tf = %d, want 2", tf["the"])
+	}
+	if tf["server"] != 1 {
+		t.Errorf("server tf = %d, want 1", tf["server"])
+	}
+	for _, short := range []string{"of", "a"} {
+		if _, ok := tf[short]; ok {
+			t.Errorf("token %q shorter than minLen included", short)
+		}
+	}
+}
+
+func TestTokenizeEmpty(t *testing.T) {
+	if tf := Tokenize("", 3); len(tf) != 0 {
+		t.Errorf("empty text produced %d tokens", len(tf))
+	}
+	if tf := Tokenize("!!! ??? ...", 1); len(tf) != 0 {
+		t.Errorf("symbol-only text produced %d tokens", len(tf))
+	}
+}
+
+func TestTopKeywords(t *testing.T) {
+	tf := map[string]int{"a": 5, "b": 9, "c": 1, "d": 9}
+	top := TopKeywords(tf, 2)
+	if len(top) != 2 || top[0] != "b" || top[1] != "d" {
+		t.Errorf("TopKeywords = %v, want [b d] (freq desc, lexicographic ties)", top)
+	}
+	if got := TopKeywords(tf, 99); len(got) != 4 {
+		t.Errorf("over-asking returned %d keywords, want 4", len(got))
+	}
+}
+
+func TestDocumentKeywordsSorted(t *testing.T) {
+	d := &Document{TermFreqs: map[string]int{"zebra": 1, "apple": 2, "mango": 3}}
+	ks := d.Keywords()
+	if len(ks) != 3 || ks[0] != "apple" || ks[2] != "zebra" {
+		t.Errorf("Keywords() = %v, want sorted", ks)
+	}
+}
+
+func BenchmarkGenerate1000Docs(b *testing.B) {
+	dict := Dictionary(4000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(Config{NumDocs: 1000, KeywordsPerDoc: 20, Dictionary: dict, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

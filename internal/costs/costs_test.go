@@ -1,0 +1,89 @@
+package costs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSnapshotAndReset(t *testing.T) {
+	var c Counters
+	c.HashOps.Add(3)
+	c.BinaryComparisons.Add(10)
+	c.BytesSent.Add(448)
+	s := c.Snapshot()
+	if s.HashOps != 3 || s.BinaryComparisons != 10 || s.BytesSent != 448 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	c.Reset()
+	s = c.Snapshot()
+	if s.HashOps != 0 || s.BinaryComparisons != 0 || s.BytesSent != 0 {
+		t.Errorf("reset left nonzero counters: %+v", s)
+	}
+}
+
+func TestSub(t *testing.T) {
+	var c Counters
+	c.ModExps.Add(2)
+	before := c.Snapshot()
+	c.ModExps.Add(3)
+	c.ModMuls.Add(1)
+	diff := c.Snapshot().Sub(before)
+	if diff.ModExps != 3 || diff.ModMuls != 1 {
+		t.Errorf("diff = %+v", diff)
+	}
+}
+
+func TestConcurrentSafety(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.BinaryComparisons.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Snapshot().BinaryComparisons; got != 8000 {
+		t.Errorf("concurrent adds lost updates: %d", got)
+	}
+}
+
+func TestStringOutput(t *testing.T) {
+	var c Counters
+	c.HashOps.Add(5)
+	c.BytesSent.Add(100)
+	s := c.Snapshot().String()
+	if !strings.Contains(s, "hash=5") || !strings.Contains(s, "tx=100") {
+		t.Errorf("String() = %q", s)
+	}
+	if !strings.Contains(Snapshot{}.String(), "none") {
+		t.Errorf("empty snapshot String() = %q", Snapshot{}.String())
+	}
+}
+
+// Table 1 of the paper with its own symbolic entries.
+func TestTable1Expected(t *testing.T) {
+	// γ=3 keywords, logN=1024, r=448, α=10 matches, θ=2 retrieved, 1 MiB doc.
+	docBits := 8 * 1024 * 1024
+	tab := Table1Expected(3, 1024, 448, 10, 2, docBits)
+	if got := tab["user/trapdoor"]; got != 32*3+1024 {
+		t.Errorf("user/trapdoor = %d, want %d", got, 32*3+1024)
+	}
+	if got := tab["user/search"]; got != 448 {
+		t.Errorf("user/search = %d, want 448", got)
+	}
+	if got := tab["owner/trapdoor"]; got != 1024 {
+		t.Errorf("owner/trapdoor = %d, want 1024", got)
+	}
+	want := int64(10*448) + int64(2)*int64(docBits+1024)
+	if got := tab["server/search"]; got != want {
+		t.Errorf("server/search = %d, want %d", got, want)
+	}
+	if tab["server/trapdoor"] != 0 || tab["owner/search"] != 0 || tab["server/decrypt"] != 0 {
+		t.Error("structurally-zero entries are nonzero")
+	}
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Section 6.1's claim: at constant r, increasing d lowers the false accept
+// rate (both measured and analytic), at the cost of a longer HMAC.
+func TestDSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("d-sweep builds 4 corpora × replicas")
+	}
+	res, err := DSweep(200, 20, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("%d points, want 4", len(res.Points))
+	}
+	byD := map[int]DSweepPoint{}
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].HMACBytes <= res.Points[i-1].HMACBytes {
+			t.Errorf("d=%d: HMAC length did not grow with d", res.Points[i].D)
+		}
+	}
+	for _, p := range res.Points {
+		byD[p.D] = p
+	}
+	// The paper's §6.1 claim holds in the useful regime: moving from d=4
+	// through d=8 cuts the false accept rate steeply (both analytically and
+	// measured).
+	if byD[6].AnalyticFAR >= byD[4].AnalyticFAR || byD[8].AnalyticFAR >= byD[6].AnalyticFAR {
+		t.Errorf("analytic FAP not decreasing over d=4..8: %g %g %g",
+			byD[4].AnalyticFAR, byD[6].AnalyticFAR, byD[8].AnalyticFAR)
+	}
+	if byD[8].MeasuredFAR > byD[4].MeasuredFAR && byD[4].MeasuredFAR > 0 {
+		t.Errorf("measured FAR rose from %.3f (d=4) to %.3f (d=8)",
+			byD[4].MeasuredFAR, byD[8].MeasuredFAR)
+	}
+	// Reproduction finding beyond the paper: the improvement is NOT
+	// monotone. At d=10 with r=448 a keyword zeroes only r/2^d ≈ 0.44
+	// positions, so F(2) < 1 — most queries carry no genuine zeros at all
+	// and selectivity collapses. The analytic model shows the turn.
+	if byD[10].AnalyticFAR <= byD[8].AnalyticFAR {
+		t.Errorf("expected the d=10 overshoot (FAP %g vs d=8's %g): F(2)<1 destroys selectivity",
+			byD[10].AnalyticFAR, byD[8].AnalyticFAR)
+	}
+	// F(1) = r/2^d halves per extra bit of d.
+	for _, p := range res.Points {
+		want := 448.0
+		for i := 0; i < p.D; i++ {
+			want /= 2
+		}
+		if p.ZerosPerWord < want*0.7 || p.ZerosPerWord > want*1.3 {
+			t.Errorf("d=%d: measured F(1)=%.2f, want ≈%.2f", p.D, p.ZerosPerWord, want)
+		}
+	}
+	if !strings.Contains(res.Format(), "digit width") {
+		t.Error("Format output malformed")
+	}
+}
+
+// Section 6's dial: more decoys → same/different distance distributions
+// converge (higher overlap) and queries zero more of the index.
+func TestVSweepShape(t *testing.T) {
+	res, err := VSweep(300, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byV := map[int]VSweepPoint{}
+	for _, p := range res.Points {
+		byV[p.V] = p
+	}
+	// V=0: same-term queries are identical → distance 0 spike, while
+	// different-term queries are far away → overlap ≈ 0.
+	if byV[0].Overlap > 0.2 {
+		t.Errorf("V=0 overlap %.3f; deterministic queries should be fully linkable", byV[0].Overlap)
+	}
+	// The paper's V=30 hides the pattern far better than V=5.
+	if byV[30].Overlap <= byV[5].Overlap {
+		t.Errorf("V=30 overlap %.3f not above V=5's %.3f", byV[30].Overlap, byV[5].Overlap)
+	}
+	// More decoys zero more index bits.
+	if byV[30].QueryZeroFrac <= byV[5].QueryZeroFrac {
+		t.Error("query zero fraction did not grow with V")
+	}
+	if byV[0].QueryZeroFrac >= byV[30].QueryZeroFrac {
+		t.Error("decoy-free queries should zero the least")
+	}
+	if !strings.Contains(res.Format(), "decoy") {
+		t.Error("Format output malformed")
+	}
+}
+
+// Section 4.2's trade-off: more bins → thinner per-bin obfuscation, less
+// dictionary exposure per trapdoor request.
+func TestBinsSweepShape(t *testing.T) {
+	res, err := BinsSweep(25000, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Points); i++ {
+		prev, cur := res.Points[i-1], res.Points[i]
+		if cur.Bins <= prev.Bins {
+			t.Fatal("sweep not ascending")
+		}
+		if cur.MinOccupancy > prev.MinOccupancy {
+			t.Errorf("δ=%d: min occupancy grew with more bins", cur.Bins)
+		}
+		if cur.ExposedFrac >= prev.ExposedFrac {
+			t.Errorf("δ=%d: exposure did not shrink with more bins", cur.Bins)
+		}
+	}
+	// The paper's δ=250 over 25000 words leaves every bin comfortably
+	// populated (ϖ ≈ 100·(1 − a few σ)).
+	for _, p := range res.Points {
+		if p.Bins == 250 && p.MinOccupancy < 50 {
+			t.Errorf("δ=250: min occupancy %d suspiciously low", p.MinOccupancy)
+		}
+	}
+	if !strings.Contains(res.Format(), "bin count") {
+		t.Error("Format output malformed")
+	}
+}

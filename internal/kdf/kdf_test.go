@@ -1,0 +1,131 @@
+package kdf
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExpandDeterministic(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	a := Expand(key, []byte("cloud"), 336)
+	b := Expand(key, []byte("cloud"), 336)
+	if !bytes.Equal(a, b) {
+		t.Error("Expand is not deterministic")
+	}
+}
+
+func TestExpandLength(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	for _, l := range []int{1, 31, 32, 33, 64, 336, 1000} {
+		out := Expand(key, []byte("x"), l)
+		if len(out) != l {
+			t.Errorf("Expand(..., %d) returned %d bytes", l, len(out))
+		}
+	}
+}
+
+func TestExpandKeySeparation(t *testing.T) {
+	k1 := []byte("0123456789abcdef")
+	k2 := []byte("0123456789abcdeg")
+	if bytes.Equal(Expand(k1, []byte("w"), 64), Expand(k2, []byte("w"), 64)) {
+		t.Error("different keys produced identical output")
+	}
+}
+
+func TestExpandInputSeparation(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	if bytes.Equal(Expand(key, []byte("alpha"), 64), Expand(key, []byte("beta"), 64)) {
+		t.Error("different inputs produced identical output")
+	}
+}
+
+// Prefix consistency: a longer expansion begins with the shorter one, so the
+// scheme can derive differently-sized indices from the same trapdoor source.
+func TestExpandPrefixConsistency(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	short := Expand(key, []byte("kw"), 40)
+	long := Expand(key, []byte("kw"), 400)
+	if !bytes.Equal(short, long[:40]) {
+		t.Error("shorter expansion is not a prefix of longer expansion")
+	}
+}
+
+func TestExpandStringMatchesExpand(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	if !bytes.Equal(ExpandString(key, "word", 99), Expand(key, []byte("word"), 99)) {
+		t.Error("ExpandString disagrees with Expand")
+	}
+}
+
+func TestExpandPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"zero length", func() { Expand([]byte("k"), nil, 0) }},
+		{"negative length", func() { Expand([]byte("k"), nil, -5) }},
+		{"empty key", func() { Expand(nil, []byte("x"), 8) }},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", tc.name)
+				}
+			}()
+			tc.fn()
+		}()
+	}
+}
+
+// Distinct (key, word) pairs should essentially never collide on 32-byte
+// outputs; quick-check a sample.
+func TestExpandNoObservedCollisions(t *testing.T) {
+	seen := make(map[string]string)
+	key := make([]byte, KeySize)
+	if _, err := rand.Read(key); err != nil {
+		t.Fatal(err)
+	}
+	f := func(word string) bool {
+		out := string(Expand(key, []byte(word), 32))
+		if prev, ok := seen[out]; ok {
+			return prev == word
+		}
+		seen[out] = word
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Rough uniformity: over many expansions the ones-density of the output
+// should be close to 1/2 per bit.
+func TestExpandBitBalance(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	ones, total := 0, 0
+	for i := 0; i < 200; i++ {
+		out := Expand(key, []byte{byte(i)}, 64)
+		for _, b := range out {
+			for j := 0; j < 8; j++ {
+				ones += int(b >> uint(j) & 1)
+				total++
+			}
+		}
+	}
+	frac := float64(ones) / float64(total)
+	if frac < 0.48 || frac > 0.52 {
+		t.Errorf("ones fraction %.4f outside [0.48, 0.52]", frac)
+	}
+}
+
+func BenchmarkExpand336(b *testing.B) {
+	key := []byte("0123456789abcdef")
+	word := []byte("confidential")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Expand(key, word, 336)
+	}
+}

@@ -1,0 +1,275 @@
+// Package matrix provides the dense linear algebra required by the Cao et
+// al. MRSE baseline (secure kNN encryption): matrix-vector products with the
+// secret invertible matrices M1, M2 and their inverses. Implemented from
+// scratch on float64 because the module is stdlib-only; sizes are the
+// (n+2)×(n+2) matrices of MRSE where n is the dictionary size ("square
+// matrices where the number of rows are in the order of several thousands",
+// Örencik & Savaş Section 2).
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	data       []float64
+}
+
+// New returns a zero matrix of the given shape. It panics on non-positive
+// dimensions.
+func New(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("matrix: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, data: make([]float64, rows*cols)}
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.Cols+j]
+}
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.Cols+j] = v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("matrix: index (%d,%d) out of %dx%d", i, j, m.Rows, m.Cols))
+	}
+}
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// Transpose returns Mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.data[j*out.Cols+i] = m.data[i*m.Cols+j]
+		}
+	}
+	return out
+}
+
+// Mul returns the matrix product m·other. It panics on shape mismatch.
+func (m *Matrix) Mul(other *Matrix) *Matrix {
+	if m.Cols != other.Rows {
+		panic(fmt.Sprintf("matrix: cannot multiply %dx%d by %dx%d", m.Rows, m.Cols, other.Rows, other.Cols))
+	}
+	out := New(m.Rows, other.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.data[i*m.Cols+k]
+			if a == 0 {
+				continue
+			}
+			rowOut := out.data[i*out.Cols : (i+1)*out.Cols]
+			rowOther := other.data[k*other.Cols : (k+1)*other.Cols]
+			for j := range rowOut {
+				rowOut[j] += a * rowOther[j]
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product m·v. It panics on shape mismatch.
+// This is the hot operation of MRSE index and trapdoor generation — one
+// O(n²) product per split vector.
+func (m *Matrix) MulVec(v []float64) []float64 {
+	if m.Cols != len(v) {
+		panic(fmt.Sprintf("matrix: cannot multiply %dx%d by vector of %d", m.Rows, m.Cols, len(v)))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.data[i*m.Cols : (i+1)*m.Cols]
+		s := 0.0
+		for j, a := range row {
+			s += a * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("matrix: dot of %d and %d elements", len(a), len(b)))
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// LU holds an LU factorization with partial pivoting: P·A = L·U.
+type LU struct {
+	lu    *Matrix
+	pivot []int
+	signs int
+}
+
+// Factorize computes the LU decomposition of a square matrix. It returns an
+// error if the matrix is singular to working precision.
+func Factorize(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("matrix: cannot factorize %dx%d (not square)", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	lu := a.Clone()
+	pivot := make([]int, n)
+	for i := range pivot {
+		pivot[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot: largest |value| in this column at or below diag.
+		p := col
+		max := math.Abs(lu.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(lu.At(r, col)); v > max {
+				max, p = v, r
+			}
+		}
+		if max < 1e-12 {
+			return nil, fmt.Errorf("matrix: singular at column %d", col)
+		}
+		if p != col {
+			lu.swapRows(p, col)
+			pivot[p], pivot[col] = pivot[col], pivot[p]
+		}
+		d := lu.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := lu.At(r, col) / d
+			lu.Set(r, col, f)
+			if f == 0 {
+				continue
+			}
+			rowR := lu.data[r*n : (r+1)*n]
+			rowC := lu.data[col*n : (col+1)*n]
+			for j := col + 1; j < n; j++ {
+				rowR[j] -= f * rowC[j]
+			}
+		}
+	}
+	return &LU{lu: lu, pivot: pivot}, nil
+}
+
+func (m *Matrix) swapRows(a, b int) {
+	ra := m.data[a*m.Cols : (a+1)*m.Cols]
+	rb := m.data[b*m.Cols : (b+1)*m.Cols]
+	for j := range ra {
+		ra[j], rb[j] = rb[j], ra[j]
+	}
+}
+
+// Solve returns x with A·x = b.
+func (f *LU) Solve(b []float64) []float64 {
+	n := f.lu.Rows
+	if len(b) != n {
+		panic(fmt.Sprintf("matrix: solve with rhs of %d, want %d", len(b), n))
+	}
+	x := make([]float64, n)
+	// Apply permutation.
+	for i, p := range f.pivot {
+		x[i] = b[p]
+	}
+	// Forward substitution (L has implicit unit diagonal).
+	for i := 1; i < n; i++ {
+		row := f.lu.data[i*n : (i+1)*n]
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu.data[i*n : (i+1)*n]
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+	return x
+}
+
+// Inverse returns A⁻¹ via LU factorization.
+func (m *Matrix) Inverse() (*Matrix, error) {
+	f, err := Factorize(m)
+	if err != nil {
+		return nil, err
+	}
+	n := m.Rows
+	inv := New(n, n)
+	e := make([]float64, n)
+	for col := 0; col < n; col++ {
+		e[col] = 1
+		x := f.Solve(e)
+		e[col] = 0
+		for row := 0; row < n; row++ {
+			inv.Set(row, col, x[row])
+		}
+	}
+	return inv, nil
+}
+
+// RandomInvertible draws a random matrix that is invertible with
+// overwhelming probability (i.i.d. uniform entries in [-1, 1) plus a small
+// diagonal boost) and retries factorization until it succeeds. MRSE key
+// generation uses two of these as the secret matrices M1, M2.
+func RandomInvertible(n int, rng *rand.Rand) *Matrix {
+	for {
+		m := New(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				v := rng.Float64()*2 - 1
+				if i == j {
+					v += 2 // diagonal dominance nudge for conditioning
+				}
+				m.Set(i, j, v)
+			}
+		}
+		if _, err := Factorize(m); err == nil {
+			return m
+		}
+	}
+}
+
+// MaxAbsDiff returns max |a_ij − b_ij|, for approximate-equality tests.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("matrix: shape mismatch in MaxAbsDiff")
+	}
+	max := 0.0
+	for i := range a.data {
+		if d := math.Abs(a.data[i] - b.data[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}

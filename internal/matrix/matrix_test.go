@@ -1,0 +1,264 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	for _, s := range [][2]int{{0, 1}, {1, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", s[0], s[1])
+				}
+			}()
+			New(s[0], s[1])
+		}()
+	}
+}
+
+func TestSetAtRoundTrip(t *testing.T) {
+	m := New(3, 4)
+	m.Set(2, 3, 7.5)
+	m.Set(0, 0, -1)
+	if m.At(2, 3) != 7.5 || m.At(0, 0) != -1 || m.At(1, 1) != 0 {
+		t.Error("Set/At mismatch")
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	m := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("At(2,0) did not panic")
+		}
+	}()
+	m.At(2, 0)
+}
+
+func TestIdentityMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := RandomInvertible(5, rng)
+	if d := MaxAbsDiff(a.Mul(Identity(5)), a); d > 1e-12 {
+		t.Errorf("A·I differs from A by %g", d)
+	}
+	if d := MaxAbsDiff(Identity(5).Mul(a), a); d > 1e-12 {
+		t.Errorf("I·A differs from A by %g", d)
+	}
+}
+
+func TestMulKnownValues(t *testing.T) {
+	a := New(2, 3)
+	b := New(3, 2)
+	// a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+	vals := []float64{1, 2, 3, 4, 5, 6}
+	for i, v := range vals {
+		a.Set(i/3, i%3, v)
+	}
+	vals = []float64{7, 8, 9, 10, 11, 12}
+	for i, v := range vals {
+		b.Set(i/2, i%2, v)
+	}
+	c := a.Mul(b)
+	want := [][]float64{{58, 64}, {139, 154}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("c[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on shape mismatch")
+		}
+	}()
+	New(2, 3).Mul(New(2, 3))
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := RandomInvertible(7, rng)
+	v := make([]float64, 7)
+	for i := range v {
+		v[i] = rng.Float64()
+	}
+	got := a.MulVec(v)
+	col := New(7, 1)
+	for i, x := range v {
+		col.Set(i, 0, x)
+	}
+	want := a.Mul(col)
+	for i := range got {
+		if math.Abs(got[i]-want.At(i, 0)) > 1e-12 {
+			t.Fatalf("MulVec[%d] = %v, Mul gives %v", i, got[i], want.At(i, 0))
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := New(2, 3)
+	a.Set(0, 1, 5)
+	a.Set(1, 2, 7)
+	at := a.Transpose()
+	if at.Rows != 3 || at.Cols != 2 {
+		t.Fatalf("transpose shape %dx%d", at.Rows, at.Cols)
+	}
+	if at.At(1, 0) != 5 || at.At(2, 1) != 7 {
+		t.Error("transpose values wrong")
+	}
+	if d := MaxAbsDiff(at.Transpose(), a); d != 0 {
+		t.Error("double transpose is not identity")
+	}
+}
+
+func TestDot(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Error("Dot wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on length mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 5, 20, 60} {
+		a := RandomInvertible(n, rng)
+		inv, err := a.Inverse()
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if d := MaxAbsDiff(a.Mul(inv), Identity(n)); d > 1e-8 {
+			t.Errorf("n=%d: A·A⁻¹ deviates from I by %g", n, d)
+		}
+		if d := MaxAbsDiff(inv.Mul(a), Identity(n)); d > 1e-8 {
+			t.Errorf("n=%d: A⁻¹·A deviates from I by %g", n, d)
+		}
+	}
+}
+
+func TestFactorizeSingular(t *testing.T) {
+	a := New(3, 3) // zero matrix
+	if _, err := Factorize(a); err == nil {
+		t.Error("singular matrix factorized")
+	}
+	b := New(2, 3)
+	if _, err := Factorize(b); err == nil {
+		t.Error("non-square matrix factorized")
+	}
+	// Rank-deficient: two identical rows.
+	c := New(2, 2)
+	c.Set(0, 0, 1)
+	c.Set(0, 1, 2)
+	c.Set(1, 0, 1)
+	c.Set(1, 1, 2)
+	if _, err := Factorize(c); err == nil {
+		t.Error("rank-deficient matrix factorized")
+	}
+}
+
+func TestSolve(t *testing.T) {
+	// 2x + y = 5; x − y = 1 → x = 2, y = 1.
+	a := New(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, -1)
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.Solve([]float64{5, 1})
+	if math.Abs(x[0]-2) > 1e-12 || math.Abs(x[1]-1) > 1e-12 {
+		t.Errorf("Solve = %v, want [2 1]", x)
+	}
+}
+
+// Property: for random invertible A and random b, A·Solve(b) == b.
+func TestSolveQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(15)
+		a := RandomInvertible(n, rng)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.Float64()*10 - 5
+		}
+		lu, err := Factorize(a)
+		if err != nil {
+			return false
+		}
+		x := lu.Solve(b)
+		back := a.MulVec(x)
+		for i := range b {
+			if math.Abs(back[i]-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The inner-product preservation at the heart of secure kNN: for any vectors
+// p, q and invertible M, (Mᵀp)·(M⁻¹q) = p·q.
+func TestSecureKNNInnerProductIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(20)
+		m := RandomInvertible(n, rng)
+		inv, err := m.Inverse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := make([]float64, n)
+		q := make([]float64, n)
+		for i := range p {
+			p[i] = rng.Float64()*4 - 2
+			q[i] = rng.Float64()*4 - 2
+		}
+		lhs := Dot(m.Transpose().MulVec(p), inv.MulVec(q))
+		rhs := Dot(p, q)
+		if math.Abs(lhs-rhs) > 1e-6*(1+math.Abs(rhs)) {
+			t.Fatalf("trial %d n=%d: (Mᵀp)·(M⁻¹q) = %v, p·q = %v", trial, n, lhs, rhs)
+		}
+	}
+}
+
+func BenchmarkMulVec500(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	m := RandomInvertible(500, rng)
+	v := make([]float64, 500)
+	for i := range v {
+		v[i] = rng.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVec(v)
+	}
+}
+
+func BenchmarkInverse200(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	m := RandomInvertible(200, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Inverse(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,339 @@
+// Package protocol defines the wire format of the three-party MKS protocol
+// (Figure 1 of the paper): length-framed gob messages between user ↔ data
+// owner (enrollment, trapdoors, blind decryption) and user/owner ↔ cloud
+// server (upload, search, fetch). Every user→owner request carries an RSA
+// signature over a canonical encoding of its content (Section 4.2 /
+// Theorem 4).
+package protocol
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"mkse/internal/blindrsa"
+	"mkse/internal/core"
+	"mkse/internal/rank"
+)
+
+// MaxFrameSize bounds a single message (64 MiB): large enough for bulk
+// document uploads, small enough to stop a malicious peer from forcing an
+// unbounded allocation.
+const MaxFrameSize = 64 << 20
+
+// ErrFrameTooLarge is returned when a peer announces an oversized frame.
+var ErrFrameTooLarge = errors.New("protocol: frame exceeds maximum size")
+
+// WriteFrame writes one length-prefixed payload.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("protocol: writing frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("protocol: writing frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed payload.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // io.EOF passes through for clean shutdown detection
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("protocol: reading frame body: %w", err)
+	}
+	return payload, nil
+}
+
+// Message is the envelope carried in every frame. Exactly one pointer field
+// is non-nil; gob omits the rest. An explicit envelope (rather than
+// gob-registered interfaces) keeps the wire format self-describing and easy
+// to evolve.
+type Message struct {
+	Error *ErrorMsg
+
+	EnrollReq  *EnrollRequest
+	EnrollResp *EnrollResponse
+
+	TrapdoorReq  *TrapdoorRequest
+	TrapdoorResp *TrapdoorResponse
+
+	RefreshReq  *RefreshRequest
+	RefreshResp *RefreshResponse
+
+	BlindDecryptReq  *BlindDecryptRequest
+	BlindDecryptResp *BlindDecryptResponse
+
+	UploadReq  *UploadRequest
+	UploadResp *UploadResponse
+
+	SearchReq  *SearchRequest
+	SearchResp *SearchResponse
+
+	FetchReq  *FetchRequest
+	FetchResp *FetchResponse
+}
+
+// ErrorMsg reports a request failure.
+type ErrorMsg struct {
+	Text string
+}
+
+// PublicKeyWire carries an RSA public key.
+type PublicKeyWire struct {
+	N, E []byte
+}
+
+// FromPublicKey converts a key for the wire.
+func FromPublicKey(p *blindrsa.PublicKey) PublicKeyWire {
+	return PublicKeyWire{N: p.N.Bytes(), E: p.E.Bytes()}
+}
+
+// ToPublicKey parses a wire key.
+func (w PublicKeyWire) ToPublicKey() (*blindrsa.PublicKey, error) {
+	if len(w.N) == 0 || len(w.E) == 0 {
+		return nil, fmt.Errorf("protocol: empty public key")
+	}
+	return &blindrsa.PublicKey{
+		N: new(big.Int).SetBytes(w.N),
+		E: new(big.Int).SetBytes(w.E),
+	}, nil
+}
+
+// ParamsWire carries core.Params.
+type ParamsWire struct {
+	R, D, Bins, U, V, RSABits int
+	Levels                    []int
+}
+
+// FromParams converts scheme parameters for the wire.
+func FromParams(p core.Params) ParamsWire {
+	return ParamsWire{R: p.R, D: p.D, Bins: p.Bins, U: p.U, V: p.V,
+		RSABits: p.RSABits, Levels: append([]int(nil), p.Levels...)}
+}
+
+// ToParams parses wire parameters and validates them.
+func (w ParamsWire) ToParams() (core.Params, error) {
+	p := core.Params{R: w.R, D: w.D, Bins: w.Bins, U: w.U, V: w.V,
+		RSABits: w.RSABits, Levels: rank.Levels(append([]int(nil), w.Levels...))}
+	if err := p.Validate(); err != nil {
+		return core.Params{}, err
+	}
+	return p, nil
+}
+
+// EnrollRequest registers a user's signature key with the data owner.
+type EnrollRequest struct {
+	UserID  string
+	UserPub PublicKeyWire
+}
+
+// EnrollResponse delivers the enrollment package: scheme parameters, the
+// owner's public key, the current key epoch and the U random-keyword
+// trapdoors (step 0 of the protocol; sent over the user↔owner channel,
+// never to the server).
+type EnrollResponse struct {
+	Params          ParamsWire
+	OwnerPub        PublicKeyWire
+	Epoch           int64
+	RandomTrapdoors [][]byte // marshaled bitindex vectors
+}
+
+// TrapdoorRequest asks for trapdoor material covering the given bins (step
+// 1 of Figure 1). With WantVectors the owner replies with precomputed
+// per-keyword index vectors (Section 4.2's alternative mode) instead of the
+// bin secrets. Sig authenticates SignableTrapdoor(UserID, BinIDs).
+type TrapdoorRequest struct {
+	UserID      string
+	BinIDs      []int
+	WantVectors bool
+	Sig         []byte
+}
+
+// TrapdoorResponse returns either the per-bin HMAC keys (parallel to
+// BinIDs) or, in vector mode, the keyword→index-vector map. Epoch lets the
+// client detect key rotation (Section 4.3 trapdoor expiry).
+type TrapdoorResponse struct {
+	BinIDs  []int
+	Keys    [][]byte
+	Vectors map[string][]byte // vector mode: keyword → marshaled vector
+	Epoch   int64
+}
+
+// RefreshRequest re-fetches the enrollment package after a key rotation
+// (fresh decoy trapdoors). Sig authenticates SignableRefresh(UserID).
+type RefreshRequest struct {
+	UserID string
+	Sig    []byte
+}
+
+// RefreshResponse carries the new epoch and decoy trapdoors.
+type RefreshResponse struct {
+	Epoch           int64
+	RandomTrapdoors [][]byte
+}
+
+// BlindDecryptRequest carries a blinded ciphertext z (step 4 of Figure 1).
+// Sig authenticates SignableBlindDecrypt(UserID, Z).
+type BlindDecryptRequest struct {
+	UserID string
+	Z      []byte
+	Sig    []byte
+}
+
+// BlindDecryptResponse returns z̄ = z^d mod N.
+type BlindDecryptResponse struct {
+	ZBar []byte
+}
+
+// UploadRequest stores one document at the cloud server (owner → server).
+type UploadRequest struct {
+	DocID      string
+	Levels     [][]byte // marshaled level indices
+	Ciphertext []byte
+	EncKey     []byte
+}
+
+// UploadResponse acknowledges an upload.
+type UploadResponse struct {
+	Stored int // total documents now stored
+}
+
+// SearchRequest submits an r-bit query index (step 2 of Figure 1).
+type SearchRequest struct {
+	Query []byte // marshaled bitindex vector
+	TopK  int    // τ; 0 returns all matches
+}
+
+// MatchWire is one ranked hit.
+type MatchWire struct {
+	DocID string
+	Rank  int
+	Meta  []byte // marshaled level-1 index (the paper's metadata)
+}
+
+// SearchResponse returns rank-ordered matches.
+type SearchResponse struct {
+	Matches []MatchWire
+}
+
+// FetchRequest retrieves one encrypted document (step 3 of Figure 1).
+type FetchRequest struct {
+	DocID string
+}
+
+// FetchResponse carries the ciphertext and the RSA-wrapped key.
+type FetchResponse struct {
+	DocID      string
+	Ciphertext []byte
+	EncKey     []byte
+}
+
+// Conn wraps a stream with framed gob encode/decode. Not safe for
+// concurrent use; callers serialize request/response exchanges.
+type Conn struct {
+	rw io.ReadWriter
+}
+
+// NewConn wraps a transport stream.
+func NewConn(rw io.ReadWriter) *Conn { return &Conn{rw: rw} }
+
+// Send gob-encodes one message into a frame.
+func (c *Conn) Send(m *Message) error {
+	var buf frameBuffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return fmt.Errorf("protocol: encoding message: %w", err)
+	}
+	return WriteFrame(c.rw, buf.b)
+}
+
+// Recv reads and decodes one message.
+func (c *Conn) Recv() (*Message, error) {
+	payload, err := ReadFrame(c.rw)
+	if err != nil {
+		return nil, err
+	}
+	var m Message
+	if err := gob.NewDecoder(byteReader{payload, new(int)}).Decode(&m); err != nil {
+		return nil, fmt.Errorf("protocol: decoding message: %w", err)
+	}
+	return &m, nil
+}
+
+// Roundtrip sends a request and waits for the reply, surfacing ErrorMsg
+// replies as errors.
+func (c *Conn) Roundtrip(m *Message) (*Message, error) {
+	if err := c.Send(m); err != nil {
+		return nil, err
+	}
+	resp, err := c.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if resp.Error != nil {
+		return nil, fmt.Errorf("protocol: remote error: %s", resp.Error.Text)
+	}
+	return resp, nil
+}
+
+type frameBuffer struct{ b []byte }
+
+func (f *frameBuffer) Write(p []byte) (int, error) {
+	f.b = append(f.b, p...)
+	return len(p), nil
+}
+
+type byteReader struct {
+	b   []byte
+	pos *int
+}
+
+func (r byteReader) Read(p []byte) (int, error) {
+	if *r.pos >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b[*r.pos:])
+	*r.pos += n
+	return n, nil
+}
+
+// SignableTrapdoor produces the canonical byte string a user signs in a
+// trapdoor request. Deterministic encoding is what makes signatures
+// verifiable: both sides derive the same bytes from the same fields.
+func SignableTrapdoor(userID string, binIDs []int) []byte {
+	out := []byte("mkse/trapdoor\x00" + userID + "\x00")
+	var tmp [4]byte
+	for _, b := range binIDs {
+		binary.BigEndian.PutUint32(tmp[:], uint32(b))
+		out = append(out, tmp[:]...)
+	}
+	return out
+}
+
+// SignableBlindDecrypt produces the canonical byte string a user signs in a
+// blind-decryption request.
+func SignableBlindDecrypt(userID string, z []byte) []byte {
+	out := []byte("mkse/blind-decrypt\x00" + userID + "\x00")
+	return append(out, z...)
+}
+
+// SignableRefresh produces the canonical byte string a user signs in an
+// enrollment-refresh request.
+func SignableRefresh(userID string) []byte {
+	return []byte("mkse/refresh\x00" + userID)
+}

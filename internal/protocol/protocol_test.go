@@ -1,0 +1,285 @@
+package protocol
+
+import (
+	"bytes"
+	"io"
+	"math/big"
+	"net"
+	"testing"
+
+	"mkse/internal/blindrsa"
+	"mkse/internal/core"
+	"mkse/internal/rank"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAA}, 100000)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range payloads {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Errorf("frame round trip mismatch: %d bytes vs %d", len(got), len(p))
+		}
+	}
+}
+
+func TestReadFrameRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // 4 GiB announced
+	if _, err := ReadFrame(&buf); err != ErrFrameTooLarge {
+		t.Errorf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestWriteFrameRejectsOversize(t *testing.T) {
+	if err := WriteFrame(io.Discard, make([]byte, MaxFrameSize+1)); err != ErrFrameTooLarge {
+		t.Errorf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 10, 1, 2, 3}) // announces 10, delivers 3
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Error("truncated frame accepted")
+	}
+}
+
+func TestReadFrameCleanEOF(t *testing.T) {
+	if _, err := ReadFrame(bytes.NewReader(nil)); err != io.EOF {
+		t.Errorf("empty stream gave %v, want io.EOF", err)
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	msg := &Message{TrapdoorReq: &TrapdoorRequest{
+		UserID: "alice",
+		BinIDs: []int{3, 17, 99},
+		Sig:    []byte{1, 2, 3},
+	}}
+	if err := c.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TrapdoorReq == nil {
+		t.Fatal("TrapdoorReq missing after round trip")
+	}
+	if got.TrapdoorReq.UserID != "alice" || len(got.TrapdoorReq.BinIDs) != 3 {
+		t.Errorf("round trip mangled request: %+v", got.TrapdoorReq)
+	}
+	if got.SearchReq != nil || got.Error != nil {
+		t.Error("unrelated fields populated")
+	}
+}
+
+func TestRoundtripSurfacesRemoteErrors(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	go func() {
+		sc := NewConn(server)
+		if _, err := sc.Recv(); err != nil {
+			return
+		}
+		_ = sc.Send(&Message{Error: &ErrorMsg{Text: "bin out of range"}})
+	}()
+	cc := NewConn(client)
+	_, err := cc.Roundtrip(&Message{FetchReq: &FetchRequest{DocID: "x"}})
+	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("bin out of range")) {
+		t.Errorf("remote error not surfaced: %v", err)
+	}
+}
+
+func TestPublicKeyWireRoundTrip(t *testing.T) {
+	key, err := blindrsa.GenerateKey(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := FromPublicKey(key.Public())
+	back, err := w.ToPublicKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N.Cmp(key.N) != 0 || back.E.Cmp(key.E) != 0 {
+		t.Error("public key round trip mismatch")
+	}
+}
+
+func TestPublicKeyWireRejectsEmpty(t *testing.T) {
+	if _, err := (PublicKeyWire{}).ToPublicKey(); err == nil {
+		t.Error("empty key accepted")
+	}
+}
+
+func TestParamsWireRoundTrip(t *testing.T) {
+	p := core.DefaultParams().WithLevels(rank.Levels{1, 5, 10})
+	back, err := FromParams(p).ToParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.R != p.R || back.D != p.D || back.Bins != p.Bins ||
+		back.U != p.U || back.V != p.V || back.RSABits != p.RSABits ||
+		len(back.Levels) != len(p.Levels) {
+		t.Errorf("params round trip mismatch: %+v vs %+v", back, p)
+	}
+}
+
+func TestParamsWireValidates(t *testing.T) {
+	if _, err := (ParamsWire{R: -1}).ToParams(); err == nil {
+		t.Error("invalid wire params accepted")
+	}
+}
+
+func TestSignableEncodingsDeterministicAndDistinct(t *testing.T) {
+	a := SignableTrapdoor("alice", []int{1, 2})
+	b := SignableTrapdoor("alice", []int{1, 2})
+	if !bytes.Equal(a, b) {
+		t.Error("SignableTrapdoor not deterministic")
+	}
+	if bytes.Equal(a, SignableTrapdoor("alice", []int{2, 1})) {
+		t.Error("bin order not bound by signature")
+	}
+	if bytes.Equal(a, SignableTrapdoor("bob", []int{1, 2})) {
+		t.Error("user ID not bound by signature")
+	}
+	z := big.NewInt(123456).Bytes()
+	if bytes.Equal(SignableBlindDecrypt("alice", z), SignableTrapdoor("alice", []int{1, 2})) {
+		t.Error("domain separation missing between message types")
+	}
+	if bytes.Equal(SignableBlindDecrypt("alice", z), SignableBlindDecrypt("alice", big.NewInt(9).Bytes())) {
+		t.Error("payload not bound by blind-decrypt signature")
+	}
+}
+
+func TestVectorModeMessagesRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	if err := c.Send(&Message{TrapdoorReq: &TrapdoorRequest{
+		UserID: "u", BinIDs: []int{1}, WantVectors: true, Sig: []byte{9},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.TrapdoorReq.WantVectors {
+		t.Error("WantVectors lost in transit")
+	}
+
+	if err := c.Send(&Message{TrapdoorResp: &TrapdoorResponse{
+		Epoch:   7,
+		Vectors: map[string][]byte{"kw": {1, 2, 3}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err = c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TrapdoorResp.Epoch != 7 {
+		t.Errorf("epoch = %d, want 7", got.TrapdoorResp.Epoch)
+	}
+	if !bytes.Equal(got.TrapdoorResp.Vectors["kw"], []byte{1, 2, 3}) {
+		t.Error("vector map lost in transit")
+	}
+}
+
+func TestRefreshMessagesRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	if err := c.Send(&Message{RefreshReq: &RefreshRequest{UserID: "u", Sig: []byte{1}}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RefreshReq == nil || got.RefreshReq.UserID != "u" {
+		t.Fatal("refresh request mangled")
+	}
+	if err := c.Send(&Message{RefreshResp: &RefreshResponse{
+		Epoch: 3, RandomTrapdoors: [][]byte{{1}, {2}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err = c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RefreshResp.Epoch != 3 || len(got.RefreshResp.RandomTrapdoors) != 2 {
+		t.Errorf("refresh response mangled: %+v", got.RefreshResp)
+	}
+}
+
+func TestSignableRefreshDomainSeparated(t *testing.T) {
+	if bytes.Equal(SignableRefresh("alice"), SignableTrapdoor("alice", nil)) {
+		t.Error("refresh and trapdoor signables collide")
+	}
+	if bytes.Equal(SignableRefresh("alice"), SignableRefresh("bob")) {
+		t.Error("refresh signable does not bind the user ID")
+	}
+}
+
+func TestConnOverTCP(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	done := make(chan error, 1)
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		sc := NewConn(conn)
+		m, err := sc.Recv()
+		if err != nil {
+			done <- err
+			return
+		}
+		if m.SearchReq == nil {
+			done <- io.ErrUnexpectedEOF
+			return
+		}
+		done <- sc.Send(&Message{SearchResp: &SearchResponse{
+			Matches: []MatchWire{{DocID: "doc-1", Rank: 2}},
+		}})
+	}()
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	cc := NewConn(conn)
+	resp, err := cc.Roundtrip(&Message{SearchReq: &SearchRequest{Query: []byte{1, 2, 3}, TopK: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.SearchResp == nil || len(resp.SearchResp.Matches) != 1 {
+		t.Fatalf("unexpected response: %+v", resp)
+	}
+	if m := resp.SearchResp.Matches[0]; m.DocID != "doc-1" || m.Rank != 2 {
+		t.Errorf("match = %+v", m)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,291 @@
+// Package rank implements the ranking side of the MKS scheme (Örencik &
+// Savaş, Section 5): the η-level cumulative term-frequency thresholds that
+// drive Algorithm 1, the reference relevance score of Equation 4 (the
+// Zobel–Moffat formula also used by Wang et al. [13]), and the top-k
+// agreement metrics with which the paper validates its level-based ranking
+// against the reference score.
+package rank
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Levels is an ascending list of term-frequency thresholds, one per ranking
+// level. Levels[0] is the threshold of level 1 (conventionally 1: "level 1
+// index includes keywords that occur at least once"); the last entry is the
+// highest, most selective level. η = len(Levels).
+type Levels []int
+
+// DefaultLevels returns η evenly spread thresholds over [1, maxTF]: for the
+// paper's η = 3 example with thresholds 1, 5, 10 use Levels{1, 5, 10}
+// directly; DefaultLevels is a convenience for sweeps over η.
+func DefaultLevels(eta, maxTF int) Levels {
+	if eta <= 0 {
+		panic(fmt.Sprintf("rank: invalid level count %d", eta))
+	}
+	if maxTF < 1 {
+		maxTF = 1
+	}
+	out := make(Levels, eta)
+	for i := range out {
+		// Level 1 at threshold 1, then evenly spaced up to maxTF·(η−1)/η so
+		// the top level remains attainable.
+		out[i] = 1 + i*maxTF/(eta+1)
+	}
+	return out
+}
+
+// Validate checks that thresholds are positive and strictly ascending.
+func (l Levels) Validate() error {
+	if len(l) == 0 {
+		return fmt.Errorf("rank: empty level list")
+	}
+	prev := 0
+	for i, th := range l {
+		if th <= prev {
+			return fmt.Errorf("rank: thresholds must be positive and strictly ascending; level %d has %d after %d", i+1, th, prev)
+		}
+		prev = th
+	}
+	return nil
+}
+
+// KeywordsAtLevel returns the keywords of a document whose term frequency
+// meets the given level's threshold. Because thresholds ascend, the sets are
+// cumulative in descending direction exactly as the paper describes: "ith
+// level index includes all keywords in the (i+1)th level and the keywords
+// that have term frequency for the ith level".
+func (l Levels) KeywordsAtLevel(tf map[string]int, level int) []string {
+	if level < 1 || level > len(l) {
+		panic(fmt.Sprintf("rank: level %d out of range [1,%d]", level, len(l)))
+	}
+	th := l[level-1]
+	out := make([]string, 0, len(tf))
+	for w, f := range tf {
+		if f >= th {
+			out = append(out, w)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Eta returns the number of levels η.
+func (l Levels) Eta() int { return len(l) }
+
+// CorpusStats carries the collection statistics Equation 4 needs: the number
+// of files M in the database and, per term, the number of files f_t
+// containing it.
+type CorpusStats struct {
+	M  int            // number of files in the database
+	Ft map[string]int // documents containing each term
+}
+
+// NewCorpusStats scans term-frequency maps of the whole collection.
+func NewCorpusStats(tfs []map[string]int) CorpusStats {
+	ft := make(map[string]int)
+	for _, tf := range tfs {
+		for w := range tf {
+			ft[w]++
+		}
+	}
+	return CorpusStats{M: len(tfs), Ft: ft}
+}
+
+// Score evaluates Equation 4 for a document against a query W:
+//
+//	Score(W,R) = Σ_{t∈W} (1/|R|) · (1 + ln f_{R,t}) · ln(1 + M/f_t)
+//
+// Terms absent from the document contribute zero (f_{R,t} = 0 has no
+// defined logarithm; the standard reading, which the paper's experiment
+// follows, is that missing terms simply add nothing). |R| is the document
+// length; the paper's study uses equal-length files, so docLen is a free
+// normalization parameter — pass 1 for equal-length collections.
+func (cs CorpusStats) Score(query []string, tf map[string]int, docLen float64) float64 {
+	if docLen <= 0 {
+		docLen = 1
+	}
+	s := 0.0
+	for _, t := range query {
+		fRt, ok := tf[t]
+		if !ok || fRt <= 0 {
+			continue
+		}
+		ft := cs.Ft[t]
+		if ft <= 0 {
+			continue
+		}
+		s += (1.0 / docLen) * (1 + math.Log(float64(fRt))) * math.Log(1+float64(cs.M)/float64(ft))
+	}
+	return s
+}
+
+// Ranked is one document with an attached score or level, ready to sort.
+type Ranked struct {
+	DocID string
+	Score float64
+}
+
+// SortRanked orders by descending score, ties broken by DocID for
+// determinism.
+func SortRanked(rs []Ranked) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Score != rs[j].Score {
+			return rs[i].Score > rs[j].Score
+		}
+		return rs[i].DocID < rs[j].DocID
+	})
+}
+
+// TopK returns the first k document IDs of a sorted ranking.
+func TopK(rs []Ranked, k int) []string {
+	if k > len(rs) {
+		k = len(rs)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = rs[i].DocID
+	}
+	return out
+}
+
+// Agreement quantifies how well a candidate ranking reproduces a reference
+// ranking, in the three statistics the paper reports (Section 5):
+//
+//   - TopInTopK: the reference's top-1 document appears in the candidate's
+//     top k ("in 40% of the time, the top match ... is also the top match for
+//     our proposed ranking method, and 100% of the time in the top 3").
+//   - OverlapAtK: |top-k(ref) ∩ top-k(cand)| ("at least 4 of the top 5").
+type Agreement struct {
+	TopInTop1  bool
+	TopInTop3  bool
+	OverlapAt5 int
+}
+
+// Agree compares a candidate ranking to the reference ranking.
+func Agree(reference, candidate []Ranked) Agreement {
+	var a Agreement
+	if len(reference) == 0 || len(candidate) == 0 {
+		return a
+	}
+	top := reference[0].DocID
+	for i, r := range TopK(candidate, 3) {
+		if r == top {
+			a.TopInTop3 = true
+			if i == 0 {
+				a.TopInTop1 = true
+			}
+		}
+	}
+	ref5 := make(map[string]bool, 5)
+	for _, id := range TopK(reference, 5) {
+		ref5[id] = true
+	}
+	for _, id := range TopK(candidate, 5) {
+		if ref5[id] {
+			a.OverlapAt5++
+		}
+	}
+	return a
+}
+
+// AgreeTied computes agreement like Agree but gives the candidate ranking
+// the benefit of tie ordering. Level-based ranks are coarse integers: many
+// documents share a rank, and the server returns equally-ranked documents in
+// unspecified order (the user retrieves "the top τ matches", Section 5, with
+// no intra-rank order defined). A reference document therefore counts as
+// "in the candidate's top k" if SOME tie-consistent ordering puts it there.
+func AgreeTied(reference, candidate []Ranked) Agreement {
+	var a Agreement
+	if len(reference) == 0 || len(candidate) == 0 {
+		return a
+	}
+	score := make(map[string]float64, len(candidate))
+	for _, c := range candidate {
+		score[c.DocID] = c.Score
+	}
+	top := reference[0].DocID
+	if s, ok := score[top]; ok {
+		// Documents strictly above the reference top-1 in the candidate.
+		above := 0
+		for _, c := range candidate {
+			if c.Score > s {
+				above++
+			}
+		}
+		a.TopInTop1 = above == 0
+		a.TopInTop3 = above < 3
+	}
+	// Optimistic top-5 overlap: fill five slots in descending score order,
+	// preferring reference-top-5 members inside each tie group.
+	ref5 := make(map[string]bool, 5)
+	for _, id := range TopK(reference, 5) {
+		ref5[id] = true
+	}
+	groups := make(map[float64][2]int) // score → (ref5 members, others)
+	for _, c := range candidate {
+		g := groups[c.Score]
+		if ref5[c.DocID] {
+			g[0]++
+		} else {
+			g[1]++
+		}
+		groups[c.Score] = g
+	}
+	scores := make([]float64, 0, len(groups))
+	for s := range groups {
+		scores = append(scores, s)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+	slots := 5
+	for _, s := range scores {
+		if slots == 0 {
+			break
+		}
+		g := groups[s]
+		take := g[0]
+		if take > slots {
+			take = slots
+		}
+		a.OverlapAt5 += take
+		slots -= take
+		// Non-ref members of this tie group only consume slots if the whole
+		// group fits above lower groups; optimistically they yield to ref
+		// members, but once ref members are exhausted the remaining slots
+		// are consumed by the rest of the group before lower scores.
+		rest := g[1]
+		if rest > slots {
+			rest = slots
+		}
+		slots -= rest
+	}
+	return a
+}
+
+// LevelScore converts a document's term frequencies into its true rank level
+// for a query — the highest level at which *every* query keyword clears the
+// threshold. Returns 0 when some query keyword is absent entirely. This is
+// the plaintext ground truth the encrypted Algorithm 1 must reproduce; the
+// paper notes "the rank of the document is identified with the least
+// frequent keyword of the query".
+func (l Levels) LevelScore(query []string, tf map[string]int) int {
+	minTF := math.MaxInt
+	for _, q := range query {
+		f, ok := tf[q]
+		if !ok {
+			return 0
+		}
+		if f < minTF {
+			minTF = f
+		}
+	}
+	level := 0
+	for i, th := range l {
+		if minTF >= th {
+			level = i + 1
+		}
+	}
+	return level
+}

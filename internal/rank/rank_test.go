@@ -1,0 +1,284 @@
+package rank
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultLevels(t *testing.T) {
+	l := DefaultLevels(5, 15)
+	if err := l.Validate(); err != nil {
+		t.Fatalf("DefaultLevels invalid: %v", err)
+	}
+	if len(l) != 5 {
+		t.Fatalf("len = %d, want 5", len(l))
+	}
+	if l[0] != 1 {
+		t.Errorf("level 1 threshold = %d, want 1", l[0])
+	}
+}
+
+func TestDefaultLevelsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("DefaultLevels(0, 10) did not panic")
+		}
+	}()
+	DefaultLevels(0, 10)
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		l  Levels
+		ok bool
+	}{
+		{Levels{1, 5, 10}, true},
+		{Levels{1}, true},
+		{Levels{}, false},
+		{Levels{0, 5}, false},
+		{Levels{1, 1}, false},
+		{Levels{5, 3}, false},
+	}
+	for _, c := range cases {
+		err := c.l.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%v) err=%v, want ok=%v", c.l, err, c.ok)
+		}
+	}
+}
+
+func TestKeywordsAtLevelCumulative(t *testing.T) {
+	// Paper example: η=3, thresholds 1, 5, 10.
+	l := Levels{1, 5, 10}
+	tf := map[string]int{"rare": 1, "mid": 6, "hot": 12}
+	lvl1 := l.KeywordsAtLevel(tf, 1)
+	lvl2 := l.KeywordsAtLevel(tf, 2)
+	lvl3 := l.KeywordsAtLevel(tf, 3)
+	if len(lvl1) != 3 {
+		t.Errorf("level 1 = %v, want all three", lvl1)
+	}
+	if len(lvl2) != 2 {
+		t.Errorf("level 2 = %v, want [hot mid]", lvl2)
+	}
+	if len(lvl3) != 1 || lvl3[0] != "hot" {
+		t.Errorf("level 3 = %v, want [hot]", lvl3)
+	}
+	// Cumulative: every level-(i+1) keyword appears at level i.
+	in := func(set []string, w string) bool {
+		for _, s := range set {
+			if s == w {
+				return true
+			}
+		}
+		return false
+	}
+	for _, w := range lvl3 {
+		if !in(lvl2, w) || !in(lvl1, w) {
+			t.Errorf("keyword %q at level 3 missing from lower levels", w)
+		}
+	}
+	for _, w := range lvl2 {
+		if !in(lvl1, w) {
+			t.Errorf("keyword %q at level 2 missing from level 1", w)
+		}
+	}
+}
+
+func TestKeywordsAtLevelPanics(t *testing.T) {
+	l := Levels{1, 5}
+	for _, lvl := range []int{0, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("KeywordsAtLevel(level=%d) did not panic", lvl)
+				}
+			}()
+			l.KeywordsAtLevel(map[string]int{}, lvl)
+		}()
+	}
+}
+
+func TestNewCorpusStats(t *testing.T) {
+	tfs := []map[string]int{
+		{"a": 1, "b": 2},
+		{"b": 5},
+		{"c": 1},
+	}
+	cs := NewCorpusStats(tfs)
+	if cs.M != 3 {
+		t.Errorf("M = %d, want 3", cs.M)
+	}
+	if cs.Ft["b"] != 2 || cs.Ft["a"] != 1 || cs.Ft["c"] != 1 {
+		t.Errorf("Ft = %v", cs.Ft)
+	}
+}
+
+func TestScoreEquation4(t *testing.T) {
+	cs := CorpusStats{M: 1000, Ft: map[string]int{"x": 200, "y": 200}}
+	tf := map[string]int{"x": 5, "y": 1}
+	got := cs.Score([]string{"x", "y"}, tf, 1)
+	want := (1 + math.Log(5)) * math.Log(1+1000.0/200) // x term
+	want += (1 + math.Log(1)) * math.Log(1+1000.0/200) // y term
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Score = %v, want %v", got, want)
+	}
+}
+
+func TestScoreMissingTermsContributeZero(t *testing.T) {
+	cs := CorpusStats{M: 10, Ft: map[string]int{"x": 2}}
+	if s := cs.Score([]string{"missing"}, map[string]int{"x": 3}, 1); s != 0 {
+		t.Errorf("missing term scored %v, want 0", s)
+	}
+}
+
+func TestScoreMonotoneInTermFrequency(t *testing.T) {
+	cs := CorpusStats{M: 1000, Ft: map[string]int{"x": 100}}
+	prev := -1.0
+	for f := 1; f <= 20; f++ {
+		s := cs.Score([]string{"x"}, map[string]int{"x": f}, 1)
+		if s <= prev {
+			t.Fatalf("score not increasing at tf=%d", f)
+		}
+		prev = s
+	}
+}
+
+func TestScoreDocLenNormalization(t *testing.T) {
+	cs := CorpusStats{M: 100, Ft: map[string]int{"x": 10}}
+	tf := map[string]int{"x": 3}
+	long := cs.Score([]string{"x"}, tf, 10)
+	short := cs.Score([]string{"x"}, tf, 1)
+	if math.Abs(short-10*long) > 1e-12 {
+		t.Errorf("1/|R| normalization broken: short=%v long=%v", short, long)
+	}
+	// Non-positive docLen falls back to 1.
+	if cs.Score([]string{"x"}, tf, 0) != short {
+		t.Error("docLen=0 did not fall back to 1")
+	}
+}
+
+func TestSortRankedDeterministic(t *testing.T) {
+	rs := []Ranked{{"b", 1}, {"a", 1}, {"c", 5}}
+	SortRanked(rs)
+	if rs[0].DocID != "c" || rs[1].DocID != "a" || rs[2].DocID != "b" {
+		t.Errorf("sorted order %v", rs)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	rs := []Ranked{{"a", 3}, {"b", 2}, {"c", 1}}
+	if got := TopK(rs, 2); len(got) != 2 || got[0] != "a" {
+		t.Errorf("TopK(2) = %v", got)
+	}
+	if got := TopK(rs, 10); len(got) != 3 {
+		t.Errorf("TopK(10) = %v, want all 3", got)
+	}
+}
+
+func TestAgree(t *testing.T) {
+	ref := []Ranked{{"a", 9}, {"b", 8}, {"c", 7}, {"d", 6}, {"e", 5}, {"f", 4}}
+	cand := []Ranked{{"a", 9}, {"c", 8}, {"x", 7}, {"d", 6}, {"e", 5}}
+	ag := Agree(ref, cand)
+	if !ag.TopInTop1 || !ag.TopInTop3 {
+		t.Errorf("top-1 agreement not detected: %+v", ag)
+	}
+	if ag.OverlapAt5 != 4 { // a, c, d, e
+		t.Errorf("OverlapAt5 = %d, want 4", ag.OverlapAt5)
+	}
+
+	cand2 := []Ranked{{"b", 9}, {"c", 8}, {"a", 7}}
+	ag2 := Agree(ref, cand2)
+	if ag2.TopInTop1 {
+		t.Error("false top-1 agreement")
+	}
+	if !ag2.TopInTop3 {
+		t.Error("top-3 agreement missed")
+	}
+}
+
+func TestAgreeEmpty(t *testing.T) {
+	ag := Agree(nil, []Ranked{{"a", 1}})
+	if ag.TopInTop1 || ag.TopInTop3 || ag.OverlapAt5 != 0 {
+		t.Errorf("empty reference should yield zero agreement: %+v", ag)
+	}
+}
+
+func TestAgreeTiedRespectsStrictOrder(t *testing.T) {
+	// Without ties AgreeTied must agree with Agree.
+	ref := []Ranked{{"a", 9}, {"b", 8}, {"c", 7}, {"d", 6}, {"e", 5}, {"f", 4}}
+	cand := []Ranked{{"a", 5}, {"c", 4}, {"x", 3}, {"d", 2}, {"e", 1}}
+	strict := Agree(ref, cand)
+	tied := AgreeTied(ref, cand)
+	if strict != tied {
+		t.Errorf("tie-free rankings disagree: Agree=%+v AgreeTied=%+v", strict, tied)
+	}
+}
+
+func TestAgreeTiedGivesTieBenefit(t *testing.T) {
+	ref := []Ranked{{"a", 9}, {"b", 8}, {"c", 7}, {"d", 6}, {"e", 5}}
+	// Candidate: everything tied at rank 1 — any of the 6 docs could be
+	// returned first, so optimistically the reference top-1 is top-1 and all
+	// five reference docs fit in the top 5.
+	cand := []Ranked{{"x", 1}, {"a", 1}, {"b", 1}, {"c", 1}, {"d", 1}, {"e", 1}}
+	ag := AgreeTied(ref, cand)
+	if !ag.TopInTop1 || !ag.TopInTop3 {
+		t.Errorf("tie benefit not applied to top-1/top-3: %+v", ag)
+	}
+	if ag.OverlapAt5 != 5 {
+		t.Errorf("OverlapAt5 = %d, want 5 (ties yield to reference members)", ag.OverlapAt5)
+	}
+}
+
+func TestAgreeTiedHigherTierBlocks(t *testing.T) {
+	ref := []Ranked{{"a", 9}, {"b", 8}}
+	// Three docs strictly above a: a cannot be top-1 or top-3... it can be
+	// 4th at best.
+	cand := []Ranked{{"x", 3}, {"y", 3}, {"z", 3}, {"a", 1}}
+	ag := AgreeTied(ref, cand)
+	if ag.TopInTop1 || ag.TopInTop3 {
+		t.Errorf("blocked top-1 counted: %+v", ag)
+	}
+	if ag.OverlapAt5 != 1 {
+		t.Errorf("OverlapAt5 = %d, want 1", ag.OverlapAt5)
+	}
+}
+
+func TestAgreeTiedMissingDoc(t *testing.T) {
+	ref := []Ranked{{"a", 9}}
+	cand := []Ranked{{"b", 1}}
+	ag := AgreeTied(ref, cand)
+	if ag.TopInTop1 || ag.TopInTop3 || ag.OverlapAt5 != 0 {
+		t.Errorf("absent reference doc credited: %+v", ag)
+	}
+}
+
+func TestLevelScore(t *testing.T) {
+	l := Levels{1, 5, 10}
+	cases := []struct {
+		tf   map[string]int
+		want int
+	}{
+		{map[string]int{"a": 12, "b": 11}, 3}, // both clear level 3
+		{map[string]int{"a": 12, "b": 6}, 2},  // min tf 6 clears level 2
+		{map[string]int{"a": 12, "b": 1}, 1},  // min tf 1 only level 1
+		{map[string]int{"a": 12}, 0},          // b missing entirely
+	}
+	for i, c := range cases {
+		if got := l.LevelScore([]string{"a", "b"}, c.tf); got != c.want {
+			t.Errorf("case %d: LevelScore = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+// The paper's caveat: "Rank of two documents will be the same if one involves
+// all the queried keywords infrequently and the other involves all the
+// queried keywords frequently except one infrequent one."
+func TestLevelScoreLeastFrequentKeywordDominates(t *testing.T) {
+	l := Levels{1, 5, 10}
+	allInfrequent := map[string]int{"a": 1, "b": 1, "c": 1}
+	oneInfrequent := map[string]int{"a": 14, "b": 14, "c": 1}
+	q := []string{"a", "b", "c"}
+	if l.LevelScore(q, allInfrequent) != l.LevelScore(q, oneInfrequent) {
+		t.Error("least-frequent-keyword property violated")
+	}
+}

@@ -1,0 +1,320 @@
+package service
+
+import (
+	"fmt"
+	"math/big"
+	"net"
+	"sync"
+
+	"mkse/internal/bitindex"
+	"mkse/internal/core"
+	"mkse/internal/protocol"
+)
+
+// Client drives the user's side of the full protocol against a remote owner
+// daemon and a remote cloud daemon. It wraps a core.User created during
+// Enroll. A Client serializes its protocol exchanges and is safe for
+// concurrent use.
+type Client struct {
+	UserID string
+
+	// VectorMode requests precomputed per-keyword trapdoor vectors instead
+	// of bin keys (Section 4.2's alternative delivery; requires the owner
+	// to have registered a dictionary). Set before the first search.
+	VectorMode bool
+
+	mu        sync.Mutex
+	ownerConn *protocol.Conn
+	cloudConn *protocol.Conn
+	ownerRaw  net.Conn
+	cloudRaw  net.Conn
+	user      *core.User
+}
+
+// Dial connects to the owner and cloud daemons and enrolls the user with the
+// data owner, receiving the scheme parameters, the owner's public key and
+// the random-keyword trapdoors.
+func Dial(userID, ownerAddr, cloudAddr string) (*Client, error) {
+	oc, err := net.Dial("tcp", ownerAddr)
+	if err != nil {
+		return nil, fmt.Errorf("service: dialing owner: %w", err)
+	}
+	cc, err := net.Dial("tcp", cloudAddr)
+	if err != nil {
+		oc.Close()
+		return nil, fmt.Errorf("service: dialing cloud: %w", err)
+	}
+	c := &Client{
+		UserID:    userID,
+		ownerConn: protocol.NewConn(oc),
+		cloudConn: protocol.NewConn(cc),
+		ownerRaw:  oc,
+		cloudRaw:  cc,
+	}
+	if err := c.enroll(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// enroll bootstraps the user. The signature key pair must exist before the
+// first signed request, but the core.User needs the scheme parameters the
+// enrollment response delivers — so: generate the key, enroll its public
+// half, then build the User around the key and the returned parameters.
+func (c *Client) enroll() error {
+	signKey, err := core.NewSigningKey(core.DefaultParams().RSABits)
+	if err != nil {
+		return fmt.Errorf("service: generating signature key: %w", err)
+	}
+	resp, err := c.ownerConn.Roundtrip(&protocol.Message{EnrollReq: &protocol.EnrollRequest{
+		UserID:  c.UserID,
+		UserPub: protocol.FromPublicKey(signKey.Public()),
+	}})
+	if err != nil {
+		return fmt.Errorf("service: enrolling: %w", err)
+	}
+	if resp.EnrollResp == nil {
+		return fmt.Errorf("service: enroll response missing")
+	}
+	params, err := resp.EnrollResp.Params.ToParams()
+	if err != nil {
+		return fmt.Errorf("service: invalid parameters from owner: %w", err)
+	}
+	ownerPub, err := resp.EnrollResp.OwnerPub.ToPublicKey()
+	if err != nil {
+		return fmt.Errorf("service: invalid owner key: %w", err)
+	}
+	rts := make([]*bitindex.Vector, len(resp.EnrollResp.RandomTrapdoors))
+	for i, raw := range resp.EnrollResp.RandomTrapdoors {
+		v, err := unmarshalVector(raw)
+		if err != nil {
+			return fmt.Errorf("service: invalid random trapdoor %d: %w", i, err)
+		}
+		rts[i] = v
+	}
+	c.user, err = core.NewUserWithKey(c.UserID, params, ownerPub, rts, signKey)
+	if err != nil {
+		return fmt.Errorf("service: building user state: %w", err)
+	}
+	return nil
+}
+
+// User exposes the underlying core.User (for cost inspection in experiments).
+func (c *Client) User() *core.User { return c.user }
+
+// Close tears down both connections.
+func (c *Client) Close() error {
+	var first error
+	if c.ownerRaw != nil {
+		if err := c.ownerRaw.Close(); err != nil {
+			first = err
+		}
+	}
+	if c.cloudRaw != nil {
+		if err := c.cloudRaw.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// EnsureTrapdoors fetches trapdoor material for any of the given keywords
+// the user does not already cover, signing the request (step 1 of Figure
+// 1). It is a no-op when everything is cached — the paper's point that
+// trapdoors are reusable across queries. If the response reveals a key
+// rotation (new epoch, Section 4.3), all cached material is discarded, the
+// decoy trapdoors are refreshed, and the new-epoch material from the same
+// response is installed.
+func (c *Client) EnsureTrapdoors(words []string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var missing []string
+	for _, w := range words {
+		if !c.user.HasTrapdoorFor(w) {
+			missing = append(missing, w)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	binIDs := c.user.BinIDs(missing)
+	sig, err := c.user.Sign(protocol.SignableTrapdoor(c.UserID, binIDs))
+	if err != nil {
+		return err
+	}
+	resp, err := c.ownerConn.Roundtrip(&protocol.Message{TrapdoorReq: &protocol.TrapdoorRequest{
+		UserID:      c.UserID,
+		BinIDs:      binIDs,
+		WantVectors: c.VectorMode,
+		Sig:         sig,
+	}})
+	if err != nil {
+		return fmt.Errorf("service: trapdoor request: %w", err)
+	}
+	td := resp.TrapdoorResp
+	if td == nil {
+		return fmt.Errorf("service: trapdoor response missing")
+	}
+	if td.Epoch != c.user.KeyEpoch() {
+		expired, err := c.user.ObserveEpoch(td.Epoch)
+		if err != nil {
+			return err
+		}
+		if expired {
+			if err := c.refreshEnrollmentLocked(); err != nil {
+				return err
+			}
+		}
+	}
+	if c.VectorMode {
+		vs := make(map[string]*bitindex.Vector, len(td.Vectors))
+		for w, raw := range td.Vectors {
+			v, err := unmarshalVector(raw)
+			if err != nil {
+				return fmt.Errorf("service: trapdoor vector for %q: %w", w, err)
+			}
+			vs[w] = v
+		}
+		return c.user.InstallTrapdoorVectors(vs)
+	}
+	return c.user.InstallTrapdoorKeys(td.BinIDs, td.Keys)
+}
+
+// refreshEnrollmentLocked re-fetches the decoy-trapdoor package after a key
+// rotation. Caller holds c.mu.
+func (c *Client) refreshEnrollmentLocked() error {
+	sig, err := c.user.Sign(protocol.SignableRefresh(c.UserID))
+	if err != nil {
+		return err
+	}
+	resp, err := c.ownerConn.Roundtrip(&protocol.Message{RefreshReq: &protocol.RefreshRequest{
+		UserID: c.UserID,
+		Sig:    sig,
+	}})
+	if err != nil {
+		return fmt.Errorf("service: enrollment refresh: %w", err)
+	}
+	if resp.RefreshResp == nil {
+		return fmt.Errorf("service: refresh response missing")
+	}
+	rts := make([]*bitindex.Vector, len(resp.RefreshResp.RandomTrapdoors))
+	for i, raw := range resp.RefreshResp.RandomTrapdoors {
+		v, err := unmarshalVector(raw)
+		if err != nil {
+			return fmt.Errorf("service: refreshed random trapdoor %d: %w", i, err)
+		}
+		rts[i] = v
+	}
+	return c.user.RefreshEnrollment(rts)
+}
+
+// Match mirrors core.Match for remote results.
+type Match struct {
+	DocID string
+	Rank  int
+}
+
+// Search builds a randomized query index for the keywords and submits it to
+// the cloud (step 2 of Figure 1), returning up to topK rank-ordered matches.
+func (c *Client) Search(words []string, topK int) ([]Match, error) {
+	if err := c.EnsureTrapdoors(words); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	q, err := c.user.BuildQuery(words)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.cloudConn.Roundtrip(&protocol.Message{SearchReq: &protocol.SearchRequest{
+		Query: marshalVector(q),
+		TopK:  topK,
+	}})
+	if err != nil {
+		return nil, fmt.Errorf("service: search: %w", err)
+	}
+	if resp.SearchResp == nil {
+		return nil, fmt.Errorf("service: search response missing")
+	}
+	out := make([]Match, len(resp.SearchResp.Matches))
+	for i, m := range resp.SearchResp.Matches {
+		out[i] = Match{DocID: m.DocID, Rank: m.Rank}
+	}
+	return out, nil
+}
+
+// Retrieve fetches an encrypted document from the cloud (step 3) and runs
+// the blinded decryption protocol with the owner (step 4), returning the
+// plaintext.
+func (c *Client) Retrieve(docID string) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, err := c.cloudConn.Roundtrip(&protocol.Message{FetchReq: &protocol.FetchRequest{DocID: docID}})
+	if err != nil {
+		return nil, fmt.Errorf("service: fetch: %w", err)
+	}
+	if resp.FetchResp == nil {
+		return nil, fmt.Errorf("service: fetch response missing")
+	}
+	doc := &core.EncryptedDocument{
+		ID:         resp.FetchResp.DocID,
+		Ciphertext: resp.FetchResp.Ciphertext,
+		EncKey:     resp.FetchResp.EncKey,
+	}
+	return c.user.DecryptDocument(doc, func(z *big.Int) (*big.Int, error) {
+		zb := z.Bytes()
+		sig, err := c.user.Sign(protocol.SignableBlindDecrypt(c.UserID, zb))
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.ownerConn.Roundtrip(&protocol.Message{BlindDecryptReq: &protocol.BlindDecryptRequest{
+			UserID: c.UserID,
+			Z:      zb,
+			Sig:    sig,
+		}})
+		if err != nil {
+			return nil, err
+		}
+		if r.BlindDecryptResp == nil {
+			return nil, fmt.Errorf("service: blind-decrypt response missing")
+		}
+		return new(big.Int).SetBytes(r.BlindDecryptResp.ZBar), nil
+	})
+}
+
+// UploadAll pushes prepared documents from the owner to the cloud daemon —
+// the owner-side upload of Figure 1's offline stage.
+func UploadAll(cloudAddr string, items []UploadItem) error {
+	conn, err := net.Dial("tcp", cloudAddr)
+	if err != nil {
+		return fmt.Errorf("service: dialing cloud: %w", err)
+	}
+	defer conn.Close()
+	pc := protocol.NewConn(conn)
+	for _, it := range items {
+		levels := make([][]byte, len(it.Index.Levels))
+		for i, l := range it.Index.Levels {
+			levels[i] = marshalVector(l)
+		}
+		resp, err := pc.Roundtrip(&protocol.Message{UploadReq: &protocol.UploadRequest{
+			DocID:      it.Index.DocID,
+			Levels:     levels,
+			Ciphertext: it.Doc.Ciphertext,
+			EncKey:     it.Doc.EncKey,
+		}})
+		if err != nil {
+			return fmt.Errorf("service: uploading %q: %w", it.Index.DocID, err)
+		}
+		if resp.UploadResp == nil {
+			return fmt.Errorf("service: upload response missing for %q", it.Index.DocID)
+		}
+	}
+	return nil
+}
+
+// UploadItem pairs a search index with its encrypted document.
+type UploadItem struct {
+	Index *core.SearchIndex
+	Doc   *core.EncryptedDocument
+}

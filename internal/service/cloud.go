@@ -1,0 +1,82 @@
+package service
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	"mkse/internal/bitindex"
+	"mkse/internal/core"
+	"mkse/internal/protocol"
+)
+
+// CloudService exposes a core.Server over TCP: Upload, Search and Fetch
+// endpoints. It requires no authentication — the server is semi-honest and
+// queries are anonymous ("the user does not provide his identity during the
+// communication with the server", Section 7).
+type CloudService struct {
+	Server *core.Server
+	Logger *log.Logger // optional
+}
+
+// Serve accepts connections on l until it is closed.
+func (s *CloudService) Serve(l net.Listener) error {
+	return serveLoop(l, s.Logger, func(_ *protocol.Conn, m *protocol.Message) *protocol.Message {
+		switch {
+		case m.UploadReq != nil:
+			return s.handleUpload(m.UploadReq)
+		case m.SearchReq != nil:
+			return s.handleSearch(m.SearchReq)
+		case m.FetchReq != nil:
+			return s.handleFetch(m.FetchReq)
+		default:
+			return errMsg(fmt.Errorf("cloud: unsupported request"))
+		}
+	})
+}
+
+func (s *CloudService) handleUpload(req *protocol.UploadRequest) *protocol.Message {
+	levels := make([]*bitindex.Vector, len(req.Levels))
+	for i, raw := range req.Levels {
+		v, err := unmarshalVector(raw)
+		if err != nil {
+			return errMsg(fmt.Errorf("cloud: upload level %d: %w", i+1, err))
+		}
+		levels[i] = v
+	}
+	si := &core.SearchIndex{DocID: req.DocID, Levels: levels}
+	doc := &core.EncryptedDocument{ID: req.DocID, Ciphertext: req.Ciphertext, EncKey: req.EncKey}
+	if err := s.Server.Upload(si, doc); err != nil {
+		return errMsg(err)
+	}
+	return &protocol.Message{UploadResp: &protocol.UploadResponse{Stored: s.Server.NumDocuments()}}
+}
+
+func (s *CloudService) handleSearch(req *protocol.SearchRequest) *protocol.Message {
+	q, err := unmarshalVector(req.Query)
+	if err != nil {
+		return errMsg(fmt.Errorf("cloud: malformed query: %w", err))
+	}
+	matches, err := s.Server.SearchTop(q, req.TopK)
+	if err != nil {
+		return errMsg(err)
+	}
+	wire := make([]protocol.MatchWire, len(matches))
+	for i, m := range matches {
+		wire[i] = protocol.MatchWire{DocID: m.DocID, Rank: m.Rank, Meta: marshalVector(m.Meta)}
+	}
+	logf(s.Logger, "cloud: query over %d documents -> %d matches", s.Server.NumDocuments(), len(matches))
+	return &protocol.Message{SearchResp: &protocol.SearchResponse{Matches: wire}}
+}
+
+func (s *CloudService) handleFetch(req *protocol.FetchRequest) *protocol.Message {
+	doc, err := s.Server.Fetch(req.DocID)
+	if err != nil {
+		return errMsg(err)
+	}
+	return &protocol.Message{FetchResp: &protocol.FetchResponse{
+		DocID:      doc.ID,
+		Ciphertext: doc.Ciphertext,
+		EncKey:     doc.EncKey,
+	}}
+}

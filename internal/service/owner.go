@@ -1,0 +1,117 @@
+package service
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+	"net"
+
+	"mkse/internal/core"
+	"mkse/internal/protocol"
+)
+
+// OwnerService exposes a core.Owner over TCP: Enroll, Trapdoor and
+// BlindDecrypt endpoints. Trapdoor and BlindDecrypt requests must carry a
+// valid signature from an enrolled user (Theorem 4); Enroll is the
+// bootstrap step that registers the user's verification key.
+type OwnerService struct {
+	Owner  *core.Owner
+	Logger *log.Logger // optional
+}
+
+// Serve accepts connections on l until it is closed.
+func (s *OwnerService) Serve(l net.Listener) error {
+	return serveLoop(l, s.Logger, func(_ *protocol.Conn, m *protocol.Message) *protocol.Message {
+		switch {
+		case m.EnrollReq != nil:
+			return s.handleEnroll(m.EnrollReq)
+		case m.TrapdoorReq != nil:
+			return s.handleTrapdoor(m.TrapdoorReq)
+		case m.RefreshReq != nil:
+			return s.handleRefresh(m.RefreshReq)
+		case m.BlindDecryptReq != nil:
+			return s.handleBlindDecrypt(m.BlindDecryptReq)
+		default:
+			return errMsg(fmt.Errorf("owner: unsupported request"))
+		}
+	})
+}
+
+func (s *OwnerService) handleEnroll(req *protocol.EnrollRequest) *protocol.Message {
+	pub, err := req.UserPub.ToPublicKey()
+	if err != nil {
+		return errMsg(fmt.Errorf("owner: enroll: %w", err))
+	}
+	if err := s.Owner.RegisterUser(req.UserID, pub); err != nil {
+		return errMsg(err)
+	}
+	rts := s.Owner.RandomTrapdoors()
+	wire := make([][]byte, len(rts))
+	for i, v := range rts {
+		wire[i] = marshalVector(v)
+	}
+	logf(s.Logger, "owner: enrolled user %q", req.UserID)
+	return &protocol.Message{EnrollResp: &protocol.EnrollResponse{
+		Params:          protocol.FromParams(s.Owner.Params()),
+		OwnerPub:        protocol.FromPublicKey(s.Owner.PublicKey()),
+		Epoch:           s.Owner.Epoch(),
+		RandomTrapdoors: wire,
+	}}
+}
+
+func (s *OwnerService) handleTrapdoor(req *protocol.TrapdoorRequest) *protocol.Message {
+	signable := protocol.SignableTrapdoor(req.UserID, req.BinIDs)
+	if err := s.Owner.VerifyUser(req.UserID, signable, req.Sig); err != nil {
+		return errMsg(fmt.Errorf("owner: trapdoor request rejected: %w", err))
+	}
+	resp := &protocol.TrapdoorResponse{BinIDs: req.BinIDs, Epoch: s.Owner.Epoch()}
+	if req.WantVectors {
+		vs, err := s.Owner.TrapdoorVectors(req.BinIDs)
+		if err != nil {
+			return errMsg(err)
+		}
+		resp.Vectors = make(map[string][]byte, len(vs))
+		for w, v := range vs {
+			resp.Vectors[w] = marshalVector(v)
+		}
+		logf(s.Logger, "owner: served %d trapdoor vectors to %q", len(vs), req.UserID)
+	} else {
+		keys, err := s.Owner.TrapdoorKeys(req.BinIDs)
+		if err != nil {
+			return errMsg(err)
+		}
+		resp.Keys = keys
+		logf(s.Logger, "owner: served %d bin keys to %q", len(keys), req.UserID)
+	}
+	return &protocol.Message{TrapdoorResp: resp}
+}
+
+func (s *OwnerService) handleRefresh(req *protocol.RefreshRequest) *protocol.Message {
+	signable := protocol.SignableRefresh(req.UserID)
+	if err := s.Owner.VerifyUser(req.UserID, signable, req.Sig); err != nil {
+		return errMsg(fmt.Errorf("owner: refresh request rejected: %w", err))
+	}
+	rts := s.Owner.RandomTrapdoors()
+	wire := make([][]byte, len(rts))
+	for i, v := range rts {
+		wire[i] = marshalVector(v)
+	}
+	return &protocol.Message{RefreshResp: &protocol.RefreshResponse{
+		Epoch:           s.Owner.Epoch(),
+		RandomTrapdoors: wire,
+	}}
+}
+
+func (s *OwnerService) handleBlindDecrypt(req *protocol.BlindDecryptRequest) *protocol.Message {
+	signable := protocol.SignableBlindDecrypt(req.UserID, req.Z)
+	if err := s.Owner.VerifyUser(req.UserID, signable, req.Sig); err != nil {
+		return errMsg(fmt.Errorf("owner: blind-decrypt request rejected: %w", err))
+	}
+	zbar, err := s.Owner.BlindDecrypt(new(big.Int).SetBytes(req.Z))
+	if err != nil {
+		return errMsg(err)
+	}
+	return &protocol.Message{BlindDecryptResp: &protocol.BlindDecryptResponse{
+		ZBar: zbar.Bytes(),
+	}}
+}

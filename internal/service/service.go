@@ -1,0 +1,81 @@
+// Package service deploys the three MKS roles over TCP: an owner daemon
+// (enrollment, trapdoor and blind-decryption endpoints), a cloud daemon
+// (upload, search and fetch endpoints), and a client that drives the full
+// protocol of Figure 1. The wire format lives in internal/protocol.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+
+	"mkse/internal/bitindex"
+	"mkse/internal/protocol"
+)
+
+// logf is the package's nil-safe logger helper.
+func logf(l *log.Logger, format string, args ...any) {
+	if l != nil {
+		l.Printf(format, args...)
+	}
+}
+
+// serveLoop accepts connections and dispatches them to handler until the
+// listener closes.
+func serveLoop(l net.Listener, logger *log.Logger, handler func(*protocol.Conn, *protocol.Message) *protocol.Message) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			pc := protocol.NewConn(conn)
+			for {
+				msg, err := pc.Recv()
+				if err != nil {
+					if err != io.EOF {
+						logf(logger, "service: connection error: %v", err)
+					}
+					return
+				}
+				resp := handler(pc, msg)
+				if resp == nil {
+					resp = &protocol.Message{Error: &protocol.ErrorMsg{Text: "unrecognized request"}}
+				}
+				if err := pc.Send(resp); err != nil {
+					logf(logger, "service: send error: %v", err)
+					return
+				}
+			}
+		}()
+	}
+}
+
+// errMsg wraps an error into a protocol reply.
+func errMsg(err error) *protocol.Message {
+	return &protocol.Message{Error: &protocol.ErrorMsg{Text: err.Error()}}
+}
+
+// marshalVector encodes a bit vector for the wire, panicking on the
+// impossible (MarshalBinary of a valid vector cannot fail).
+func marshalVector(v *bitindex.Vector) []byte {
+	b, err := v.MarshalBinary()
+	if err != nil {
+		panic(fmt.Sprintf("service: marshaling vector: %v", err))
+	}
+	return b
+}
+
+func unmarshalVector(b []byte) (*bitindex.Vector, error) {
+	var v bitindex.Vector
+	if err := v.UnmarshalBinary(b); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}

@@ -1,0 +1,500 @@
+package service
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"mkse/internal/core"
+	"mkse/internal/corpus"
+	"mkse/internal/protocol"
+	"mkse/internal/rank"
+	"mkse/internal/store"
+)
+
+// deployment spins up an owner daemon and a cloud daemon on loopback TCP
+// with a small indexed corpus.
+type deployment struct {
+	owner     *core.Owner
+	server    *core.Server
+	ownerAddr string
+	cloudAddr string
+	docs      []*corpus.Document
+}
+
+var (
+	deployOnce sync.Once
+	deployVal  *deployment
+	deployErr  error
+)
+
+// sharedDeployment builds one deployment for the whole test package; tests
+// that mutate state use distinct user IDs and documents.
+func sharedDeployment(t *testing.T) *deployment {
+	deployOnce.Do(func() {
+		deployVal, deployErr = newDeployment()
+	})
+	if deployErr != nil {
+		t.Fatal(deployErr)
+	}
+	return deployVal
+}
+
+func newDeployment() (*deployment, error) {
+	p := core.DefaultParams().WithLevels(rank.Levels{1, 5, 10})
+	p.Bins = 64
+	owner, err := core.NewOwner(p, 42)
+	if err != nil {
+		return nil, err
+	}
+	server, err := core.NewServer(p)
+	if err != nil {
+		return nil, err
+	}
+
+	dict := corpus.Dictionary(300)
+	docs, err := corpus.Generate(corpus.Config{
+		NumDocs: 40, KeywordsPerDoc: 12, Dictionary: dict,
+		MaxTermFreq: 15, ContentWords: 20, Seed: 7,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var items []UploadItem
+	for _, d := range docs {
+		si, enc, err := owner.Prepare(d)
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, UploadItem{Index: si, Doc: enc})
+	}
+
+	ownerL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	cloudL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = (&OwnerService{Owner: owner}).Serve(ownerL) }()
+	go func() { _ = (&CloudService{Server: server}).Serve(cloudL) }()
+
+	if err := UploadAll(cloudL.Addr().String(), items); err != nil {
+		return nil, err
+	}
+	return &deployment{
+		owner:     owner,
+		server:    server,
+		ownerAddr: ownerL.Addr().String(),
+		cloudAddr: cloudL.Addr().String(),
+		docs:      docs,
+	}, nil
+}
+
+func TestFullProtocolOverTCP(t *testing.T) {
+	d := sharedDeployment(t)
+	client, err := Dial("tcp-alice", d.ownerAddr, d.cloudAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	target := d.docs[3]
+	words := target.Keywords()[:2]
+	matches, err := client.Search(words, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range matches {
+		if m.DocID == target.ID {
+			found = true
+			if m.Rank < 1 || m.Rank > 3 {
+				t.Errorf("rank %d outside [1,3]", m.Rank)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("target %s not among %d matches", target.ID, len(matches))
+	}
+
+	pt, err := client.Retrieve(target.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pt, target.Content) {
+		t.Error("retrieved plaintext differs from original document")
+	}
+}
+
+func TestSearchTopKOverTCP(t *testing.T) {
+	d := sharedDeployment(t)
+	client, err := Dial("tcp-bob", d.ownerAddr, d.cloudAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	words := d.docs[0].Keywords()[:1]
+	all, err := client.Search(words, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 1 {
+		t.Fatal("no matches at all")
+	}
+	one, err := client.Search(words, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 {
+		t.Errorf("topK=1 returned %d matches", len(one))
+	}
+}
+
+func TestTrapdoorCaching(t *testing.T) {
+	d := sharedDeployment(t)
+	client, err := Dial("tcp-carol", d.ownerAddr, d.cloudAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	words := d.docs[5].Keywords()[:2]
+	if err := client.EnsureTrapdoors(words); err != nil {
+		t.Fatal(err)
+	}
+	sigsBefore := client.User().Costs.Snapshot().Signatures
+	// Second call should be served from cache: no new signature issued.
+	if err := client.EnsureTrapdoors(words); err != nil {
+		t.Fatal(err)
+	}
+	if sigsAfter := client.User().Costs.Snapshot().Signatures; sigsAfter != sigsBefore {
+		t.Errorf("trapdoor request repeated despite cached keys (%d -> %d signatures)", sigsBefore, sigsAfter)
+	}
+}
+
+func TestDuplicateEnrollmentRejected(t *testing.T) {
+	d := sharedDeployment(t)
+	c1, err := Dial("tcp-dup", d.ownerAddr, d.cloudAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if _, err := Dial("tcp-dup", d.ownerAddr, d.cloudAddr); err == nil {
+		t.Error("second enrollment under the same user ID accepted")
+	}
+}
+
+// A request signed by the wrong key must be rejected by the owner daemon
+// (non-impersonation over the real wire).
+func TestForgedTrapdoorRequestRejected(t *testing.T) {
+	d := sharedDeployment(t)
+	// Enroll a legitimate user.
+	victim, err := Dial("tcp-victim", d.ownerAddr, d.cloudAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Close()
+
+	// Mallory connects raw and replays a request under the victim's ID with
+	// her own signature.
+	malloryKey, err := core.NewSigningKey(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", d.ownerAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	pc := protocol.NewConn(conn)
+	binIDs := []int{1, 2}
+	sig, err := malloryKey.Sign(protocol.SignableTrapdoor("tcp-victim", binIDs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = pc.Roundtrip(&protocol.Message{TrapdoorReq: &protocol.TrapdoorRequest{
+		UserID: "tcp-victim",
+		BinIDs: binIDs,
+		Sig:    sig,
+	}})
+	if err == nil || !strings.Contains(err.Error(), "rejected") {
+		t.Errorf("forged request not rejected: %v", err)
+	}
+}
+
+func TestUnenrolledUserRejected(t *testing.T) {
+	d := sharedDeployment(t)
+	key, err := core.NewSigningKey(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", d.ownerAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	pc := protocol.NewConn(conn)
+	sig, err := key.Sign(protocol.SignableTrapdoor("tcp-ghost", []int{0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pc.Roundtrip(&protocol.Message{TrapdoorReq: &protocol.TrapdoorRequest{
+		UserID: "tcp-ghost", BinIDs: []int{0}, Sig: sig,
+	}}); err == nil {
+		t.Error("unenrolled user served")
+	}
+}
+
+func TestFetchUnknownDocumentOverTCP(t *testing.T) {
+	d := sharedDeployment(t)
+	client, err := Dial("tcp-erin", d.ownerAddr, d.cloudAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Retrieve("no-such-doc"); err == nil {
+		t.Error("unknown document retrieved")
+	}
+}
+
+func TestMalformedQueryRejectedByCloud(t *testing.T) {
+	d := sharedDeployment(t)
+	conn, err := net.Dial("tcp", d.cloudAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	pc := protocol.NewConn(conn)
+	if _, err := pc.Roundtrip(&protocol.Message{SearchReq: &protocol.SearchRequest{
+		Query: []byte{1, 2, 3}, // not a valid vector encoding
+	}}); err == nil {
+		t.Error("malformed query accepted")
+	}
+	// Wrong-length (but well-formed) query must also be rejected.
+	conn2, err := net.Dial("tcp", d.cloudAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	pc2 := protocol.NewConn(conn2)
+	if _, err := pc2.Roundtrip(&protocol.Message{SearchReq: &protocol.SearchRequest{
+		Query: []byte{0, 0, 0, 8, 0xFF}, // valid 8-bit vector, wrong R
+	}}); err == nil {
+		t.Error("wrong-size query accepted")
+	}
+}
+
+func TestUnsupportedRequestsAnswered(t *testing.T) {
+	d := sharedDeployment(t)
+	// Cloud request sent to the owner daemon.
+	conn, err := net.Dial("tcp", d.ownerAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	pc := protocol.NewConn(conn)
+	if _, err := pc.Roundtrip(&protocol.Message{FetchReq: &protocol.FetchRequest{DocID: "x"}}); err == nil {
+		t.Error("owner daemon served a cloud request")
+	}
+	// Owner request sent to the cloud daemon.
+	conn2, err := net.Dial("tcp", d.cloudAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	pc2 := protocol.NewConn(conn2)
+	if _, err := pc2.Roundtrip(&protocol.Message{EnrollReq: &protocol.EnrollRequest{UserID: "x"}}); err == nil {
+		t.Error("cloud daemon served an owner request")
+	}
+}
+
+// Vector-mode trapdoors over the wire: the client receives precomputed
+// vectors, spends no hash operations, and searches identically.
+func TestVectorModeOverTCP(t *testing.T) {
+	d := sharedDeployment(t)
+	// Register the corpus keywords as the dictionary.
+	dict := make([]string, 0, 256)
+	seen := map[string]bool{}
+	for _, doc := range d.docs {
+		for w := range doc.TermFreqs {
+			if !seen[w] {
+				seen[w] = true
+				dict = append(dict, w)
+			}
+		}
+	}
+	d.owner.RegisterDictionary(dict)
+
+	client, err := Dial("tcp-vector", d.ownerAddr, d.cloudAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.VectorMode = true
+
+	target := d.docs[7]
+	words := target.Keywords()[:2]
+	matches, err := client.Search(words, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range matches {
+		if m.DocID == target.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("vector-mode search missed the target among %d matches", len(matches))
+	}
+	if hashes := client.User().Costs.Snapshot().HashOps; hashes != 0 {
+		t.Errorf("vector-mode client spent %d hash ops, want 0", hashes)
+	}
+}
+
+// Key rotation over the wire: after the owner rotates and re-uploads, a
+// client with cached trapdoors detects the new epoch on its next exchange,
+// refreshes its decoys, and keeps working.
+func TestEpochRotationOverTCP(t *testing.T) {
+	// Private deployment: rotation invalidates every other test's trapdoors.
+	dep, err := newDeployment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Dial("tcp-rotate", dep.ownerAddr, dep.cloudAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	first := dep.docs[1]
+	if _, err := client.Search(first.Keywords()[:1], 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rotate and re-upload everything.
+	if err := dep.owner.RotateBinKeys(); err != nil {
+		t.Fatal(err)
+	}
+	var items []UploadItem
+	for _, doc := range dep.docs {
+		si, enc, err := dep.owner.Prepare(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items = append(items, UploadItem{Index: si, Doc: enc})
+	}
+	if err := UploadAll(dep.cloudAddr, items); err != nil {
+		t.Fatal(err)
+	}
+
+	// Search for different keywords (forcing a trapdoor exchange that
+	// reveals the rotation) and verify matches against the re-built index.
+	second := dep.docs[2]
+	words := second.Keywords()[:2]
+	matches, err := client.Search(words, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range matches {
+		if m.DocID == second.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("post-rotation search missed the target among %d matches", len(matches))
+	}
+	if client.User().KeyEpoch() != dep.owner.Epoch() {
+		t.Errorf("client epoch %d, owner epoch %d", client.User().KeyEpoch(), dep.owner.Epoch())
+	}
+}
+
+// Cloud restart: snapshot the server, bring up a fresh daemon from the
+// snapshot on a new port, and verify an existing user's searches and
+// retrievals work against it without any re-upload.
+func TestCloudRestartFromSnapshot(t *testing.T) {
+	d := sharedDeployment(t)
+	var buf bytes.Buffer
+	if err := store.Save(&buf, d.server); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := store.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() { _ = (&CloudService{Server: restored}).Serve(l) }()
+
+	client, err := Dial("tcp-restart", d.ownerAddr, l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	target := d.docs[9]
+	matches, err := client.Search(target.Keywords()[:2], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range matches {
+		if m.DocID == target.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("restored daemon missed the target among %d matches", len(matches))
+	}
+	pt, err := client.Retrieve(target.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pt, target.Content) {
+		t.Error("retrieval from restored daemon returned wrong plaintext")
+	}
+}
+
+// Concurrent clients must not corrupt server state or each other.
+func TestConcurrentClients(t *testing.T) {
+	d := sharedDeployment(t)
+	const n = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			client, err := Dial("tcp-conc-"+string(rune('a'+i)), d.ownerAddr, d.cloudAddr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer client.Close()
+			doc := d.docs[i]
+			if _, err := client.Search(doc.Keywords()[:2], 0); err != nil {
+				errs <- err
+				return
+			}
+			pt, err := client.Retrieve(doc.ID)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(pt, doc.Content) {
+				errs <- bytes.ErrTooLarge // sentinel; message unimportant
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

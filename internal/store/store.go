@@ -1,0 +1,245 @@
+// Package store persists a cloud server's database — search indices,
+// ciphertexts and wrapped keys — in a versioned binary format, so a
+// mkse-server daemon can restart without the owner re-uploading. The format
+// stores exactly what the server legitimately holds (Figure 1): nothing in a
+// snapshot lets its holder decrypt or search beyond what the live server
+// could.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"mkse/internal/bitindex"
+	"mkse/internal/core"
+	"mkse/internal/rank"
+)
+
+// magic and version identify the snapshot format.
+var magic = [8]byte{'M', 'K', 'S', 'E', 'S', 'T', 'O', '1'}
+
+// ErrBadSnapshot is returned for malformed or truncated snapshot data.
+var ErrBadSnapshot = errors.New("store: malformed snapshot")
+
+// maxSliceLen bounds any length field read from disk (1 GiB), preventing a
+// corrupted header from forcing an absurd allocation.
+const maxSliceLen = 1 << 30
+
+// Save snapshots a server's full state to w.
+func Save(w io.Writer, srv *core.Server) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	p := srv.Params()
+	if err := writeParams(bw, p); err != nil {
+		return err
+	}
+	if err := writeInt(bw, srv.NumDocuments()); err != nil {
+		return err
+	}
+	err := srv.Export(func(si *core.SearchIndex, doc *core.EncryptedDocument) error {
+		if err := writeBytes(bw, []byte(si.DocID)); err != nil {
+			return err
+		}
+		if err := writeInt(bw, len(si.Levels)); err != nil {
+			return err
+		}
+		for _, l := range si.Levels {
+			enc, err := l.MarshalBinary()
+			if err != nil {
+				return err
+			}
+			if err := writeBytes(bw, enc); err != nil {
+				return err
+			}
+		}
+		if err := writeBytes(bw, doc.Ciphertext); err != nil {
+			return err
+		}
+		return writeBytes(bw, doc.EncKey)
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Load reconstructs a server from a snapshot.
+func Load(r io.Reader) (*core.Server, error) {
+	br := bufio.NewReader(r)
+	var got [8]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, fmt.Errorf("store: reading magic: %w", err)
+	}
+	if got != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+	}
+	p, err := readParams(br)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := core.NewServer(p)
+	if err != nil {
+		return nil, fmt.Errorf("store: snapshot parameters: %w", err)
+	}
+	count, err := readInt(br)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < count; i++ {
+		id, err := readBytes(br)
+		if err != nil {
+			return nil, err
+		}
+		nLevels, err := readInt(br)
+		if err != nil {
+			return nil, err
+		}
+		if nLevels <= 0 || nLevels > 1000 {
+			return nil, fmt.Errorf("%w: %d levels", ErrBadSnapshot, nLevels)
+		}
+		levels := make([]*bitindex.Vector, nLevels)
+		for j := range levels {
+			enc, err := readBytes(br)
+			if err != nil {
+				return nil, err
+			}
+			var v bitindex.Vector
+			if err := v.UnmarshalBinary(enc); err != nil {
+				return nil, fmt.Errorf("%w: level %d of %q: %v", ErrBadSnapshot, j+1, id, err)
+			}
+			levels[j] = &v
+		}
+		ct, err := readBytes(br)
+		if err != nil {
+			return nil, err
+		}
+		ek, err := readBytes(br)
+		if err != nil {
+			return nil, err
+		}
+		si := &core.SearchIndex{DocID: string(id), Levels: levels}
+		doc := &core.EncryptedDocument{ID: string(id), Ciphertext: ct, EncKey: ek}
+		if err := srv.Upload(si, doc); err != nil {
+			return nil, fmt.Errorf("store: restoring %q: %w", id, err)
+		}
+	}
+	return srv, nil
+}
+
+// SaveFile writes a snapshot to path atomically (write temp + rename).
+func SaveFile(path string, srv *core.Server) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := Save(f, srv); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a snapshot from path.
+func LoadFile(path string) (*core.Server, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+func writeParams(w io.Writer, p core.Params) error {
+	for _, v := range []int{p.R, p.D, p.Bins, p.U, p.V, p.RSABits, len(p.Levels)} {
+		if err := writeInt(w, v); err != nil {
+			return err
+		}
+	}
+	for _, th := range p.Levels {
+		if err := writeInt(w, th); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readParams(r io.Reader) (core.Params, error) {
+	var vals [7]int
+	for i := range vals {
+		v, err := readInt(r)
+		if err != nil {
+			return core.Params{}, err
+		}
+		vals[i] = v
+	}
+	nLevels := vals[6]
+	if nLevels <= 0 || nLevels > 1000 {
+		return core.Params{}, fmt.Errorf("%w: %d levels in header", ErrBadSnapshot, nLevels)
+	}
+	levels := make(rank.Levels, nLevels)
+	for i := range levels {
+		v, err := readInt(r)
+		if err != nil {
+			return core.Params{}, err
+		}
+		levels[i] = v
+	}
+	return core.Params{
+		R: vals[0], D: vals[1], Bins: vals[2], U: vals[3], V: vals[4],
+		RSABits: vals[5], Levels: levels,
+	}, nil
+}
+
+func writeInt(w io.Writer, v int) error {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(int64(v)))
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readInt(r io.Reader) (int, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, fmt.Errorf("%w: truncated", ErrBadSnapshot)
+		}
+		return 0, err
+	}
+	v := int64(binary.BigEndian.Uint64(buf[:]))
+	if v < 0 || v > maxSliceLen {
+		return 0, fmt.Errorf("%w: implausible length %d", ErrBadSnapshot, v)
+	}
+	return int(v), nil
+}
+
+func writeBytes(w io.Writer, b []byte) error {
+	if err := writeInt(w, len(b)); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+func readBytes(r io.Reader) ([]byte, error) {
+	n, err := readInt(r)
+	if err != nil {
+		return nil, err
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, fmt.Errorf("%w: truncated payload", ErrBadSnapshot)
+	}
+	return b, nil
+}

@@ -1,0 +1,185 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"math/big"
+	"path/filepath"
+	"testing"
+
+	"mkse/internal/core"
+	"mkse/internal/corpus"
+	"mkse/internal/rank"
+)
+
+// populatedServer builds an owner + server pair with a few documents and
+// returns both plus the documents for verification.
+func populatedServer(t *testing.T) (*core.Owner, *core.Server, []*corpus.Document) {
+	t.Helper()
+	p := core.DefaultParams().WithLevels(rank.Levels{1, 5, 10})
+	p.Bins = 16
+	owner, err := core.NewOwnerDeterministic(p, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := core.NewServer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs, err := corpus.Generate(corpus.Config{
+		NumDocs: 12, KeywordsPerDoc: 8, Dictionary: corpus.Dictionary(100),
+		MaxTermFreq: 15, ContentWords: 10, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs {
+		si, enc, err := owner.Prepare(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Upload(si, enc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return owner, srv, docs
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	owner, srv, docs := populatedServer(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, srv); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.NumDocuments() != srv.NumDocuments() {
+		t.Fatalf("restored %d docs, want %d", restored.NumDocuments(), srv.NumDocuments())
+	}
+	// Parameters survive.
+	if restored.Params().R != srv.Params().R || restored.Params().Eta() != srv.Params().Eta() {
+		t.Error("parameters not restored")
+	}
+	// Searches against the restored server behave identically: query a known
+	// document's keywords and require it in the results of both.
+	target := docs[4]
+	user, err := core.NewUser("restore-check", owner.Params(), owner.PublicKey(), owner.RandomTrapdoors())
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := target.Keywords()[:2]
+	ids := user.BinIDs(words)
+	keys, err := owner.TrapdoorKeys(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := user.InstallTrapdoorKeys(ids, keys); err != nil {
+		t.Fatal(err)
+	}
+	q, err := user.BuildQuery(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range map[string]*core.Server{"original": srv, "restored": restored} {
+		matches, err := s.Search(q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		found := false
+		for _, m := range matches {
+			if m.DocID == target.ID {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s server did not return the target document", name)
+		}
+	}
+	// Retrieval from the restored server still decrypts.
+	fetched, err := restored.Fetch(target.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := user.DecryptDocument(fetched, func(z *big.Int) (*big.Int, error) {
+		return owner.BlindDecrypt(z)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pt, target.Content) {
+		t.Error("restored document decrypts to wrong plaintext")
+	}
+}
+
+func TestSaveFileLoadFile(t *testing.T) {
+	_, srv, _ := populatedServer(t)
+	path := filepath.Join(t.TempDir(), "cloud.snapshot")
+	if err := SaveFile(path, srv); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.NumDocuments() != srv.NumDocuments() {
+		t.Errorf("restored %d docs, want %d", restored.NumDocuments(), srv.NumDocuments())
+	}
+}
+
+func TestLoadRejectsBadMagic(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("NOTMKSE0rest..."))); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("bad magic gave %v", err)
+	}
+}
+
+func TestLoadRejectsTruncation(t *testing.T) {
+	_, srv, _ := populatedServer(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, srv); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Truncate at several depths: header, mid-params, mid-document.
+	for _, n := range []int{4, 8, 20, 60, len(full) / 2, len(full) - 1} {
+		if _, err := Load(bytes.NewReader(full[:n])); err == nil {
+			t.Errorf("truncation at %d bytes accepted", n)
+		}
+	}
+}
+
+func TestLoadRejectsCorruptLength(t *testing.T) {
+	_, srv, _ := populatedServer(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, srv); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Overwrite the document-count field with an absurd value.
+	for i := 0; i < 8; i++ {
+		data[8+7*8+3*8+i] = 0x7f // somewhere in the header region
+	}
+	if _, err := Load(bytes.NewReader(data)); err == nil {
+		t.Error("corrupt snapshot accepted")
+	}
+}
+
+func TestLoadEmptyServer(t *testing.T) {
+	p := core.DefaultParams()
+	srv, err := core.NewServer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, srv); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.NumDocuments() != 0 {
+		t.Errorf("empty snapshot restored %d docs", restored.NumDocuments())
+	}
+}

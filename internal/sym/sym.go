@@ -1,0 +1,113 @@
+// Package sym provides the symmetric document encryption of the MKS scheme.
+// The paper uses "symmetric-key encryption as the encryption method since it
+// can handle large document sizes efficiently" (Section 3) with "a different
+// secret key for each document" (Section 4.4); the concrete cipher is left
+// open. We use AES-256-CTR with an HMAC-SHA256 tag (encrypt-then-MAC), built
+// purely from the stdlib, so ciphertext tampering by the semi-honest-but-
+// curious server is detectable (data privacy, Definition 1).
+package sym
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// KeySize is the byte length of a document key: 32 bytes of AES-256 key
+// material; the HMAC key is derived from it. Per-document keys of this size
+// embed comfortably below a 1024-bit RSA modulus for the blind-decryption
+// protocol.
+const KeySize = 32
+
+// Overhead is the ciphertext expansion in bytes: a 16-byte CTR IV plus a
+// 32-byte HMAC tag. Table 1's communication analysis treats ciphertext size
+// as "approximately the same as document size itself"; Overhead quantifies
+// the approximation.
+const Overhead = aes.BlockSize + sha256.Size
+
+// ErrDecrypt is returned when a ciphertext fails authentication or is
+// structurally invalid. The cause is deliberately not detailed further to
+// avoid oracle behaviour.
+var ErrDecrypt = errors.New("sym: message authentication failed")
+
+// NewKey draws a fresh random document key.
+func NewKey() ([]byte, error) {
+	k := make([]byte, KeySize)
+	if _, err := rand.Read(k); err != nil {
+		return nil, fmt.Errorf("sym: generating key: %w", err)
+	}
+	// Guard against the (astronomically unlikely) all-zero key, which the
+	// textbook-RSA key transport of the retrieval protocol cannot carry.
+	allZero := true
+	for _, b := range k {
+		if b != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		k[0] = 1
+	}
+	return k, nil
+}
+
+// deriveKeys splits the document key into independent encryption and MAC
+// keys via domain-separated SHA-256.
+func deriveKeys(key []byte) (encKey, macKey []byte) {
+	e := sha256.Sum256(append([]byte("mkse-enc\x00"), key...))
+	m := sha256.Sum256(append([]byte("mkse-mac\x00"), key...))
+	return e[:], m[:]
+}
+
+// Encrypt encrypts plaintext under the given document key. The output layout
+// is IV || ciphertext || tag where tag = HMAC(macKey, IV || ciphertext).
+func Encrypt(key, plaintext []byte) ([]byte, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("sym: key must be %d bytes, got %d", KeySize, len(key))
+	}
+	encKey, macKey := deriveKeys(key)
+	block, err := aes.NewCipher(encKey)
+	if err != nil {
+		return nil, fmt.Errorf("sym: cipher init: %w", err)
+	}
+	out := make([]byte, aes.BlockSize+len(plaintext)+sha256.Size)
+	iv := out[:aes.BlockSize]
+	if _, err := rand.Read(iv); err != nil {
+		return nil, fmt.Errorf("sym: generating IV: %w", err)
+	}
+	cipher.NewCTR(block, iv).XORKeyStream(out[aes.BlockSize:aes.BlockSize+len(plaintext)], plaintext)
+	mac := hmac.New(sha256.New, macKey)
+	mac.Write(out[:aes.BlockSize+len(plaintext)])
+	mac.Sum(out[:aes.BlockSize+len(plaintext)])
+	return out, nil
+}
+
+// Decrypt authenticates and decrypts a ciphertext produced by Encrypt.
+func Decrypt(key, ciphertext []byte) ([]byte, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("sym: key must be %d bytes, got %d", KeySize, len(key))
+	}
+	if len(ciphertext) < Overhead {
+		return nil, ErrDecrypt
+	}
+	encKey, macKey := deriveKeys(key)
+	body := ciphertext[:len(ciphertext)-sha256.Size]
+	tag := ciphertext[len(ciphertext)-sha256.Size:]
+	mac := hmac.New(sha256.New, macKey)
+	mac.Write(body)
+	if !hmac.Equal(mac.Sum(nil), tag) {
+		return nil, ErrDecrypt
+	}
+	block, err := aes.NewCipher(encKey)
+	if err != nil {
+		return nil, fmt.Errorf("sym: cipher init: %w", err)
+	}
+	iv := body[:aes.BlockSize]
+	plaintext := make([]byte, len(body)-aes.BlockSize)
+	cipher.NewCTR(block, iv).XORKeyStream(plaintext, body[aes.BlockSize:])
+	return plaintext, nil
+}

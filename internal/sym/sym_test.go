@@ -1,0 +1,160 @@
+package sym
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func testKey(t testing.TB) []byte {
+	t.Helper()
+	k, err := NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestNewKeyLengthAndNonZero(t *testing.T) {
+	k := testKey(t)
+	if len(k) != KeySize {
+		t.Fatalf("key length %d, want %d", len(k), KeySize)
+	}
+	if bytes.Equal(k, make([]byte, KeySize)) {
+		t.Error("NewKey returned the all-zero key")
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	k := testKey(t)
+	for _, pt := range [][]byte{
+		nil,
+		{},
+		[]byte("x"),
+		[]byte("a confidential medical record"),
+		bytes.Repeat([]byte("large document "), 100000),
+	} {
+		ct, err := Encrypt(k, pt)
+		if err != nil {
+			t.Fatalf("encrypt: %v", err)
+		}
+		if len(ct) != len(pt)+Overhead {
+			t.Errorf("ciphertext length %d, want %d", len(ct), len(pt)+Overhead)
+		}
+		got, err := Decrypt(k, ct)
+		if err != nil {
+			t.Fatalf("decrypt: %v", err)
+		}
+		if !bytes.Equal(got, pt) {
+			t.Errorf("round trip mismatch for %d-byte plaintext", len(pt))
+		}
+	}
+}
+
+func TestEncryptIsRandomized(t *testing.T) {
+	k := testKey(t)
+	pt := []byte("same plaintext")
+	c1, err := Encrypt(k, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Encrypt(k, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(c1, c2) {
+		t.Error("two encryptions of the same plaintext are identical")
+	}
+}
+
+func TestDecryptRejectsTampering(t *testing.T) {
+	k := testKey(t)
+	ct, err := Encrypt(k, []byte("sensitive search results"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip every byte position in turn; all must fail authentication.
+	for i := 0; i < len(ct); i += 7 {
+		mangled := bytes.Clone(ct)
+		mangled[i] ^= 0x55
+		if _, err := Decrypt(k, mangled); err == nil {
+			t.Fatalf("tampered byte %d accepted", i)
+		}
+	}
+}
+
+func TestDecryptRejectsTruncation(t *testing.T) {
+	k := testKey(t)
+	ct, err := Encrypt(k, []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 1, Overhead - 1, len(ct) - 1} {
+		if _, err := Decrypt(k, ct[:n]); err == nil {
+			t.Errorf("truncated ciphertext of %d bytes accepted", n)
+		}
+	}
+}
+
+func TestDecryptRejectsWrongKey(t *testing.T) {
+	k1 := testKey(t)
+	k2 := testKey(t)
+	ct, err := Encrypt(k1, []byte("data privacy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decrypt(k2, ct); err == nil {
+		t.Error("ciphertext decrypted under wrong key")
+	}
+}
+
+func TestBadKeyLengths(t *testing.T) {
+	if _, err := Encrypt(make([]byte, 16), []byte("x")); err == nil {
+		t.Error("16-byte key accepted by Encrypt")
+	}
+	if _, err := Decrypt(make([]byte, 31), make([]byte, 100)); err == nil {
+		t.Error("31-byte key accepted by Decrypt")
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	k := testKey(t)
+	f := func(pt []byte) bool {
+		ct, err := Encrypt(k, pt)
+		if err != nil {
+			return false
+		}
+		got, err := Decrypt(k, ct)
+		return err == nil && bytes.Equal(got, pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncrypt4KiB(b *testing.B) {
+	k := testKey(b)
+	pt := bytes.Repeat([]byte{0xAB}, 4096)
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encrypt(k, pt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecrypt4KiB(b *testing.B) {
+	k := testKey(b)
+	ct, err := Encrypt(k, bytes.Repeat([]byte{0xAB}, 4096))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decrypt(k, ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

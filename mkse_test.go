@@ -1,0 +1,292 @@
+package mkse
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"mkse/internal/rank"
+)
+
+var (
+	sysOnce sync.Once
+	sysVal  *System
+	sysErr  error
+)
+
+// sharedSystem builds one ranked System reused across facade tests.
+func sharedSystem(t *testing.T) *System {
+	sysOnce.Do(func() {
+		p := DefaultParams()
+		p.Levels = rank.Levels{1, 5, 10}
+		p.Bins = 64
+		sysVal, sysErr = NewSystem(p)
+		if sysErr != nil {
+			return
+		}
+		docs := map[string]string{
+			"finance-q1":  "cloud revenue grew while server costs fell in the first quarter",
+			"finance-q2":  "cloud revenue flat but storage demand grew in the second quarter",
+			"eng-design":  "the encrypted index design uses trapdoor keys and ranking levels",
+			"eng-history": "legacy search server rewrite postponed",
+		}
+		for id, text := range docs {
+			if sysErr = sysVal.AddDocument(id, []byte(text)); sysErr != nil {
+				return
+			}
+		}
+	})
+	if sysErr != nil {
+		t.Fatal(sysErr)
+	}
+	return sysVal
+}
+
+func TestSystemSearchAndRetrieve(t *testing.T) {
+	s := sharedSystem(t)
+	alice, err := s.NewUser("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches, err := s.Search(alice, []string{"cloud", "revenue"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make(map[string]bool)
+	for _, m := range matches {
+		ids[m.DocID] = true
+	}
+	if !ids["finance-q1"] || !ids["finance-q2"] {
+		t.Errorf("finance documents missing from matches: %v", matches)
+	}
+	pt, err := s.Retrieve(alice, "finance-q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(pt, []byte("quarterly")) && !bytes.Contains(pt, []byte("first quarter")) {
+		t.Errorf("retrieved plaintext unexpected: %q", pt)
+	}
+}
+
+func TestSystemTopK(t *testing.T) {
+	s := sharedSystem(t)
+	bob, err := s.NewUser("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches, err := s.Search(bob, []string{"grew"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 {
+		t.Errorf("topK=1 returned %d matches", len(matches))
+	}
+}
+
+func TestSystemRejectsEmptyDocument(t *testing.T) {
+	s := sharedSystem(t)
+	if err := s.AddDocument("empty", []byte("!!! ...")); err == nil {
+		t.Error("keyword-less document accepted")
+	}
+}
+
+func TestSystemSearchUnknownKeywordFindsNothing(t *testing.T) {
+	s := sharedSystem(t)
+	carol, err := s.NewUser("carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches, err := s.Search(carol, []string{"zzzznonexistent"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// False accepts are possible in principle but vanishingly rare at these
+	// parameters with 4 documents.
+	if len(matches) != 0 {
+		t.Logf("note: %d false accepts for unknown keyword", len(matches))
+	}
+}
+
+func TestSystemMultipleUsersIndependent(t *testing.T) {
+	s := sharedSystem(t)
+	u1, err := s.NewUser("indep-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := s.NewUser("indep-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := s.Search(u1, []string{"encrypted"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := s.Search(u2, []string{"encrypted"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := func(ms []Match, id string) bool {
+		for _, m := range ms {
+			if m.DocID == id {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(m1, "eng-design") || !has(m2, "eng-design") {
+		t.Error("both users should find eng-design")
+	}
+}
+
+func TestSystemDuplicateUser(t *testing.T) {
+	s := sharedSystem(t)
+	if _, err := s.NewUser("dup-user"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.NewUser("dup-user"); err == nil {
+		t.Error("duplicate user enrollment accepted")
+	}
+}
+
+func TestTokenizeFacade(t *testing.T) {
+	tf := Tokenize("Cloud CLOUD cloud!", 3)
+	if tf["cloud"] != 3 {
+		t.Errorf("Tokenize facade broken: %v", tf)
+	}
+}
+
+func TestDefaultParamsMatchPaper(t *testing.T) {
+	p := DefaultParams()
+	if p.R != 448 || p.D != 6 || p.U != 60 || p.V != 30 || p.RSABits != 1024 {
+		t.Errorf("DefaultParams diverge from the paper: %+v", p)
+	}
+}
+
+func TestAddDocumentWithKeywordsRanked(t *testing.T) {
+	s := sharedSystem(t)
+	tf := map[string]int{"hotword": 12, "coldword": 1}
+	if err := s.AddDocumentWithKeywords("ranked-doc", tf, []byte("body")); err != nil {
+		t.Fatal(err)
+	}
+	u, err := s.NewUser("rank-checker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := s.Search(u, []string{"hotword"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hotRank int
+	for _, m := range hot {
+		if m.DocID == "ranked-doc" {
+			hotRank = m.Rank
+		}
+	}
+	if hotRank != 3 {
+		t.Errorf("hotword rank = %d, want 3 (tf 12 >= threshold 10)", hotRank)
+	}
+	cold, err := s.Search(u, []string{"coldword"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var coldRank int
+	for _, m := range cold {
+		if m.DocID == "ranked-doc" {
+			coldRank = m.Rank
+		}
+	}
+	if coldRank != 1 {
+		t.Errorf("coldword rank = %d, want 1 (tf 1)", coldRank)
+	}
+}
+
+// The networked facade end to end: daemons via the re-exported service
+// types, client via mkse.Dial, upload via mkse.UploadAll.
+func TestNetworkedFacade(t *testing.T) {
+	params := DefaultParams()
+	params.Bins = 32
+	owner, err := NewOwner(params, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud, err := NewCloudServer(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ownerL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ownerL.Close()
+	cloudL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cloudL.Close()
+	go func() { _ = (&OwnerService{Owner: owner}).Serve(ownerL) }()
+	go func() { _ = (&CloudService{Server: cloud}).Serve(cloudL) }()
+
+	doc := &Document{
+		ID:        "facade-doc",
+		TermFreqs: Tokenize("the facade works over tcp sockets", 3),
+		Content:   []byte("the facade works over tcp sockets"),
+	}
+	si, enc, err := owner.Prepare(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := UploadAll(cloudL.Addr().String(), []UploadItem{{Index: si, Doc: enc}}); err != nil {
+		t.Fatal(err)
+	}
+
+	client, err := Dial("facade-user", ownerL.Addr().String(), cloudL.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	matches, err := client.Search([]string{"facade", "sockets"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 || matches[0].DocID != "facade-doc" {
+		t.Fatalf("facade search failed: %v", matches)
+	}
+	pt, err := client.Retrieve("facade-doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(pt, []byte("facade works")) {
+		t.Errorf("retrieved %q", pt)
+	}
+}
+
+func ExampleSystem() {
+	sys, err := NewSystem(DefaultParams())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := sys.AddDocument("memo", []byte("the merger closes friday")); err != nil {
+		fmt.Println(err)
+		return
+	}
+	user, err := sys.NewUser("alice")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	matches, err := sys.Search(user, []string{"merger"}, 10)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	pt, err := sys.Retrieve(user, matches[0].DocID)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(string(pt))
+	// Output: the merger closes friday
+}
