@@ -75,7 +75,9 @@ func BenchmarkSearch(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				server, err := core.NewServer(p)
+				// One shard/worker: this benchmark replicates the paper's
+				// sequential scan; BenchmarkShardedSearchTop covers layouts.
+				server, err := core.NewServerSharded(p, 1, 1)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -189,7 +191,8 @@ func BenchmarkVsCaoSearch(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		server, err := core.NewServer(p)
+		// Sequential layout, like the MRSE baseline it is compared against.
+		server, err := core.NewServerSharded(p, 1, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -376,5 +379,101 @@ func BenchmarkBruteForceAttack(b *testing.B) {
 		if _, err := experiments.BruteForceAttack(3000, int64(i)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Sharded engine — scaling beyond the paper (EXPERIMENTS.md "Sharded search")
+// ---------------------------------------------------------------------------
+
+// benchServer builds a server with the given layout holding size documents.
+func benchServer(b *testing.B, shards, workers, size int) (*core.Server, *bitindex.Vector, []*bitindex.Vector) {
+	b.Helper()
+	p := core.DefaultParams()
+	p.Bins = 64
+	p.Levels = rank.DefaultLevels(3, 15)
+	owner, err := core.NewOwner(p, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	server, err := core.NewServerSharded(p, shards, workers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	docs, err := corpus.Generate(corpus.Config{
+		NumDocs: size, KeywordsPerDoc: 20, Dictionary: corpus.Dictionary(4000),
+		MaxTermFreq: 15, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	indices, err := owner.BuildIndexes(docs, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, d := range docs {
+		if err := server.Upload(indices[i], &core.EncryptedDocument{ID: d.ID, Ciphertext: []byte{0}, EncKey: []byte{0}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := queryFor(b, owner, docs[0].Keywords()[:2])
+	batch := make([]*bitindex.Vector, 16)
+	for i := range batch {
+		batch[i] = queryFor(b, owner, docs[i*7%size].Keywords()[:2])
+	}
+	return server, q, batch
+}
+
+// BenchmarkShardedSearchTop compares ranked top-τ search across store
+// layouts: 1 shard (the seed's monolithic scan) versus one shard per core.
+func BenchmarkShardedSearchTop(b *testing.B) {
+	for _, size := range []int{1000, 10000} {
+		for _, layout := range []struct {
+			name            string
+			shards, workers int
+		}{
+			{"shards=1", 1, 1},
+			{"shards=percore", 0, 0},
+		} {
+			b.Run(fmt.Sprintf("docs=%d/%s", size, layout.name), func(b *testing.B) {
+				server, q, _ := benchServer(b, layout.shards, layout.workers, size)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := server.SearchTop(q, 10); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSearchBatch compares a 16-query batch evaluated one Search at a
+// time against a single SearchBatch pass over the same store.
+func BenchmarkSearchBatch(b *testing.B) {
+	for _, size := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("docs=%d/sequential", size), func(b *testing.B) {
+			server, _, batch := benchServer(b, 0, 0, size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, q := range batch {
+					if _, err := server.SearchTop(q, 10); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("docs=%d/batch", size), func(b *testing.B) {
+			server, _, batch := benchServer(b, 0, 0, size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := server.SearchBatch(batch, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -9,7 +9,7 @@
 //	mkse-bench -exp cao -dict 2000      # widen the MRSE gap
 //
 // Experiments: fig2a fig2b fig3 fig4a fig4b table1 table2 ranking cao
-// analytic theorem3 attack all
+// analytic theorem3 attack shards all
 package main
 
 import (
@@ -23,13 +23,16 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (fig2a fig2b fig3 fig4a fig4b table1 table2 ranking cao analytic theorem3 attack ablate-d ablate-v ablate-bins all)")
+		exp     = flag.String("exp", "all", "experiment to run (fig2a fig2b fig3 fig4a fig4b table1 table2 ranking cao analytic theorem3 attack ablate-d ablate-v ablate-bins shards all)")
 		seed    = flag.Int64("seed", 2012, "experiment seed")
 		docs    = flag.Int("docs", 400, "corpus size for fig3/table2")
 		sizes   = flag.String("sizes", "2000,4000,6000,8000,10000", "comma-separated corpus sizes for fig4a/fig4b/cao sweeps")
 		queries = flag.Int("queries", 50, "queries per measurement point")
 		dict    = flag.Int("dict", 1000, "MRSE dictionary size for -exp cao (paper: several thousands)")
 		trials  = flag.Int("trials", 25, "trials for -exp ranking")
+		shards  = flag.Int("shards", 0, "store shards for -exp shards (0 = one per core)")
+		workers = flag.Int("workers", 0, "concurrent shard scans for -exp shards (0 = auto)")
+		batch   = flag.Int("batch", 16, "queries per SearchBatch call for -exp shards")
 	)
 	flag.Parse()
 
@@ -119,6 +122,14 @@ func main() {
 	})
 	run("ablate-bins", func() (fmt.Stringer, error) {
 		r, err := experiments.BinsSweep(25000, *seed)
+		return stringer{r}, err
+	})
+	run("shards", func() (fmt.Stringer, error) {
+		shardSizes := sweep
+		if *exp == "all" {
+			shardSizes = []int{1000, 10000}
+		}
+		r, err := experiments.ShardSweep(shardSizes, *shards, *workers, *queries, *batch, *seed)
 		return stringer{r}, err
 	})
 }

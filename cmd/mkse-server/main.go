@@ -6,6 +6,11 @@
 // Usage:
 //
 //	mkse-server -listen :7002 [-levels 1,5,10] [-snapshot cloud.db]
+//	            [-shards 8] [-workers 8]
+//
+// -shards splits the document store into independently locked shards
+// (default: one per core) scanned concurrently by -workers goroutines per
+// query; see core.Server for the architecture.
 //
 // With -snapshot the daemon restores its database from the given file at
 // startup (if it exists) and writes it back on SIGINT/SIGTERM, so owners do
@@ -33,6 +38,8 @@ func main() {
 		listen   = flag.String("listen", ":7002", "address to listen on")
 		levels   = flag.String("levels", "1", "comma-separated ranking thresholds (η levels)")
 		snapshot = flag.String("snapshot", "", "path to persist/restore the database")
+		shards   = flag.Int("shards", 0, "document store shards (0 = one per core)")
+		workers  = flag.Int("workers", 0, "concurrent shard scans per query (0 = auto)")
 	)
 	flag.Parse()
 
@@ -46,9 +53,12 @@ func main() {
 	}
 	p.Levels = lv
 
+	mkServer := func(p core.Params) (*core.Server, error) {
+		return core.NewServerSharded(p, *shards, *workers)
+	}
 	var server *core.Server
 	if *snapshot != "" {
-		if restored, err := store.LoadFile(*snapshot); err == nil {
+		if restored, err := store.LoadFileWith(*snapshot, mkServer); err == nil {
 			server = restored
 			logger.Printf("restored %d documents from %s", server.NumDocuments(), *snapshot)
 		} else if !os.IsNotExist(err) {
@@ -56,7 +66,7 @@ func main() {
 		}
 	}
 	if server == nil {
-		server, err = core.NewServer(p)
+		server, err = mkServer(p)
 		if err != nil {
 			log.Fatalf("mkse-server: %v", err)
 		}
@@ -81,7 +91,7 @@ func main() {
 		}()
 	}
 
-	logger.Printf("listening on %s (r=%d, η=%d)", l.Addr(), server.Params().R, server.Params().Eta())
+	logger.Printf("listening on %s (r=%d, η=%d, %d shards)", l.Addr(), server.Params().R, server.Params().Eta(), server.NumShards())
 	if err := (&service.CloudService{Server: server, Logger: logger}).Serve(l); err != nil {
 		log.Fatalf("mkse-server: %v", err)
 	}

@@ -1,0 +1,3 @@
+module mkse
+
+go 1.24

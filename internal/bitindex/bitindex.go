@@ -121,6 +121,30 @@ func (v *Vector) Matches(q *Vector) bool {
 	return true
 }
 
+// MatchAll tests document index v against every query in qs under the match
+// relation of Equation 3, writing dst[i] = v.Matches(qs[i]). This is the
+// multi-query form of the server's match kernel: one call per document keeps
+// the document's index words hot in cache across the whole query batch. It
+// panics if dst is shorter than qs or any length differs.
+func (v *Vector) MatchAll(qs []*Vector, dst []bool) {
+	if len(dst) < len(qs) {
+		panic(fmt.Sprintf("bitindex: result buffer too short: %d for %d queries", len(dst), len(qs)))
+	}
+	for i, q := range qs {
+		if v.n != q.n {
+			panic(fmt.Sprintf("bitindex: length mismatch %d != %d", v.n, q.n))
+		}
+		m := true
+		for wi, w := range v.words {
+			if w&^q.words[wi] != 0 {
+				m = false
+				break
+			}
+		}
+		dst[i] = m
+	}
+}
+
 // Equal reports whether v and u have the same length and identical bits.
 func (v *Vector) Equal(u *Vector) bool {
 	if v.n != u.n {

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"mkse/internal/bitindex"
 	"mkse/internal/costs"
@@ -14,36 +16,109 @@ import (
 // the oblivious comparison of Equation 3 plus the level-walking rank
 // assignment of Algorithm 1. It holds no key material: everything it stores
 // and computes on is opaque. A Server is safe for concurrent use.
+//
+// # Sharded architecture
+//
+// The document store is split over a fixed set of shards, each with its own
+// lock, index slice and document map; a document's shard is a hash of its ID.
+// Uploads, fetches and searches touching different shards never contend.
+// Search fans the query out across shards with a bounded worker pool: every
+// shard runs the Equation-3 match kernel over its own indices and keeps a
+// local bounded top-τ heap keyed on (rank, docID); the per-shard winners are
+// merged, cut to τ, and only the survivors' level-1 metadata is cloned.
+// Binary-comparison cost accounting is batched into one atomic add per shard
+// per query. For any fixed store state, results are identical — order
+// included — to a sequential scan followed by a full (rank desc, docID asc)
+// sort, whatever the shard and worker counts. Consistency under concurrent
+// writes is per-shard, not global: a search overlapping in-flight uploads
+// may observe a later upload while missing an earlier one on a different
+// shard (the pre-sharding single lock made every search a point-in-time
+// snapshot; Export retains that guarantee by locking all shards at once).
+//
+// Uploaded indices and documents are stored by reference and must not be
+// mutated by the caller afterwards.
 type Server struct {
-	params Params
+	params  Params
+	workers int
+	shards  []*shard
 
-	mu      sync.RWMutex
-	indices []*SearchIndex
-	byID    map[string]int
-	docs    map[string]*EncryptedDocument
+	seq atomic.Uint64 // global upload order, for Export/DocumentIDs
 
 	// Costs tallies server-side binary comparisons (Table 2) and traffic.
 	Costs costs.Counters
 }
 
-// NewServer creates an empty server for the given scheme parameters.
+// shard is one independently locked slice of the document store.
+type shard struct {
+	mu   sync.RWMutex
+	byID map[string]int
+	docs []storedDoc
+}
+
+// storedDoc pairs a search index with its payload and the global upload
+// sequence number that preserves cross-shard iteration order.
+type storedDoc struct {
+	seq uint64
+	si  *SearchIndex
+	doc *EncryptedDocument
+}
+
+// NewServer creates an empty server with one shard per GOMAXPROCS core.
 func NewServer(p Params) (*Server, error) {
+	return NewServerSharded(p, 0, 0)
+}
+
+// NewServerSharded creates an empty server with an explicit shard count and
+// search worker-pool size. shards <= 0 defaults to GOMAXPROCS; workers <= 0
+// defaults to min(shards, GOMAXPROCS). A single shard reproduces the
+// monolithic layout (one lock, one scan).
+func NewServerSharded(p Params, shards, workers int) (*Server, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return &Server{
-		params: p,
-		byID:   make(map[string]int),
-		docs:   make(map[string]*EncryptedDocument),
-	}, nil
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > shards {
+		workers = shards
+	}
+	s := &Server{params: p, workers: workers, shards: make([]*shard, shards)}
+	for i := range s.shards {
+		s.shards[i] = &shard{byID: make(map[string]int)}
+	}
+	return s, nil
 }
 
 // Params returns the scheme parameters the server was configured with.
 func (s *Server) Params() Params { return s.params }
 
+// NumShards returns the number of store shards.
+func (s *Server) NumShards() int { return len(s.shards) }
+
+// NumWorkers returns the resolved search worker-pool size.
+func (s *Server) NumWorkers() int { return s.workers }
+
+// shardFor routes a document ID to its shard (inlined 32-bit FNV-1a — the
+// hash/fnv object would heap-allocate on every Upload/Fetch).
+func (s *Server) shardFor(docID string) *shard {
+	if len(s.shards) == 1 {
+		return s.shards[0]
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(docID); i++ {
+		h ^= uint32(docID[i])
+		h *= 16777619
+	}
+	return s.shards[h%uint32(len(s.shards))]
+}
+
 // Upload stores one document's search index and encrypted payload. Both
 // must refer to the same document ID; re-uploading an existing ID replaces
-// it (the owner refreshing an index after key rotation).
+// it (the owner refreshing an index after key rotation) in place, keeping
+// its original upload-order position.
 func (s *Server) Upload(si *SearchIndex, doc *EncryptedDocument) error {
 	if si == nil || doc == nil {
 		return fmt.Errorf("core: nil upload")
@@ -54,23 +129,204 @@ func (s *Server) Upload(si *SearchIndex, doc *EncryptedDocument) error {
 	if doc.ID != si.DocID {
 		return fmt.Errorf("core: index is for %q but document is %q", si.DocID, doc.ID)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if pos, ok := s.byID[si.DocID]; ok {
-		s.indices[pos] = si
-	} else {
-		s.byID[si.DocID] = len(s.indices)
-		s.indices = append(s.indices, si)
+	sh := s.shardFor(si.DocID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if pos, ok := sh.byID[si.DocID]; ok {
+		sh.docs[pos].si = si
+		sh.docs[pos].doc = doc
+		return nil
 	}
-	s.docs[doc.ID] = doc
+	sh.byID[si.DocID] = len(sh.docs)
+	sh.docs = append(sh.docs, storedDoc{seq: s.seq.Add(1), si: si, doc: doc})
 	return nil
 }
 
 // NumDocuments returns the number of stored documents σ.
 func (s *Server) NumDocuments() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.indices)
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += len(sh.docs)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// candidate is a match that survived a shard scan: the rank and a reference
+// to the stored index. Its metadata is cloned only if it survives the global
+// τ-cut — the seed implementation cloned every match's r-bit vector up
+// front and then discarded all but τ of them.
+type candidate struct {
+	rank int
+	si   *SearchIndex
+}
+
+// worse orders candidates worst-first: lower rank, ties broken by larger
+// document ID (the final output is rank descending, docID ascending).
+func (c candidate) worse(o candidate) bool {
+	if c.rank != o.rank {
+		return c.rank < o.rank
+	}
+	return c.si.DocID > o.si.DocID
+}
+
+// topTau accumulates match candidates. With limit > 0 it is a bounded
+// min-heap (worst kept candidate at the root) holding the τ best seen so
+// far; with limit <= 0 it collects everything.
+type topTau struct {
+	limit int
+	c     []candidate
+}
+
+func (h *topTau) add(c candidate) {
+	if h.limit <= 0 {
+		h.c = append(h.c, c)
+		return
+	}
+	if len(h.c) < h.limit {
+		h.c = append(h.c, c)
+		// Sift up.
+		i := len(h.c) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !h.c[i].worse(h.c[parent]) {
+				break
+			}
+			h.c[i], h.c[parent] = h.c[parent], h.c[i]
+			i = parent
+		}
+		return
+	}
+	if !h.c[0].worse(c) {
+		return // incoming candidate is no better than the worst kept
+	}
+	// Replace the root and sift down.
+	h.c[0] = c
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h.c) && h.c[l].worse(h.c[min]) {
+			min = l
+		}
+		if r < len(h.c) && h.c[r].worse(h.c[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h.c[i], h.c[min] = h.c[min], h.c[i]
+		i = min
+	}
+}
+
+// scan runs the Equation-3 match kernel and Algorithm-1 level walk over one
+// shard for every query, feeding per-query heaps. It returns the number of
+// r-bit comparisons performed so the caller can record them with a single
+// atomic add per shard.
+func (sh *shard) scan(qs []*bitindex.Vector, heaps []*topTau) int64 {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	var cmps int64
+	matched := make([]bool, len(qs))
+	for i := range sh.docs {
+		si := sh.docs[i].si
+		// Level-1 screen for every query in one pass over the document's
+		// index: the kernel keeps the index words hot across queries.
+		si.Levels[0].MatchAll(qs, matched)
+		cmps += int64(len(qs))
+		for qi, ok := range matched {
+			if !ok {
+				continue
+			}
+			rank := 1
+			for rank < len(si.Levels) {
+				cmps++
+				if !si.Levels[rank].Matches(qs[qi]) {
+					break
+				}
+				rank++
+			}
+			heaps[qi].add(candidate{rank: rank, si: si})
+		}
+	}
+	return cmps
+}
+
+// searchSharded fans qs out across shards with the worker pool and merges
+// the per-shard winners into one rank-ordered, τ-cut result per query.
+func (s *Server) searchSharded(qs []*bitindex.Vector, tau int) [][]Match {
+	// Per-shard, per-query heaps: heaps[shard][query].
+	heaps := make([][]*topTau, len(s.shards))
+	for si := range heaps {
+		heaps[si] = make([]*topTau, len(qs))
+		for qi := range heaps[si] {
+			heaps[si][qi] = &topTau{limit: tau}
+		}
+	}
+
+	scanShard := func(i int) {
+		cmps := s.shards[i].scan(qs, heaps[i])
+		s.Costs.BinaryComparisons.Add(cmps)
+	}
+	if w := s.workers; w <= 1 || len(s.shards) == 1 {
+		for i := range s.shards {
+			scanShard(i)
+		}
+	} else {
+		// Per-call fan-out: w goroutines claim shards through an atomic
+		// cursor (no feeder goroutine or channel on the query hot path).
+		var wg sync.WaitGroup
+		var cursor atomic.Int64
+		wg.Add(w)
+		for k := 0; k < w; k++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(cursor.Add(1)) - 1
+					if i >= len(s.shards) {
+						return
+					}
+					scanShard(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	out := make([][]Match, len(qs))
+	for qi := range qs {
+		var cands []candidate
+		for si := range s.shards {
+			cands = append(cands, heaps[si][qi].c...)
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].rank != cands[j].rank {
+				return cands[i].rank > cands[j].rank
+			}
+			return cands[i].si.DocID < cands[j].si.DocID
+		})
+		if tau > 0 && tau < len(cands) {
+			cands = cands[:tau]
+		}
+		if len(cands) == 0 {
+			continue // out[qi] stays nil, matching the sequential scan
+		}
+		ms := make([]Match, len(cands))
+		for i, c := range cands {
+			ms[i] = Match{DocID: c.si.DocID, Rank: c.rank, Meta: c.si.Levels[0].Clone()}
+		}
+		out[qi] = ms
+	}
+	return out
+}
+
+func (s *Server) validateQuery(q *bitindex.Vector) error {
+	if q == nil || q.Len() != s.params.R {
+		return fmt.Errorf("core: query must be %d bits", s.params.R)
+	}
+	return nil
 }
 
 // Search runs the ranked oblivious search of Algorithm 1 against every
@@ -79,59 +335,66 @@ func (s *Server) NumDocuments() int {
 // matches. Results are returned in descending rank order, ties broken by
 // document ID for determinism.
 func (s *Server) Search(q *bitindex.Vector) ([]Match, error) {
-	if q == nil || q.Len() != s.params.R {
-		return nil, fmt.Errorf("core: query must be %d bits", s.params.R)
-	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var out []Match
-	for _, si := range s.indices {
-		s.Costs.BinaryComparisons.Add(1)
-		if !si.Levels[0].Matches(q) {
-			continue
-		}
-		rank := 1
-		for rank < len(si.Levels) {
-			s.Costs.BinaryComparisons.Add(1)
-			if !si.Levels[rank].Matches(q) {
-				break
-			}
-			rank++
-		}
-		out = append(out, Match{DocID: si.DocID, Rank: rank, Meta: si.Levels[0].Clone()})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Rank != out[j].Rank {
-			return out[i].Rank > out[j].Rank
-		}
-		return out[i].DocID < out[j].DocID
-	})
-	return out, nil
+	return s.SearchTop(q, 0)
 }
 
 // SearchTop returns only the top-τ matches ("the user can retrieve only the
 // top τ matches where τ is chosen by the user", Section 5). τ ≤ 0 returns
-// every match.
+// every match. With τ > 0 each shard retains at most τ candidates and only
+// the global survivors' metadata vectors are cloned.
 func (s *Server) SearchTop(q *bitindex.Vector, tau int) ([]Match, error) {
-	all, err := s.Search(q)
-	if err != nil {
+	if err := s.validateQuery(q); err != nil {
 		return nil, err
 	}
-	if tau > 0 && tau < len(all) {
-		all = all[:tau]
+	return s.searchSharded([]*bitindex.Vector{q}, tau)[0], nil
+}
+
+// SearchBatch evaluates several queries in one sharded pass over the store:
+// every shard is scanned once, testing each document against all queries
+// while its index words are hot, instead of once per query. Result i is
+// exactly what SearchTop(queries[i], tau) would return.
+func (s *Server) SearchBatch(queries []*bitindex.Vector, tau int) ([][]Match, error) {
+	if len(queries) == 0 {
+		return nil, nil
 	}
-	return all, nil
+	for i, q := range queries {
+		if err := s.validateQuery(q); err != nil {
+			return nil, fmt.Errorf("core: batch query %d: %w", i, err)
+		}
+	}
+	return s.searchSharded(queries, tau), nil
 }
 
 // Fetch returns a stored encrypted document by ID (step 3 of Figure 1).
 func (s *Server) Fetch(docID string) (*EncryptedDocument, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	doc, ok := s.docs[docID]
+	sh := s.shardFor(docID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	pos, ok := sh.byID[docID]
 	if !ok {
 		return nil, fmt.Errorf("core: no document %q", docID)
 	}
-	return doc, nil
+	return sh.docs[pos].doc, nil
+}
+
+// snapshotOrdered collects every stored document across shards in global
+// upload order. All shard read locks are held simultaneously while copying
+// so the snapshot is a consistent point in time, as under the pre-sharding
+// single lock (every other path locks at most one shard, so acquiring them
+// in slice order cannot deadlock).
+func (s *Server) snapshotOrdered() []storedDoc {
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+	}
+	var all []storedDoc
+	for _, sh := range s.shards {
+		all = append(all, sh.docs...)
+	}
+	for _, sh := range s.shards {
+		sh.mu.RUnlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	return all
 }
 
 // Export iterates over every stored document in upload order, passing its
@@ -140,10 +403,8 @@ func (s *Server) Fetch(docID string) (*EncryptedDocument, error) {
 // the first error. The callback must not retain or mutate the arguments
 // beyond the call.
 func (s *Server) Export(fn func(*SearchIndex, *EncryptedDocument) error) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for _, si := range s.indices {
-		if err := fn(si, s.docs[si.DocID]); err != nil {
+	for _, d := range s.snapshotOrdered() {
+		if err := fn(d.si, d.doc); err != nil {
 			return err
 		}
 	}
@@ -152,11 +413,10 @@ func (s *Server) Export(fn func(*SearchIndex, *EncryptedDocument) error) error {
 
 // DocumentIDs lists stored document IDs in upload order, for tooling.
 func (s *Server) DocumentIDs() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, len(s.indices))
-	for i, si := range s.indices {
-		out[i] = si.DocID
+	all := s.snapshotOrdered()
+	out := make([]string, len(all))
+	for i, d := range all {
+		out[i] = d.si.DocID
 	}
 	return out
 }

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"mkse/internal/bitindex"
+	"mkse/internal/corpus"
+)
+
+// searchReference replicates the pre-sharding implementation: scan every
+// index in upload order, collect every match with its metadata cloned up
+// front, fully sort by (rank desc, docID asc), then cut τ. The sharded
+// engine is required to produce byte-identical output.
+func searchReference(t *testing.T, srv *Server, q *bitindex.Vector, tau int) []Match {
+	t.Helper()
+	var out []Match
+	err := srv.Export(func(si *SearchIndex, _ *EncryptedDocument) error {
+		if !si.Levels[0].Matches(q) {
+			return nil
+		}
+		rank := 1
+		for rank < len(si.Levels) {
+			if !si.Levels[rank].Matches(q) {
+				break
+			}
+			rank++
+		}
+		out = append(out, Match{DocID: si.DocID, Rank: rank, Meta: si.Levels[0].Clone()})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank > out[j].Rank
+		}
+		return out[i].DocID < out[j].DocID
+	})
+	if tau > 0 && tau < len(out) {
+		out = out[:tau]
+	}
+	return out
+}
+
+func matchesEqual(t *testing.T, label string, got, want []Match) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d matches, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].DocID != want[i].DocID || got[i].Rank != want[i].Rank {
+			t.Fatalf("%s: match %d = (%s, %d), want (%s, %d)",
+				label, i, got[i].DocID, got[i].Rank, want[i].DocID, want[i].Rank)
+		}
+		if got[i].Meta == nil || !got[i].Meta.Equal(want[i].Meta) {
+			t.Fatalf("%s: match %d metadata differs", label, i)
+		}
+	}
+}
+
+// uploadCorpus builds and uploads n documents to every given server.
+func uploadCorpus(t *testing.T, o *Owner, n int, seed int64, servers ...*Server) []*corpus.Document {
+	t.Helper()
+	docs, err := corpus.Generate(corpus.Config{
+		NumDocs: n, KeywordsPerDoc: 12, Dictionary: corpus.Dictionary(300),
+		MaxTermFreq: 15, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs {
+		si, err := o.BuildIndex(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := &EncryptedDocument{ID: d.ID, Ciphertext: []byte(d.ID), EncKey: []byte{1}}
+		for _, srv := range servers {
+			if err := srv.Upload(si, enc); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return docs
+}
+
+// Sharded top-τ output must be byte-identical — order included — to the
+// sort-based sequential baseline, for every shard/worker layout and τ.
+func TestShardedSearchMatchesSequentialBaseline(t *testing.T) {
+	o := sharedOwner(t)
+	layouts := []struct{ shards, workers int }{
+		{1, 1}, {2, 1}, {2, 2}, {4, 2}, {7, 16}, {16, 3},
+	}
+	servers := make([]*Server, len(layouts))
+	for i, l := range layouts {
+		srv, err := NewServerSharded(o.Params(), l.shards, l.workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = srv
+	}
+	docs := uploadCorpus(t, o, 150, 23, servers...)
+
+	u := newUserFor(t, o, "shard-prop")
+	u.SeedQueryRNG(41)
+	for qi := 0; qi < 8; qi++ {
+		words := docs[qi*3].Keywords()[:1+qi%2]
+		fetchTrapdoors(t, o, u, words)
+		q, err := u.BuildQuery(words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := searchReference(t, servers[0], q, 0)
+		for li, srv := range servers {
+			for _, tau := range []int{0, 1, 3, 10, 10000} {
+				got, err := srv.SearchTop(q, tau)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref := want
+				if tau > 0 && tau < len(ref) {
+					ref = ref[:tau]
+				}
+				matchesEqual(t, fmt.Sprintf("layout %d (%d shards), query %d, tau=%d",
+					li, servers[li].NumShards(), qi, tau), got, ref)
+			}
+		}
+	}
+}
+
+// SearchBatch result i must equal SearchTop(queries[i]), and batching must
+// spend exactly the same number of binary comparisons as the sequential
+// calls (the Table 2 accounting is batch-invariant).
+func TestSearchBatchMatchesSearchTop(t *testing.T) {
+	o := sharedOwner(t)
+	srv, err := NewServerSharded(o.Params(), 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := uploadCorpus(t, o, 100, 29, srv)
+
+	u := newUserFor(t, o, "batch-prop")
+	u.SeedQueryRNG(43)
+	var queries []*bitindex.Vector
+	for qi := 0; qi < 6; qi++ {
+		words := docs[qi*5].Keywords()[:2]
+		fetchTrapdoors(t, o, u, words)
+		q, err := u.BuildQuery(words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries = append(queries, q)
+	}
+	for _, tau := range []int{0, 2, 7} {
+		srv.Costs.Reset()
+		results, err := srv.SearchBatch(queries, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batchCmps := srv.Costs.Snapshot().BinaryComparisons
+		if len(results) != len(queries) {
+			t.Fatalf("tau=%d: %d result sets for %d queries", tau, len(results), len(queries))
+		}
+		srv.Costs.Reset()
+		for qi, q := range queries {
+			want, err := srv.SearchTop(q, tau)
+			if err != nil {
+				t.Fatal(err)
+			}
+			matchesEqual(t, fmt.Sprintf("tau=%d query %d", tau, qi), results[qi], want)
+		}
+		if seqCmps := srv.Costs.Snapshot().BinaryComparisons; batchCmps != seqCmps {
+			t.Errorf("tau=%d: batch spent %d comparisons, sequential %d", tau, batchCmps, seqCmps)
+		}
+	}
+
+	if res, err := srv.SearchBatch(nil, 0); err != nil || res != nil {
+		t.Errorf("empty batch: %v, %v", res, err)
+	}
+	if _, err := srv.SearchBatch([]*bitindex.Vector{queries[0], bitindex.New(8)}, 0); err == nil {
+		t.Error("batch with wrong-size query accepted")
+	}
+}
+
+func TestNewServerShardedLayouts(t *testing.T) {
+	o := sharedOwner(t)
+	srv, err := NewServerSharded(o.Params(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.NumShards() < 1 {
+		t.Errorf("default layout has %d shards", srv.NumShards())
+	}
+	srv, err = NewServerSharded(o.Params(), 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.NumShards() != 5 {
+		t.Errorf("explicit layout has %d shards, want 5", srv.NumShards())
+	}
+	bad := o.Params()
+	bad.R = -1
+	if _, err := NewServerSharded(bad, 2, 2); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+// Upload order must survive sharding: Export and DocumentIDs iterate in
+// global upload order, and re-uploads keep their original position.
+func TestShardedUploadOrderPreserved(t *testing.T) {
+	o := sharedOwner(t)
+	srv, err := NewServerSharded(o.Params(), 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantIDs []string
+	var lastSI *SearchIndex
+	var lastEnc *EncryptedDocument
+	for i := 0; i < 30; i++ {
+		id := fmt.Sprintf("order-%02d", i)
+		doc := &corpus.Document{ID: id, TermFreqs: map[string]int{"w": 1 + i%15}}
+		si, enc, err := o.Prepare(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Upload(si, enc); err != nil {
+			t.Fatal(err)
+		}
+		wantIDs = append(wantIDs, id)
+		if i == 10 {
+			lastSI, lastEnc = si, enc
+		}
+	}
+	// Replace a middle document; its position must not move.
+	if err := srv.Upload(lastSI, lastEnc); err != nil {
+		t.Fatal(err)
+	}
+	if srv.NumDocuments() != 30 {
+		t.Fatalf("NumDocuments = %d, want 30", srv.NumDocuments())
+	}
+	got := srv.DocumentIDs()
+	if len(got) != len(wantIDs) {
+		t.Fatalf("DocumentIDs returned %d ids, want %d", len(got), len(wantIDs))
+	}
+	for i := range wantIDs {
+		if got[i] != wantIDs[i] {
+			t.Fatalf("DocumentIDs[%d] = %s, want %s", i, got[i], wantIDs[i])
+		}
+	}
+	i := 0
+	err = srv.Export(func(si *SearchIndex, doc *EncryptedDocument) error {
+		if si.DocID != wantIDs[i] || doc.ID != wantIDs[i] {
+			return fmt.Errorf("export position %d is %s, want %s", i, si.DocID, wantIDs[i])
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Concurrent Upload, Search, SearchBatch and Fetch from many goroutines must
+// neither race (run with -race) nor corrupt results: after quiescence every
+// search must agree with the sequential baseline.
+func TestConcurrentUploadSearchFetch(t *testing.T) {
+	o := sharedOwner(t)
+	srv, err := NewServerSharded(o.Params(), 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedDocs := uploadCorpus(t, o, 40, 31, srv)
+
+	u := newUserFor(t, o, "hammer")
+	u.SeedQueryRNG(47)
+	words := seedDocs[0].Keywords()[:2]
+	fetchTrapdoors(t, o, u, words)
+	var queries []*bitindex.Vector
+	for i := 0; i < 4; i++ {
+		q, err := u.BuildQuery(words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries = append(queries, q)
+	}
+
+	const writers, readers, iters = 3, 4, 25
+	errs := make(chan error, writers+readers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				doc := &corpus.Document{
+					ID:        fmt.Sprintf("conc-%d-%d", w, i),
+					TermFreqs: map[string]int{"kw": 1 + i%15, fmt.Sprintf("w%d", w): 2},
+				}
+				si, enc, err := o.Prepare(doc)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := srv.Upload(si, enc); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch i % 3 {
+				case 0:
+					if _, err := srv.SearchTop(queries[r%len(queries)], 5); err != nil {
+						errs <- err
+						return
+					}
+				case 1:
+					if _, err := srv.SearchBatch(queries, 5); err != nil {
+						errs <- err
+						return
+					}
+				case 2:
+					if _, err := srv.Fetch(seedDocs[i%len(seedDocs)].ID); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if want := 40 + writers*iters; srv.NumDocuments() != want {
+		t.Fatalf("NumDocuments = %d, want %d", srv.NumDocuments(), want)
+	}
+	// Quiescent state must agree with the sequential baseline exactly.
+	for qi, q := range queries {
+		want := searchReference(t, srv, q, 0)
+		got, err := srv.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		matchesEqual(t, fmt.Sprintf("post-hammer query %d", qi), got, want)
+	}
+}

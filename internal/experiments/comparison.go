@@ -96,8 +96,10 @@ func CaoComparison(sizes []int, dictSize, queriesPerPoint int, seed int64) (*Cao
 		// Queries drawn from document keywords.
 		words := docs[0].Keywords()[:3]
 
-		// MKS search.
-		server, err := core.NewServer(owner.Params())
+		// MKS search. Pinned to one shard/worker: the paper's numbers (and
+		// the MRSE baseline) are sequential scans, so the comparison must
+		// not be inflated by the engine's parallel fan-out.
+		server, err := core.NewServerSharded(owner.Params(), 1, 1)
 		if err != nil {
 			return nil, err
 		}

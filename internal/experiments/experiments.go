@@ -410,7 +410,9 @@ func Fig4b(sizes []int, queries int, seed int64) (*Fig4bResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		server, err := core.NewServer(owner.Params())
+		// One shard/worker: Figure 4(b) reports the paper's sequential scan;
+		// the sharded fan-out has its own sweep (ShardSweep).
+		server, err := core.NewServerSharded(owner.Params(), 1, 1)
 		if err != nil {
 			return nil, err
 		}

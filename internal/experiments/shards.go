@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mkse/internal/bitindex"
+	"mkse/internal/core"
+	"mkse/internal/corpus"
+	"mkse/internal/rank"
+)
+
+// ---------------------------------------------------------------------------
+// Sharded search engine — scaling beyond the paper's sequential scan
+// ---------------------------------------------------------------------------
+
+// ShardPoint is one corpus-size measurement of the sharded search engine.
+type ShardPoint struct {
+	NumDocs      int
+	SingleShard  time.Duration // per query, 1 shard / 1 worker
+	Sharded      time.Duration // per query, the configured shard layout
+	Sequential   time.Duration // batch of queries issued one Search at a time
+	Batched      time.Duration // same batch through one SearchBatch pass
+	ShardSpeedup float64       // SingleShard / Sharded
+	BatchSpeedup float64       // Sequential / Batched
+}
+
+// ShardSweepResult is the shard/batch scaling sweep.
+type ShardSweepResult struct {
+	Shards  int
+	Workers int
+	Batch   int
+	Points  []ShardPoint
+}
+
+// ShardSweep measures ranked-search latency with the store split into the
+// given number of shards against the single-shard (sequential-scan)
+// configuration, and a batch of queries evaluated in one SearchBatch pass
+// against the same queries issued sequentially. Results of the two layouts
+// are defined to be identical; this sweep quantifies the wall-clock side.
+// shards/workers <= 0 pick the defaults (one shard per core). batch is the
+// number of queries per SearchBatch call.
+func ShardSweep(sizes []int, shards, workers, queries, batch int, seed int64) (*ShardSweepResult, error) {
+	if queries <= 0 {
+		queries = 10
+	}
+	if batch <= 0 {
+		batch = 16
+	}
+	owner, err := newExperimentOwner(rank.DefaultLevels(3, 15), seed)
+	if err != nil {
+		return nil, err
+	}
+	f := newQueryFactory(owner, seed+31)
+
+	maxN := 0
+	for _, n := range sizes {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	docs, indices, err := experimentCorpus(owner, maxN, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	single, err := core.NewServerSharded(owner.Params(), 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	sharded, err := core.NewServerSharded(owner.Params(), shards, workers)
+	if err != nil {
+		return nil, err
+	}
+	res := &ShardSweepResult{Shards: sharded.NumShards(), Workers: sharded.NumWorkers(), Batch: batch}
+
+	uploaded := 0
+	for _, n := range sizes {
+		for ; uploaded < n && uploaded < len(docs); uploaded++ {
+			doc := &core.EncryptedDocument{ID: docs[uploaded].ID, Ciphertext: []byte{0}, EncKey: []byte{0}}
+			if err := single.Upload(indices[uploaded], doc); err != nil {
+				return nil, err
+			}
+			if err := sharded.Upload(indices[uploaded], doc); err != nil {
+				return nil, err
+			}
+		}
+		qs := make([]*bitindex.Vector, batch)
+		for i := range qs {
+			qs[i] = f.build(docs[i%n].Keywords()[:2])
+		}
+		pt := ShardPoint{NumDocs: n}
+
+		start := time.Now()
+		for i := 0; i < queries; i++ {
+			if _, err := single.SearchTop(qs[i%batch], 10); err != nil {
+				return nil, err
+			}
+		}
+		pt.SingleShard = time.Since(start) / time.Duration(queries)
+
+		start = time.Now()
+		for i := 0; i < queries; i++ {
+			if _, err := sharded.SearchTop(qs[i%batch], 10); err != nil {
+				return nil, err
+			}
+		}
+		pt.Sharded = time.Since(start) / time.Duration(queries)
+
+		start = time.Now()
+		for _, q := range qs {
+			if _, err := sharded.SearchTop(q, 10); err != nil {
+				return nil, err
+			}
+		}
+		pt.Sequential = time.Since(start)
+
+		start = time.Now()
+		if _, err := sharded.SearchBatch(qs, 10); err != nil {
+			return nil, err
+		}
+		pt.Batched = time.Since(start)
+
+		if pt.Sharded > 0 {
+			pt.ShardSpeedup = float64(pt.SingleShard) / float64(pt.Sharded)
+		}
+		if pt.Batched > 0 {
+			pt.BatchSpeedup = float64(pt.Sequential) / float64(pt.Batched)
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// experimentCorpus generates maxN documents and their search indices.
+func experimentCorpus(owner *core.Owner, maxN int, seed int64) ([]*corpus.Document, []*core.SearchIndex, error) {
+	docs, err := corpus.Generate(corpus.Config{
+		NumDocs: maxN, KeywordsPerDoc: 20, Dictionary: corpus.Dictionary(2000),
+		MaxTermFreq: 15, Seed: seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	indices, err := owner.BuildIndexes(docs, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	return docs, indices, nil
+}
+
+// Format renders the sweep as a table.
+func (r *ShardSweepResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sharded search engine — %d shards / %d workers, batch of %d queries (τ=10)\n", r.Shards, r.Workers, r.Batch)
+	b.WriteString("#docs   1-shard/query  sharded/query  speedup   sequential batch  SearchBatch   speedup\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%6d %11.4fms %13.4fms %8.2fx %14.4fms %11.4fms %8.2fx\n",
+			p.NumDocs,
+			float64(p.SingleShard)/float64(time.Millisecond),
+			float64(p.Sharded)/float64(time.Millisecond),
+			p.ShardSpeedup,
+			float64(p.Sequential)/float64(time.Millisecond),
+			float64(p.Batched)/float64(time.Millisecond),
+			p.BatchSpeedup)
+	}
+	return b.String()
+}

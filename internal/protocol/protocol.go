@@ -85,6 +85,9 @@ type Message struct {
 	SearchReq  *SearchRequest
 	SearchResp *SearchResponse
 
+	SearchBatchReq  *SearchBatchRequest
+	SearchBatchResp *SearchBatchResponse
+
 	FetchReq  *FetchRequest
 	FetchResp *FetchResponse
 }
@@ -230,6 +233,21 @@ type MatchWire struct {
 // SearchResponse returns rank-ordered matches.
 type SearchResponse struct {
 	Matches []MatchWire
+}
+
+// SearchBatchRequest submits several r-bit query indices to be evaluated in
+// one sharded pass over the server's store. Semantically equivalent to one
+// SearchRequest per query, but a single frame each way and a single scan of
+// every index shard.
+type SearchBatchRequest struct {
+	Queries [][]byte // marshaled bitindex vectors
+	TopK    int      // τ applied to every query; 0 returns all matches
+}
+
+// SearchBatchResponse returns one rank-ordered match list per query, in
+// request order.
+type SearchBatchResponse struct {
+	Results [][]MatchWire
 }
 
 // FetchRequest retrieves one encrypted document (step 3 of Figure 1).

@@ -104,7 +104,7 @@ func TestRoundtripSurfacesRemoteErrors(t *testing.T) {
 }
 
 func TestPublicKeyWireRoundTrip(t *testing.T) {
-	key, err := blindrsa.GenerateKey(512)
+	key, err := blindrsa.GenerateKey(1024)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,5 +281,46 @@ func TestConnOverTCP(t *testing.T) {
 	}
 	if err := <-done; err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestSearchBatchMessageRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	req := &Message{SearchBatchReq: &SearchBatchRequest{
+		Queries: [][]byte{{1, 2}, {3, 4, 5}},
+		TopK:    7,
+	}}
+	if err := c.Send(req); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SearchBatchReq == nil {
+		t.Fatal("SearchBatchReq missing after round trip")
+	}
+	if len(got.SearchBatchReq.Queries) != 2 || got.SearchBatchReq.TopK != 7 {
+		t.Errorf("round trip mangled request: %+v", got.SearchBatchReq)
+	}
+	resp := &Message{SearchBatchResp: &SearchBatchResponse{
+		Results: [][]MatchWire{
+			{{DocID: "a", Rank: 3, Meta: []byte{9}}},
+			nil,
+		},
+	}}
+	if err := c.Send(resp); err != nil {
+		t.Fatal(err)
+	}
+	back, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SearchBatchResp == nil || len(back.SearchBatchResp.Results) != 2 {
+		t.Fatalf("response round trip mangled: %+v", back.SearchBatchResp)
+	}
+	if m := back.SearchBatchResp.Results[0][0]; m.DocID != "a" || m.Rank != 3 {
+		t.Errorf("match round trip mangled: %+v", m)
 	}
 }

@@ -244,6 +244,66 @@ func (c *Client) Search(words []string, topK int) ([]Match, error) {
 	return out, nil
 }
 
+// SearchBatch builds one randomized query index per keyword set and submits
+// them all in a single round trip; the cloud evaluates the batch in one
+// sharded pass. Result i corresponds to queries[i], each truncated to topK.
+func (c *Client) SearchBatch(queries [][]string, topK int) ([][]Match, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	if err := c.EnsureTrapdoors(KeywordUnion(queries)); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	wire := make([][]byte, len(queries))
+	for i, words := range queries {
+		q, err := c.user.BuildQuery(words)
+		if err != nil {
+			return nil, fmt.Errorf("service: batch query %d: %w", i, err)
+		}
+		wire[i] = marshalVector(q)
+	}
+	resp, err := c.cloudConn.Roundtrip(&protocol.Message{SearchBatchReq: &protocol.SearchBatchRequest{
+		Queries: wire,
+		TopK:    topK,
+	}})
+	if err != nil {
+		return nil, fmt.Errorf("service: batch search: %w", err)
+	}
+	if resp.SearchBatchResp == nil {
+		return nil, fmt.Errorf("service: batch search response missing")
+	}
+	if got := len(resp.SearchBatchResp.Results); got != len(queries) {
+		return nil, fmt.Errorf("service: batch search returned %d result sets for %d queries", got, len(queries))
+	}
+	out := make([][]Match, len(queries))
+	for qi, ms := range resp.SearchBatchResp.Results {
+		out[qi] = make([]Match, len(ms))
+		for i, m := range ms {
+			out[qi][i] = Match{DocID: m.DocID, Rank: m.Rank}
+		}
+	}
+	return out, nil
+}
+
+// KeywordUnion deduplicates the keywords of a query batch, so a word shared
+// by many queries costs one trapdoor derivation and transfer, not one per
+// query.
+func KeywordUnion(queries [][]string) []string {
+	seen := make(map[string]bool)
+	var union []string
+	for _, words := range queries {
+		for _, w := range words {
+			if !seen[w] {
+				seen[w] = true
+				union = append(union, w)
+			}
+		}
+	}
+	return union
+}
+
 // Retrieve fetches an encrypted document from the cloud (step 3) and runs
 // the blinded decryption protocol with the owner (step 4), returning the
 // plaintext.

@@ -27,6 +27,8 @@ func (s *CloudService) Serve(l net.Listener) error {
 			return s.handleUpload(m.UploadReq)
 		case m.SearchReq != nil:
 			return s.handleSearch(m.SearchReq)
+		case m.SearchBatchReq != nil:
+			return s.handleSearchBatch(m.SearchBatchReq)
 		case m.FetchReq != nil:
 			return s.handleFetch(m.FetchReq)
 		default:
@@ -67,6 +69,30 @@ func (s *CloudService) handleSearch(req *protocol.SearchRequest) *protocol.Messa
 	}
 	logf(s.Logger, "cloud: query over %d documents -> %d matches", s.Server.NumDocuments(), len(matches))
 	return &protocol.Message{SearchResp: &protocol.SearchResponse{Matches: wire}}
+}
+
+func (s *CloudService) handleSearchBatch(req *protocol.SearchBatchRequest) *protocol.Message {
+	queries := make([]*bitindex.Vector, len(req.Queries))
+	for i, raw := range req.Queries {
+		q, err := unmarshalVector(raw)
+		if err != nil {
+			return errMsg(fmt.Errorf("cloud: malformed batch query %d: %w", i, err))
+		}
+		queries[i] = q
+	}
+	results, err := s.Server.SearchBatch(queries, req.TopK)
+	if err != nil {
+		return errMsg(err)
+	}
+	wire := make([][]protocol.MatchWire, len(results))
+	for qi, matches := range results {
+		wire[qi] = make([]protocol.MatchWire, len(matches))
+		for i, m := range matches {
+			wire[qi][i] = protocol.MatchWire{DocID: m.DocID, Rank: m.Rank, Meta: marshalVector(m.Meta)}
+		}
+	}
+	logf(s.Logger, "cloud: batch of %d queries over %d documents", len(queries), s.Server.NumDocuments())
+	return &protocol.Message{SearchBatchResp: &protocol.SearchBatchResponse{Results: wire}}
 }
 
 func (s *CloudService) handleFetch(req *protocol.FetchRequest) *protocol.Message {

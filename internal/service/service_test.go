@@ -498,3 +498,67 @@ func TestConcurrentClients(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// SearchBatch over the wire must agree query-by-query with single Search
+// calls, in one round trip.
+func TestSearchBatchOverTCP(t *testing.T) {
+	d := sharedDeployment(t)
+	client, err := Dial("tcp-batch", d.ownerAddr, d.cloudAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	queries := [][]string{
+		d.docs[0].Keywords()[:2],
+		d.docs[1].Keywords()[:1],
+		d.docs[2].Keywords()[:2],
+	}
+	results, err := client.SearchBatch(queries, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(queries) {
+		t.Fatalf("%d result sets for %d queries", len(results), len(queries))
+	}
+	for qi, words := range queries {
+		if len(results[qi]) == 0 || len(results[qi]) > 5 {
+			t.Errorf("query %d returned %d matches, want 1..5", qi, len(results[qi]))
+		}
+		// The batch result must contain the query's source document (query
+		// randomization means exact equality with a fresh Search is not
+		// expected, but genuine matches never disappear).
+		found := false
+		for _, m := range results[qi] {
+			if m.DocID == d.docs[qi].ID {
+				found = true
+			}
+		}
+		if !found && len(words) > 0 {
+			// The source doc can be pushed out by τ; accept only if τ was hit.
+			if len(results[qi]) < 5 {
+				t.Errorf("query %d (%v) missing its source document", qi, words)
+			}
+		}
+	}
+
+	if res, err := client.SearchBatch(nil, 5); err != nil || res != nil {
+		t.Errorf("empty batch: %v, %v", res, err)
+	}
+}
+
+// A malformed query inside a batch must fail the whole request cleanly.
+func TestMalformedBatchQueryRejectedByCloud(t *testing.T) {
+	d := sharedDeployment(t)
+	conn, err := net.Dial("tcp", d.cloudAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	pc := protocol.NewConn(conn)
+	if _, err := pc.Roundtrip(&protocol.Message{SearchBatchReq: &protocol.SearchBatchRequest{
+		Queries: [][]byte{{1, 2, 3}},
+	}}); err == nil {
+		t.Error("malformed batch query accepted")
+	}
+}

@@ -69,8 +69,15 @@ func Save(w io.Writer, srv *core.Server) error {
 	return bw.Flush()
 }
 
-// Load reconstructs a server from a snapshot.
+// Load reconstructs a server from a snapshot with the default shard layout.
 func Load(r io.Reader) (*core.Server, error) {
+	return LoadWith(r, core.NewServer)
+}
+
+// LoadWith reconstructs a server from a snapshot, building the empty server
+// through mk — the hook daemons use to restore into a non-default shard
+// layout. The snapshot format is layout-independent.
+func LoadWith(r io.Reader, mk func(core.Params) (*core.Server, error)) (*core.Server, error) {
 	br := bufio.NewReader(r)
 	var got [8]byte
 	if _, err := io.ReadFull(br, got[:]); err != nil {
@@ -83,7 +90,7 @@ func Load(r io.Reader) (*core.Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	srv, err := core.NewServer(p)
+	srv, err := mk(p)
 	if err != nil {
 		return nil, fmt.Errorf("store: snapshot parameters: %w", err)
 	}
@@ -153,12 +160,18 @@ func SaveFile(path string, srv *core.Server) error {
 
 // LoadFile reads a snapshot from path.
 func LoadFile(path string) (*core.Server, error) {
+	return LoadFileWith(path, core.NewServer)
+}
+
+// LoadFileWith reads a snapshot from path, building the empty server
+// through mk (see LoadWith).
+func LoadFileWith(path string, mk func(core.Params) (*core.Server, error)) (*core.Server, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return Load(f)
+	return LoadWith(f, mk)
 }
 
 func writeParams(w io.Writer, p core.Params) error {

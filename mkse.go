@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/big"
 
+	"mkse/internal/bitindex"
 	"mkse/internal/core"
 	"mkse/internal/corpus"
 	"mkse/internal/rank"
@@ -61,8 +62,16 @@ func DefaultParams() Params { return core.DefaultParams() }
 // only the choice of decoy keyword strings, keeping experiments repeatable.
 func NewOwner(p Params, randomSeed int64) (*Owner, error) { return core.NewOwner(p, randomSeed) }
 
-// NewCloudServer creates an empty cloud server.
+// NewCloudServer creates an empty cloud server with one store shard per
+// GOMAXPROCS core.
 func NewCloudServer(p Params) (*CloudServer, error) { return core.NewServer(p) }
+
+// NewCloudServerSharded creates an empty cloud server with an explicit store
+// shard count and search worker-pool size (<= 0 picks defaults); see
+// core.Server for the sharding architecture.
+func NewCloudServerSharded(p Params, shards, workers int) (*CloudServer, error) {
+	return core.NewServerSharded(p, shards, workers)
+}
 
 // Dial connects a new user to remote owner and cloud daemons and enrolls it.
 func Dial(userID, ownerAddr, cloudAddr string) (*Client, error) {
@@ -183,6 +192,24 @@ func (s *System) Search(u *User, words []string, topK int) ([]Match, error) {
 		return nil, err
 	}
 	return s.Cloud.SearchTop(q, topK)
+}
+
+// SearchBatch obtains any missing trapdoors for every keyword set, builds
+// one randomized query per set and evaluates them all in a single sharded
+// pass over the cloud store. Result i corresponds to queries[i].
+func (s *System) SearchBatch(u *User, queries [][]string, topK int) ([][]Match, error) {
+	if err := s.FetchTrapdoors(u, service.KeywordUnion(queries)); err != nil {
+		return nil, err
+	}
+	qs := make([]*bitindex.Vector, len(queries))
+	for i, words := range queries {
+		q, err := u.BuildQuery(words)
+		if err != nil {
+			return nil, err
+		}
+		qs[i] = q
+	}
+	return s.Cloud.SearchBatch(qs, topK)
 }
 
 // Retrieve fetches a document from the cloud and decrypts it through the

@@ -290,3 +290,38 @@ func ExampleSystem() {
 	fmt.Println(string(pt))
 	// Output: the merger closes friday
 }
+
+func TestSystemSearchBatch(t *testing.T) {
+	s := sharedSystem(t)
+	u, err := s.NewUser("batcher")
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := [][]string{
+		{"cloud", "revenue"},
+		{"trapdoor"},
+	}
+	results, err := s.SearchBatch(u, queries, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d result sets, want 2", len(results))
+	}
+	ids := make(map[string]bool)
+	for _, m := range results[0] {
+		ids[m.DocID] = true
+	}
+	if !ids["finance-q1"] || !ids["finance-q2"] {
+		t.Errorf("batch query 0 missed finance documents: %v", results[0])
+	}
+	found := false
+	for _, m := range results[1] {
+		if m.DocID == "eng-design" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("batch query 1 missed eng-design: %v", results[1])
+	}
+}
