@@ -6,11 +6,16 @@
 //
 // Run everything:  go test -bench=. -benchmem
 // One artifact:    go test -bench=BenchmarkFig4b -benchmem
+//
+// Owners are built with NewOwnerDeterministic so index and query material —
+// and therefore match counts and the work a search does — are identical
+// across processes; numbers from different runs are directly comparable.
 package mkse
 
 import (
 	"fmt"
 	"math/big"
+	"math/rand"
 	"testing"
 
 	"mkse/internal/baseline/caomrse"
@@ -36,7 +41,7 @@ func BenchmarkIndexConstruction(b *testing.B) {
 			p := core.DefaultParams()
 			p.Bins = 64
 			p.Levels = rank.DefaultLevels(eta, 15)
-			owner, err := core.NewOwner(p, 1)
+			owner, err := core.NewOwnerDeterministic(p, 1, 0xbe7c4)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -71,7 +76,7 @@ func BenchmarkSearch(b *testing.B) {
 				p := core.DefaultParams()
 				p.Bins = 64
 				p.Levels = rank.DefaultLevels(eta, 15)
-				owner, err := core.NewOwner(p, 1)
+				owner, err := core.NewOwnerDeterministic(p, 1, 0xbe7c4)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -146,7 +151,7 @@ func BenchmarkVsCaoIndexConstruction(b *testing.B) {
 		p := core.DefaultParams()
 		p.Bins = 64
 		p.Levels = rank.DefaultLevels(5, 15)
-		owner, err := core.NewOwner(p, 1)
+		owner, err := core.NewOwnerDeterministic(p, 1, 0xbe7c4)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -187,7 +192,7 @@ func BenchmarkVsCaoSearch(b *testing.B) {
 		p := core.DefaultParams()
 		p.Bins = 64
 		p.Levels = rank.DefaultLevels(5, 15)
-		owner, err := core.NewOwner(p, 1)
+		owner, err := core.NewOwnerDeterministic(p, 1, 0xbe7c4)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -306,7 +311,7 @@ func BenchmarkTable2Flow(b *testing.B) {
 func BenchmarkTrapdoorGeneration(b *testing.B) {
 	p := core.DefaultParams()
 	p.Bins = 64
-	owner, err := core.NewOwner(p, 1)
+	owner, err := core.NewOwnerDeterministic(p, 1, 0xbe7c4)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -321,7 +326,7 @@ func BenchmarkTrapdoorGeneration(b *testing.B) {
 func BenchmarkBlindDecryption(b *testing.B) {
 	p := core.DefaultParams()
 	p.Bins = 8
-	owner, err := core.NewOwner(p, 1)
+	owner, err := core.NewOwnerDeterministic(p, 1, 0xbe7c4)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -392,7 +397,7 @@ func benchServer(b *testing.B, shards, workers, size int) (*core.Server, *bitind
 	p := core.DefaultParams()
 	p.Bins = 64
 	p.Levels = rank.DefaultLevels(3, 15)
-	owner, err := core.NewOwner(p, 1)
+	owner, err := core.NewOwnerDeterministic(p, 1, 0xbe7c4)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -422,6 +427,82 @@ func benchServer(b *testing.B, shards, workers, size int) (*core.Server, *bitind
 		batch[i] = queryFor(b, owner, docs[i*7%size].Keywords()[:2])
 	}
 	return server, q, batch
+}
+
+// BenchmarkMatchKernel isolates the Equation-3 scan the server spends its
+// time in, across index layouts (EXPERIMENTS.md "Columnar arenas"): boxed
+// per-document vectors (the pre-arena layout), the flat columnar arena with
+// a dense word sweep, and the arena with the zero-word-skipping kernel — for
+// a near-single-trapdoor query (7 zeros) and a fully randomized
+// multi-keyword query (170 zeros, every word active).
+//
+// kernelSink keeps the match counts live so the timed loops cannot be
+// dead-code-eliminated.
+var kernelSink int
+
+func BenchmarkMatchKernel(b *testing.B) {
+	const docs, r = 10000, 448
+	stride := bitindex.WordsFor(r)
+	rng := rand.New(rand.NewSource(31))
+	boxed := make([]*bitindex.Vector, docs)
+	arena := make([]uint64, 0, docs*stride)
+	for i := range boxed {
+		v := bitindex.New(r)
+		for j := 0; j < r; j++ {
+			if rng.Intn(100) < 28 { // ≈ document-index one-density under defaults
+				v.SetBit(j, 1)
+			}
+		}
+		boxed[i] = v
+		arena = v.AppendTo(arena)
+	}
+	for _, zeros := range []int{7, 170} {
+		q := bitindex.NewOnes(r)
+		for _, pos := range rng.Perm(r)[:zeros] {
+			q.SetBit(pos, 0)
+		}
+		sq := q.Sparsify()
+		b.Run(fmt.Sprintf("zeros=%d/layout=boxed", zeros), func(b *testing.B) {
+			b.ReportAllocs()
+			n := 0
+			for i := 0; i < b.N; i++ {
+				for _, v := range boxed {
+					if v.Matches(q) {
+						n++
+					}
+				}
+			}
+			kernelSink += n
+		})
+		b.Run(fmt.Sprintf("zeros=%d/layout=arena", zeros), func(b *testing.B) {
+			b.ReportAllocs()
+			qw := q.Words()
+			n := 0
+			for i := 0; i < b.N; i++ {
+				for base := 0; base < len(arena); base += stride {
+					ok := true
+					for wi, w := range arena[base : base+stride] {
+						if w&^qw[wi] != 0 {
+							ok = false
+							break
+						}
+					}
+					if ok {
+						n++
+					}
+				}
+			}
+			kernelSink += n
+		})
+		b.Run(fmt.Sprintf("zeros=%d/layout=arena+skip", zeros), func(b *testing.B) {
+			b.ReportAllocs()
+			var rows []int32
+			for i := 0; i < b.N; i++ {
+				rows = sq.AppendMatchingRows(arena, stride, rows[:0])
+			}
+			kernelSink += len(rows)
+		})
+	}
 }
 
 // BenchmarkShardedSearchTop compares ranked top-τ search across store

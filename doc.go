@@ -18,6 +18,18 @@
 // blind-decryption protocol with the owner so that nobody, owner included,
 // learns which document the user read.
 //
+// # Server engine
+//
+// The server stores indices in sharded columnar arenas — one flat []uint64
+// per (shard, ranking level) holding every document's index words
+// back-to-back — and scans them with a zero-word-skipping kernel that
+// preprocesses each query into the few 64-bit words where ¬q ≠ 0 (the only
+// words Equation 3 can fail on) and touches nothing else. Searches fan out
+// over the shards with a worker pool, keep bounded top-τ heaps, and reuse
+// pooled scratch so the steady-state query path is allocation-free; results
+// are byte-identical to the paper's sequential scan. See core.Server and
+// EXPERIMENTS.md ("Columnar index arenas") for the layout and measurements.
+//
 // # Package layout
 //
 // This root package is the public API: parameters, the three roles (Owner,

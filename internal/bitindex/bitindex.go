@@ -121,30 +121,6 @@ func (v *Vector) Matches(q *Vector) bool {
 	return true
 }
 
-// MatchAll tests document index v against every query in qs under the match
-// relation of Equation 3, writing dst[i] = v.Matches(qs[i]). This is the
-// multi-query form of the server's match kernel: one call per document keeps
-// the document's index words hot in cache across the whole query batch. It
-// panics if dst is shorter than qs or any length differs.
-func (v *Vector) MatchAll(qs []*Vector, dst []bool) {
-	if len(dst) < len(qs) {
-		panic(fmt.Sprintf("bitindex: result buffer too short: %d for %d queries", len(dst), len(qs)))
-	}
-	for i, q := range qs {
-		if v.n != q.n {
-			panic(fmt.Sprintf("bitindex: length mismatch %d != %d", v.n, q.n))
-		}
-		m := true
-		for wi, w := range v.words {
-			if w&^q.words[wi] != 0 {
-				m = false
-				break
-			}
-		}
-		dst[i] = m
-	}
-}
-
 // Equal reports whether v and u have the same length and identical bits.
 func (v *Vector) Equal(u *Vector) bool {
 	if v.n != u.n {
@@ -186,12 +162,22 @@ func (v *Vector) Hamming(u *Vector) int {
 	return d
 }
 
-// ZeroPositions returns the sorted positions of all 0 bits.
+// ZeroPositions returns the sorted positions of all 0 bits. It scans whole
+// words, peeling one trailing-zero index per set bit of the complement, so
+// mostly-ones vectors (every query and document index) cost a handful of
+// word operations instead of one Bit call per position.
 func (v *Vector) ZeroPositions() []int {
 	out := make([]int, 0, v.ZerosCount())
-	for i := 0; i < v.n; i++ {
-		if v.Bit(i) == 0 {
-			out = append(out, i)
+	for wi, w := range v.words {
+		z := ^w // zeros of v as ones
+		base := wi * 64
+		for z != 0 {
+			pos := base + bits.TrailingZeros64(z)
+			if pos >= v.n {
+				break // inverted padding of the last word
+			}
+			out = append(out, pos)
+			z &= z - 1
 		}
 	}
 	return out
@@ -219,14 +205,18 @@ func ByteLen(n int) int { return (n + 7) / 8 }
 func (v *Vector) MarshalBinary() ([]byte, error) {
 	out := make([]byte, 4+ByteLen(v.n))
 	binary.BigEndian.PutUint32(out, uint32(v.n))
-	for i, w := range v.words {
-		for j := 0; j < 8; j++ {
-			idx := 4 + i*8 + j
-			if idx >= len(out) {
-				break
-			}
-			out[idx] = byte(w >> (8 * uint(j)))
+	payload := out[4:]
+	for _, w := range v.words {
+		if len(payload) >= 8 {
+			binary.LittleEndian.PutUint64(payload, w)
+			payload = payload[8:]
+			continue
 		}
+		// Partial last word: emit only the payload bytes the bit length covers.
+		for j := range payload {
+			payload[j] = byte(w >> (8 * uint(j)))
+		}
+		break
 	}
 	return out, nil
 }
@@ -245,14 +235,16 @@ func (v *Vector) UnmarshalBinary(data []byte) error {
 	}
 	v.n = n
 	v.words = make([]uint64, (n+63)/64)
+	payload := data[4:]
 	for i := range v.words {
+		if len(payload) >= 8 {
+			v.words[i] = binary.LittleEndian.Uint64(payload)
+			payload = payload[8:]
+			continue
+		}
 		var w uint64
-		for j := 0; j < 8; j++ {
-			idx := 4 + i*8 + j
-			if idx >= len(data) {
-				break
-			}
-			w |= uint64(data[idx]) << (8 * uint(j))
+		for j, b := range payload {
+			w |= uint64(b) << (8 * uint(j))
 		}
 		v.words[i] = w
 	}
@@ -282,17 +274,33 @@ func Reduce(src []byte, r, d int) *Vector {
 	if len(src) < need {
 		panic(fmt.Sprintf("bitindex: source too short: have %d bytes, need %d for r=%d d=%d", len(src), need, r, d))
 	}
-	v := New(r)
-	bitPos := 0
-	for j := 0; j < r; j++ {
-		digit := uint64(0)
-		for k := 0; k < d; k++ {
-			b := uint64(src[bitPos/8]>>(uint(bitPos)%8)) & 1
-			digit |= b << uint(k)
-			bitPos++
+	// Pack the source bytes into 64-bit words (little-endian, matching the
+	// LSB-first bit order of the per-bit reader this replaces), then slice
+	// each d-bit digit out of the words with at most two shifts. This reads
+	// 64 bits per memory access instead of one, which matters because Reduce
+	// sits under every trapdoor and keyword-index derivation (Figure 4(a)).
+	words := make([]uint64, (r*d+63)/64)
+	for i := range words {
+		if b := src[i*8:]; len(b) >= 8 {
+			words[i] = binary.LittleEndian.Uint64(b)
+		} else {
+			var w uint64
+			for j := 0; j < len(b); j++ {
+				w |= uint64(b[j]) << (8 * uint(j))
+			}
+			words[i] = w
 		}
-		if digit != 0 {
-			v.SetBit(j, 1)
+	}
+	v := New(r)
+	mask := uint64(1)<<uint(d) - 1
+	for j, bitPos := 0, 0; j < r; j, bitPos = j+1, bitPos+d {
+		wi, sh := bitPos>>6, uint(bitPos&63)
+		digit := words[wi] >> sh
+		if int(sh)+d > 64 {
+			digit |= words[wi+1] << (64 - sh)
+		}
+		if digit&mask != 0 {
+			v.words[j>>6] |= 1 << uint(j&63)
 		}
 	}
 	return v

@@ -477,39 +477,3 @@ func BenchmarkReduce448x6(b *testing.B) {
 		Reduce(src, 448, 6)
 	}
 }
-
-// MatchAll must agree with Matches for every query, across word-boundary
-// lengths, and validate its inputs.
-func TestMatchAllAgreesWithMatches(t *testing.T) {
-	rng := mrand.New(mrand.NewSource(12))
-	for _, n := range []int{1, 63, 64, 65, 200, 448} {
-		v := randomVector(rng, n)
-		qs := make([]*Vector, 9)
-		for i := range qs {
-			qs[i] = randomVector(rng, n)
-		}
-		qs[0] = v.Clone()  // self always matches
-		qs[1] = NewOnes(n) // all-ones query matches everything
-		dst := make([]bool, len(qs))
-		v.MatchAll(qs, dst)
-		for i, q := range qs {
-			if dst[i] != v.Matches(q) {
-				t.Errorf("n=%d query %d: MatchAll=%v, Matches=%v", n, i, dst[i], v.Matches(q))
-			}
-		}
-	}
-}
-
-func TestMatchAllPanics(t *testing.T) {
-	v := New(64)
-	assertPanics := func(name string, fn func()) {
-		defer func() {
-			if recover() == nil {
-				t.Errorf("%s did not panic", name)
-			}
-		}()
-		fn()
-	}
-	assertPanics("short dst", func() { v.MatchAll([]*Vector{New(64), New(64)}, make([]bool, 1)) })
-	assertPanics("length mismatch", func() { v.MatchAll([]*Vector{New(32)}, make([]bool, 1)) })
-}

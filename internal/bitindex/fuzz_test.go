@@ -1,0 +1,55 @@
+package bitindex
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalBinary exercises the wire decoder with arbitrary bytes. The
+// encoding is canonical — a 4-byte big-endian bit length, exactly
+// ByteLen(n) payload bytes, no set bits past n — so any input the decoder
+// accepts must re-marshal to the identical bytes, and any structural
+// violation must be rejected with ErrCorrupt rather than a panic or a
+// silently mangled vector.
+func FuzzUnmarshalBinary(f *testing.F) {
+	for _, n := range []int{1, 8, 63, 64, 65, 448} {
+		v := NewOnes(n)
+		data, err := v.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0, 0, 0, 9, 0xff})
+	f.Add([]byte{0, 0, 0, 4, 0xf0}) // set bits beyond the declared length
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var v Vector
+		if err := v.UnmarshalBinary(data); err != nil {
+			if err != ErrCorrupt {
+				t.Fatalf("non-sentinel error %v", err)
+			}
+			return
+		}
+		if v.Len() <= 0 {
+			t.Fatalf("accepted a %d-bit vector", v.Len())
+		}
+		out, err := v.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal of accepted input failed: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip not canonical:\nin  %x\nout %x", data, out)
+		}
+		var u Vector
+		if err := u.UnmarshalBinary(out); err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		if !v.Equal(&u) {
+			t.Fatal("re-unmarshal produced a different vector")
+		}
+	})
+}

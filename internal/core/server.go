@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"slices"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -20,47 +22,69 @@ import (
 // # Sharded architecture
 //
 // The document store is split over a fixed set of shards, each with its own
-// lock, index slice and document map; a document's shard is a hash of its ID.
-// Uploads, fetches and searches touching different shards never contend.
-// Search fans the query out across shards with a bounded worker pool: every
-// shard runs the Equation-3 match kernel over its own indices and keeps a
-// local bounded top-τ heap keyed on (rank, docID); the per-shard winners are
-// merged, cut to τ, and only the survivors' level-1 metadata is cloned.
-// Binary-comparison cost accounting is batched into one atomic add per shard
-// per query. For any fixed store state, results are identical — order
-// included — to a sequential scan followed by a full (rank desc, docID asc)
-// sort, whatever the shard and worker counts. Consistency under concurrent
-// writes is per-shard, not global: a search overlapping in-flight uploads
-// may observe a later upload while missing an earlier one on a different
-// shard (the pre-sharding single lock made every search a point-in-time
-// snapshot; Export retains that guarantee by locking all shards at once).
+// lock; a document's shard is a hash of its ID. Uploads, fetches and searches
+// touching different shards never contend. Search fans the query out across
+// shards with a bounded worker pool: every shard runs the Equation-3 match
+// kernel over its own indices and keeps a local bounded top-τ heap keyed on
+// (rank, docID); the per-shard winners are merged, cut to τ, and only the
+// survivors' level-1 metadata is copied out. Binary-comparison cost
+// accounting is batched into one atomic add per shard per query. For any
+// fixed store state, results are identical — order included — to a
+// sequential scan followed by a full (rank desc, docID asc) sort, whatever
+// the shard and worker counts. Consistency under concurrent writes is
+// per-shard, not global: a search overlapping in-flight uploads may observe
+// a later upload while missing an earlier one on a different shard, and a
+// returned match's Meta vector reflects the stored index at result-assembly
+// time, which for a document replaced mid-search may be newer than the index
+// that matched (the pre-sharding single lock made every search a
+// point-in-time snapshot; Export retains that guarantee by locking all
+// shards at once).
 //
-// Uploaded indices and documents are stored by reference and must not be
-// mutated by the caller afterwards.
+// # Columnar index arenas and the zero-word-skipping kernel
+//
+// Within a shard, indices are not stored as per-document vectors but as one
+// contiguous []uint64 arena per ranking level: document i's r-bit level-η
+// index occupies words [i·stride, (i+1)·stride) of the level-η arena
+// (struct-of-arrays). The scan is therefore a linear, prefetch-friendly
+// sweep over flat memory with zero pointer chasing — the boxed
+// *SearchIndex → *Vector → []uint64 chain of earlier revisions cost three
+// dependent cache misses per document. Uploading copies the index words into
+// the arenas (the caller's SearchIndex is not retained); re-uploading an
+// existing ID overwrites its rows in place, keeping its original
+// upload-order position. Each query is preprocessed once into a
+// bitindex.Sparse — the offsets of the few words where ¬q ≠ 0, the only
+// words Equation 3 can fail on — and the scan, including the batched
+// level-1 screen and the Algorithm-1 level walk, touches only those offsets
+// per document, skipping the all-ones majority of the query. Scan scratch
+// (per-query match flags, sparse forms, heaps, merge buffers) is pooled and
+// reused, so steady-state searches allocate only their results.
+//
+// Uploaded documents are stored by reference and must not be mutated by the
+// caller afterwards; search indices are copied into the arenas at Upload.
 type Server struct {
 	params  Params
 	workers int
+	stride  int // 64-bit words per r-bit index row
 	shards  []*shard
 
 	seq atomic.Uint64 // global upload order, for Export/DocumentIDs
+
+	scratch sync.Pool // *scanScratch, reused across searches
 
 	// Costs tallies server-side binary comparisons (Table 2) and traffic.
 	Costs costs.Counters
 }
 
-// shard is one independently locked slice of the document store.
+// shard is one independently locked slice of the document store, laid out as
+// parallel columns: row i of every slice and arena describes one document.
 type shard struct {
-	mu   sync.RWMutex
-	byID map[string]int
-	docs []storedDoc
-}
-
-// storedDoc pairs a search index with its payload and the global upload
-// sequence number that preserves cross-shard iteration order.
-type storedDoc struct {
-	seq uint64
-	si  *SearchIndex
-	doc *EncryptedDocument
+	mu     sync.RWMutex
+	byID   map[string]int // docID → row
+	ids    []string
+	seqs   []uint64
+	docs   []*EncryptedDocument
+	levels [][]uint64 // levels[l]: all rows' level-(l+1) index words, back-to-back
+	stride int
 }
 
 // NewServer creates an empty server with one shard per GOMAXPROCS core.
@@ -85,10 +109,15 @@ func NewServerSharded(p Params, shards, workers int) (*Server, error) {
 	if workers > shards {
 		workers = shards
 	}
-	s := &Server{params: p, workers: workers, shards: make([]*shard, shards)}
+	s := &Server{params: p, workers: workers, stride: bitindex.WordsFor(p.R), shards: make([]*shard, shards)}
 	for i := range s.shards {
-		s.shards[i] = &shard{byID: make(map[string]int)}
+		s.shards[i] = &shard{
+			byID:   make(map[string]int),
+			levels: make([][]uint64, p.Eta()),
+			stride: s.stride,
+		}
 	}
+	s.scratch.New = func() any { return new(scanScratch) }
 	return s, nil
 }
 
@@ -118,7 +147,8 @@ func (s *Server) shardFor(docID string) *shard {
 // Upload stores one document's search index and encrypted payload. Both
 // must refer to the same document ID; re-uploading an existing ID replaces
 // it (the owner refreshing an index after key rotation) in place, keeping
-// its original upload-order position.
+// its original upload-order position. The index words are copied into the
+// shard's arenas; the payload is stored by reference.
 func (s *Server) Upload(si *SearchIndex, doc *EncryptedDocument) error {
 	if si == nil || doc == nil {
 		return fmt.Errorf("core: nil upload")
@@ -132,13 +162,20 @@ func (s *Server) Upload(si *SearchIndex, doc *EncryptedDocument) error {
 	sh := s.shardFor(si.DocID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if pos, ok := sh.byID[si.DocID]; ok {
-		sh.docs[pos].si = si
-		sh.docs[pos].doc = doc
+	if row, ok := sh.byID[si.DocID]; ok {
+		for l, v := range si.Levels {
+			v.CopyWordsTo(sh.levels[l][row*sh.stride : (row+1)*sh.stride])
+		}
+		sh.docs[row] = doc
 		return nil
 	}
-	sh.byID[si.DocID] = len(sh.docs)
-	sh.docs = append(sh.docs, storedDoc{seq: s.seq.Add(1), si: si, doc: doc})
+	sh.byID[si.DocID] = len(sh.ids)
+	sh.ids = append(sh.ids, si.DocID)
+	sh.seqs = append(sh.seqs, s.seq.Add(1))
+	sh.docs = append(sh.docs, doc)
+	for l, v := range si.Levels {
+		sh.levels[l] = v.AppendTo(sh.levels[l])
+	}
 	return nil
 }
 
@@ -147,19 +184,22 @@ func (s *Server) NumDocuments() int {
 	n := 0
 	for _, sh := range s.shards {
 		sh.mu.RLock()
-		n += len(sh.docs)
+		n += len(sh.ids)
 		sh.mu.RUnlock()
 	}
 	return n
 }
 
-// candidate is a match that survived a shard scan: the rank and a reference
-// to the stored index. Its metadata is cloned only if it survives the global
-// τ-cut — the seed implementation cloned every match's r-bit vector up
-// front and then discarded all but τ of them.
+// candidate is a match that survived a shard scan: the rank plus the
+// (shard, row) coordinates of the stored index. Its level-1 metadata is
+// copied out of the arena only if it survives the global τ-cut — the seed
+// implementation cloned every match's r-bit vector up front and then
+// discarded all but τ of them.
 type candidate struct {
 	rank int
-	si   *SearchIndex
+	row  int
+	id   string
+	sh   *shard
 }
 
 // worse orders candidates worst-first: lower rank, ties broken by larger
@@ -168,7 +208,7 @@ func (c candidate) worse(o candidate) bool {
 	if c.rank != o.rank {
 		return c.rank < o.rank
 	}
-	return c.si.DocID > o.si.DocID
+	return c.id > o.id
 }
 
 // topTau accumulates match candidates. With limit > 0 it is a bounded
@@ -221,105 +261,175 @@ func (h *topTau) add(c candidate) {
 	}
 }
 
+// scanScratch is the per-search working set, pooled on the Server so the
+// steady-state query path performs no allocations beyond its results.
+type scanScratch struct {
+	sparse  []bitindex.Sparse  // preprocessed query forms (backing storage)
+	qs      []*bitindex.Sparse // pointers into sparse, what the kernels take
+	workers []workerScratch    // one per concurrent shard scanner
+	heaps   []topTau           // per-shard × per-query heaps, flat
+	cands   []candidate        // merge buffer for the global τ-cut
+	qbuf    []*bitindex.Vector // single-query wrapper for SearchTop
+	out     [][]Match          // single-query result wrapper for SearchTop
+}
+
+// workerScratch is the buffer set one scanning goroutine owns for the
+// duration of a search.
+type workerScratch struct {
+	rows []int32 // matching-row buffer for the arena scan kernel
+}
+
+// queries sparsifies qs into the scratch, reusing prior backing storage.
+func (sc *scanScratch) queries(qs []*bitindex.Vector) []*bitindex.Sparse {
+	if cap(sc.sparse) < len(qs) {
+		sc.sparse = make([]bitindex.Sparse, len(qs))
+	}
+	sc.sparse = sc.sparse[:len(qs)]
+	sc.qs = sc.qs[:0]
+	for i, q := range qs {
+		q.SparsifyInto(&sc.sparse[i])
+		sc.qs = append(sc.qs, &sc.sparse[i])
+	}
+	return sc.qs
+}
+
+// grids sizes the worker buffers and heap grid for a (workers × shards × nq)
+// search with per-heap limit tau, recycling all prior backing storage.
+func (sc *scanScratch) grids(workers, shards, nq, tau int) {
+	if cap(sc.workers) < workers {
+		sc.workers = append(sc.workers[:cap(sc.workers)], make([]workerScratch, workers-cap(sc.workers))...)
+	}
+	sc.workers = sc.workers[:workers]
+	if need := shards * nq; cap(sc.heaps) < need {
+		sc.heaps = append(sc.heaps[:cap(sc.heaps)], make([]topTau, need-cap(sc.heaps))...)
+	}
+	sc.heaps = sc.heaps[:shards*nq]
+	for i := range sc.heaps {
+		sc.heaps[i].limit = tau
+		sc.heaps[i].c = sc.heaps[i].c[:0]
+	}
+}
+
 // scan runs the Equation-3 match kernel and Algorithm-1 level walk over one
 // shard for every query, feeding per-query heaps. It returns the number of
 // r-bit comparisons performed so the caller can record them with a single
 // atomic add per shard.
-func (sh *shard) scan(qs []*bitindex.Vector, heaps []*topTau) int64 {
+func (sh *shard) scan(qs []*bitindex.Sparse, ws *workerScratch, heaps []topTau) int64 {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	var cmps int64
-	matched := make([]bool, len(qs))
-	for i := range sh.docs {
-		si := sh.docs[i].si
-		// Level-1 screen for every query in one pass over the document's
-		// index: the kernel keeps the index words hot across queries.
-		si.Levels[0].MatchAll(qs, matched)
-		cmps += int64(len(qs))
-		for qi, ok := range matched {
-			if !ok {
-				continue
-			}
-			rank := 1
-			for rank < len(si.Levels) {
-				cmps++
-				if !si.Levels[rank].Matches(qs[qi]) {
-					break
-				}
-				rank++
-			}
-			heaps[qi].add(candidate{rank: rank, si: si})
+	stride := sh.stride
+	lvl0 := sh.levels[0]
+	for qi, q := range qs {
+		// One arena sweep per query: the kernel touches one word per
+		// mismatching row (the common case), so even a query batch is
+		// cheaper as consecutive prefetch-friendly sweeps than as a
+		// row-hot multi-query loop with its per-row call overhead.
+		ws.rows = q.AppendMatchingRows(lvl0, stride, ws.rows[:0])
+		cmps += int64(len(lvl0) / stride)
+		for _, r := range ws.rows {
+			cmps += sh.walkLevelsAt(q, int(r), &heaps[qi])
 		}
 	}
 	return cmps
 }
 
-// searchSharded fans qs out across shards with the worker pool and merges
-// the per-shard winners into one rank-ordered, τ-cut result per query.
-func (s *Server) searchSharded(qs []*bitindex.Vector, tau int) [][]Match {
-	// Per-shard, per-query heaps: heaps[shard][query].
-	heaps := make([][]*topTau, len(s.shards))
-	for si := range heaps {
-		heaps[si] = make([]*topTau, len(qs))
-		for qi := range heaps[si] {
-			heaps[si][qi] = &topTau{limit: tau}
+// walkLevelsAt assigns row's rank against q and records the candidate,
+// returning the number of extra r-bit comparisons spent on levels ≥ 2.
+func (sh *shard) walkLevelsAt(q *bitindex.Sparse, row int, heap *topTau) int64 {
+	base := row * sh.stride
+	var cmps int64
+	rank := 1
+	for rank < len(sh.levels) {
+		cmps++
+		if !q.MatchWords(sh.levels[rank][base : base+sh.stride]) {
+			break
 		}
+		rank++
 	}
+	heap.add(candidate{rank: rank, row: row, id: sh.ids[row], sh: sh})
+	return cmps
+}
 
-	scanShard := func(i int) {
-		cmps := s.shards[i].scan(qs, heaps[i])
-		s.Costs.BinaryComparisons.Add(cmps)
+// metaVector copies row's level-1 index out of the arena as a fresh vector.
+func (sh *shard) metaVector(row, nbits int) *bitindex.Vector {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return bitindex.FromWords(nbits, sh.levels[0][row*sh.stride:(row+1)*sh.stride])
+}
+
+// searchSharded fans qs out across shards with the worker pool and merges
+// the per-shard winners into one rank-ordered, τ-cut result into out[i] for
+// query i. out must be len(qs) long; entries for queries without matches
+// are left nil, matching the sequential scan.
+func (s *Server) searchSharded(sc *scanScratch, qs []*bitindex.Vector, tau int, out [][]Match) {
+	nq := len(qs)
+	workers := s.workers
+	if workers <= 1 || len(s.shards) == 1 {
+		workers = 1
 	}
-	if w := s.workers; w <= 1 || len(s.shards) == 1 {
+	sqs := sc.queries(qs)
+	sc.grids(workers, len(s.shards), nq, tau)
+
+	if workers == 1 {
+		// Kept free of func literals: a `go` closure anywhere in a function
+		// heap-allocates its captures even on branches that never spawn it,
+		// and this branch is the single-query hot path.
 		for i := range s.shards {
-			scanShard(i)
+			cmps := s.shards[i].scan(sqs, &sc.workers[0], sc.heaps[i*nq:(i+1)*nq])
+			s.Costs.BinaryComparisons.Add(cmps)
 		}
 	} else {
-		// Per-call fan-out: w goroutines claim shards through an atomic
-		// cursor (no feeder goroutine or channel on the query hot path).
-		var wg sync.WaitGroup
-		var cursor atomic.Int64
-		wg.Add(w)
-		for k := 0; k < w; k++ {
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(cursor.Add(1)) - 1
-					if i >= len(s.shards) {
-						return
-					}
-					scanShard(i)
-				}
-			}()
-		}
-		wg.Wait()
+		s.scanParallel(sqs, sc, nq, workers)
 	}
 
-	out := make([][]Match, len(qs))
 	for qi := range qs {
-		var cands []candidate
-		for si := range s.shards {
-			cands = append(cands, heaps[si][qi].c...)
+		cands := sc.cands[:0]
+		for si := 0; si < len(s.shards); si++ {
+			cands = append(cands, sc.heaps[si*nq+qi].c...)
 		}
-		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].rank != cands[j].rank {
-				return cands[i].rank > cands[j].rank
+		slices.SortFunc(cands, func(a, b candidate) int {
+			if a.rank != b.rank {
+				return b.rank - a.rank
 			}
-			return cands[i].si.DocID < cands[j].si.DocID
+			return strings.Compare(a.id, b.id)
 		})
 		if tau > 0 && tau < len(cands) {
 			cands = cands[:tau]
 		}
+		sc.cands = cands[:0]
 		if len(cands) == 0 {
 			continue // out[qi] stays nil, matching the sequential scan
 		}
 		ms := make([]Match, len(cands))
 		for i, c := range cands {
-			ms[i] = Match{DocID: c.si.DocID, Rank: c.rank, Meta: c.si.Levels[0].Clone()}
+			ms[i] = Match{DocID: c.id, Rank: c.rank, Meta: c.sh.metaVector(c.row, s.params.R)}
 		}
 		out[qi] = ms
 	}
-	return out
+}
+
+// scanParallel fans the shard scans out over a per-call worker pool: the
+// workers claim shards through an atomic cursor (no feeder goroutine or
+// channel on the query hot path).
+func (s *Server) scanParallel(sqs []*bitindex.Sparse, sc *scanScratch, nq, workers int) {
+	var wg sync.WaitGroup
+	var cursor atomic.Int64
+	wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		go func(workerID int) {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(s.shards) {
+					return
+				}
+				cmps := s.shards[i].scan(sqs, &sc.workers[workerID], sc.heaps[i*nq:(i+1)*nq])
+				s.Costs.BinaryComparisons.Add(cmps)
+			}
+		}(k)
+	}
+	wg.Wait()
 }
 
 func (s *Server) validateQuery(q *bitindex.Vector) error {
@@ -341,18 +451,33 @@ func (s *Server) Search(q *bitindex.Vector) ([]Match, error) {
 // SearchTop returns only the top-τ matches ("the user can retrieve only the
 // top τ matches where τ is chosen by the user", Section 5). τ ≤ 0 returns
 // every match. With τ > 0 each shard retains at most τ candidates and only
-// the global survivors' metadata vectors are cloned.
+// the global survivors' metadata vectors are copied out of the arenas.
 func (s *Server) SearchTop(q *bitindex.Vector, tau int) ([]Match, error) {
 	if err := s.validateQuery(q); err != nil {
 		return nil, err
 	}
-	return s.searchSharded([]*bitindex.Vector{q}, tau)[0], nil
+	// Wrap the query and result in pooled one-element slices so a SearchTop
+	// call allocates nothing but the returned matches.
+	sc := s.scratch.Get().(*scanScratch)
+	sc.qbuf = append(sc.qbuf[:0], q)
+	if cap(sc.out) < 1 {
+		sc.out = make([][]Match, 1)
+	}
+	sc.out = sc.out[:1]
+	sc.out[0] = nil
+	s.searchSharded(sc, sc.qbuf, tau, sc.out)
+	res := sc.out[0]
+	sc.out[0] = nil
+	sc.qbuf[0] = nil
+	s.scratch.Put(sc)
+	return res, nil
 }
 
 // SearchBatch evaluates several queries in one sharded pass over the store:
-// every shard is scanned once, testing each document against all queries
-// while its index words are hot, instead of once per query. Result i is
-// exactly what SearchTop(queries[i], tau) would return.
+// each shard is locked and its arenas swept once per query back to back,
+// paying the per-shard lock, fan-out and scratch costs once per batch
+// instead of once per query. Result i is exactly what
+// SearchTop(queries[i], tau) would return.
 func (s *Server) SearchBatch(queries []*bitindex.Vector, tau int) ([][]Match, error) {
 	if len(queries) == 0 {
 		return nil, nil
@@ -362,7 +487,11 @@ func (s *Server) SearchBatch(queries []*bitindex.Vector, tau int) ([][]Match, er
 			return nil, fmt.Errorf("core: batch query %d: %w", i, err)
 		}
 	}
-	return s.searchSharded(queries, tau), nil
+	out := make([][]Match, len(queries))
+	sc := s.scratch.Get().(*scanScratch)
+	s.searchSharded(sc, queries, tau, out)
+	s.scratch.Put(sc)
+	return out, nil
 }
 
 // Fetch returns a stored encrypted document by ID (step 3 of Figure 1).
@@ -370,25 +499,46 @@ func (s *Server) Fetch(docID string) (*EncryptedDocument, error) {
 	sh := s.shardFor(docID)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	pos, ok := sh.byID[docID]
+	row, ok := sh.byID[docID]
 	if !ok {
 		return nil, fmt.Errorf("core: no document %q", docID)
 	}
-	return sh.docs[pos].doc, nil
+	return sh.docs[row], nil
+}
+
+// exported pairs a materialized search index with its payload and upload
+// sequence number, for the snapshot paths.
+type exported struct {
+	seq uint64
+	si  *SearchIndex
+	doc *EncryptedDocument
+}
+
+// materializeLocked rebuilds row's SearchIndex from the arenas. The caller
+// must hold at least a read lock on the shard.
+func (sh *shard) materializeLocked(row, nbits int) *SearchIndex {
+	si := &SearchIndex{DocID: sh.ids[row], Levels: make([]*bitindex.Vector, len(sh.levels))}
+	for l, arena := range sh.levels {
+		si.Levels[l] = bitindex.FromWords(nbits, arena[row*sh.stride:(row+1)*sh.stride])
+	}
+	return si
 }
 
 // snapshotOrdered collects every stored document across shards in global
-// upload order. All shard read locks are held simultaneously while copying
-// so the snapshot is a consistent point in time, as under the pre-sharding
-// single lock (every other path locks at most one shard, so acquiring them
-// in slice order cannot deadlock).
-func (s *Server) snapshotOrdered() []storedDoc {
+// upload order, materializing each search index from the arenas. All shard
+// read locks are held simultaneously while copying so the snapshot is a
+// consistent point in time, as under the pre-sharding single lock (every
+// other path locks at most one shard, so acquiring them in slice order
+// cannot deadlock).
+func (s *Server) snapshotOrdered() []exported {
 	for _, sh := range s.shards {
 		sh.mu.RLock()
 	}
-	var all []storedDoc
+	var all []exported
 	for _, sh := range s.shards {
-		all = append(all, sh.docs...)
+		for row := range sh.ids {
+			all = append(all, exported{seq: sh.seqs[row], si: sh.materializeLocked(row, s.params.R), doc: sh.docs[row]})
+		}
 	}
 	for _, sh := range s.shards {
 		sh.mu.RUnlock()
@@ -411,12 +561,29 @@ func (s *Server) Export(fn func(*SearchIndex, *EncryptedDocument) error) error {
 	return nil
 }
 
-// DocumentIDs lists stored document IDs in upload order, for tooling.
+// DocumentIDs lists stored document IDs in upload order, for tooling. Unlike
+// Export it copies no index words, only IDs and sequence numbers.
 func (s *Server) DocumentIDs() []string {
-	all := s.snapshotOrdered()
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+	}
+	type seqID struct {
+		seq uint64
+		id  string
+	}
+	var all []seqID
+	for _, sh := range s.shards {
+		for row, id := range sh.ids {
+			all = append(all, seqID{seq: sh.seqs[row], id: id})
+		}
+	}
+	for _, sh := range s.shards {
+		sh.mu.RUnlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
 	out := make([]string, len(all))
 	for i, d := range all {
-		out[i] = d.si.DocID
+		out[i] = d.id
 	}
 	return out
 }

@@ -355,3 +355,55 @@ func TestConcurrentUploadSearchFetch(t *testing.T) {
 		matchesEqual(t, fmt.Sprintf("post-hammer query %d", qi), got, want)
 	}
 }
+
+// The steady-state query path must be allocation-free outside of result
+// assembly: a query with no matches allocates only the result slice, and a
+// τ-cut query allocates only its τ Match structs and Meta copies. All scan
+// scratch (sparse query forms, match flags, heaps, merge buffers) is pooled.
+func TestSearchScanPathAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates on otherwise allocation-free paths")
+	}
+	o := sharedOwner(t)
+	srv, err := NewServerSharded(o.Params(), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := uploadCorpus(t, o, 200, 37, srv)
+
+	u := newUserFor(t, o, "alloc-prop")
+	u.SeedQueryRNG(53)
+	words := docs[0].Keywords()[:2]
+	fetchTrapdoors(t, o, u, words)
+	hit, err := u.BuildQuery(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	miss := bitindex.New(o.Params().R) // all-zero query matches nothing here
+
+	if got := testing.AllocsPerRun(100, func() {
+		if _, err := srv.SearchTop(miss, 5); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 0 {
+		t.Errorf("no-match SearchTop allocates %.0f times per query, want 0", got)
+	}
+
+	res, err := srv.SearchTop(hit, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("test query matched nothing; pick different words")
+	}
+	// Result assembly: the ms slice plus ≤ 2 allocations per returned Meta
+	// vector. Anything above that is scan-path garbage.
+	budget := 1.0 + 2.0*float64(len(res))
+	if got := testing.AllocsPerRun(100, func() {
+		if _, err := srv.SearchTop(hit, 5); err != nil {
+			t.Fatal(err)
+		}
+	}); got > budget {
+		t.Errorf("SearchTop with %d matches allocates %.0f times per query, want <= %.0f", len(res), got, budget)
+	}
+}

@@ -356,3 +356,57 @@ func TestBruteForceAttackContrast(t *testing.T) {
 		t.Error("Format output malformed")
 	}
 }
+
+// The kernel sweep verifies internally that boxed, dense-arena and
+// zero-word-skipping scans agree on every match set; any disagreement
+// surfaces as an error. Also pin the structural invariants of the report.
+func TestKernelSweepKernelsAgree(t *testing.T) {
+	res, err := KernelSweep(500, 448, []int{1, 7, 64, 448, 1000}, 2, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("%d points, want 4 (zero-count beyond r skipped)", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.ActiveWords < 1 || p.ActiveWords > res.Stride {
+			t.Errorf("%d zeros: %d active words outside [1,%d]", p.ZeroBits, p.ActiveWords, res.Stride)
+		}
+		if p.ZeroBits == 448 && p.ActiveWords != res.Stride {
+			t.Errorf("all-zero query should activate every word, got %d", p.ActiveWords)
+		}
+	}
+	// More query zeros can only shrink the match set (AND-monotonicity).
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].Matches > res.Points[0].Matches {
+			t.Errorf("matches grew with more zeros: %d at %d zeros vs %d at %d",
+				res.Points[i].Matches, res.Points[i].ZeroBits,
+				res.Points[0].Matches, res.Points[0].ZeroBits)
+		}
+	}
+	if !strings.Contains(res.Format(), "ns/doc") {
+		t.Error("Format output malformed")
+	}
+}
+
+// The shard sweep must carry the per-document and comparison columns the
+// kernel work is judged by.
+func TestShardSweepReportsPerDocCosts(t *testing.T) {
+	res, err := ShardSweep([]int{60}, 2, 2, 4, 4, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 {
+		t.Fatalf("%d points, want 1", len(res.Points))
+	}
+	p := res.Points[0]
+	if p.Comparisons < float64(p.NumDocs) {
+		t.Errorf("%.0f comparisons/query over %d docs — level-1 screen alone should cost one per doc", p.Comparisons, p.NumDocs)
+	}
+	if p.PerDoc <= 0 {
+		t.Errorf("PerDoc = %v, want > 0", p.PerDoc)
+	}
+	if !strings.Contains(res.Format(), "cmps/query") {
+		t.Error("Format output malformed")
+	}
+}

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"mkse/internal/bitindex"
+)
+
+// ---------------------------------------------------------------------------
+// Match-kernel sweep — index layout and zero-word skipping (beyond the paper)
+// ---------------------------------------------------------------------------
+
+// KernelPoint measures the Equation-3 scan over one corpus with one query
+// zero-count, under the three storage/kernel combinations the server has
+// used across revisions.
+type KernelPoint struct {
+	ZeroBits    int     // zero bits in the query (the x of Section 6's F(x))
+	ActiveWords int     // 64-bit words where ¬q ≠ 0 — all the skip kernel touches
+	Matches     int     // documents matching the query
+	Boxed       float64 // ns per document: boxed []*Vector scan, Matches per doc
+	Arena       float64 // ns per document: flat columnar arena, dense word sweep
+	Skip        float64 // ns per document: arena + zero-word-skipping kernel
+	ArenaX      float64 // Boxed / Arena
+	SkipX       float64 // Boxed / Skip
+}
+
+// KernelSweepResult is the layout/kernel comparison across query densities.
+type KernelSweepResult struct {
+	Docs    int
+	R       int
+	Stride  int // words per index row
+	Queries int // queries timed per point
+	Points  []KernelPoint
+}
+
+// KernelSweep times one full corpus scan per kernel across query zero-counts.
+// Documents are random indices at the zero density of a paper-parameter
+// document (20 genuine + U random keywords); queries are all-ones indices
+// with the given number of random zero bits, spanning the single-trapdoor
+// case (r/2^d ≈ 7 zeros, Section 6's F(1)) up to fully randomized
+// multi-keyword queries where every word is active. Boxed is the seed
+// layout: one heap-allocated Vector per document, pointer-chased per test.
+// Arena lays every index back-to-back in one []uint64 and sweeps it
+// linearly. Skip adds the Sparse preprocessing so only active words are
+// touched. All three must agree on the match set (verified per point).
+func KernelSweep(docs, r int, zeros []int, queries int, seed int64) (*KernelSweepResult, error) {
+	if docs <= 0 {
+		docs = 10000
+	}
+	if r <= 0 {
+		r = 448
+	}
+	if queries <= 0 {
+		queries = 8
+	}
+	if len(zeros) == 0 {
+		zeros = []int{1, 2, 4, 7, 14, 28, 56, 112, 224}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	stride := bitindex.WordsFor(r)
+
+	// Zero density of a document index that folded x keyword indices:
+	// each bit survives as 1 with probability (1−2^−d)^x; x ≈ 80 under the
+	// paper's defaults (20 genuine + U = 60 random keywords), d = 6.
+	oneProb := 1.0
+	for i := 0; i < 80; i++ {
+		oneProb *= 1 - 1.0/64
+	}
+	boxed := make([]*bitindex.Vector, docs)
+	arena := make([]uint64, 0, docs*stride)
+	for i := range boxed {
+		v := bitindex.New(r)
+		for j := 0; j < r; j++ {
+			if rng.Float64() < oneProb {
+				v.SetBit(j, 1)
+			}
+		}
+		boxed[i] = v
+		arena = v.AppendTo(arena)
+	}
+
+	res := &KernelSweepResult{Docs: docs, R: r, Stride: stride, Queries: queries}
+	matched := make([]bool, docs)
+	var rows []int32
+	for _, z := range zeros {
+		if z > r {
+			continue
+		}
+		qs := make([]*bitindex.Vector, queries)
+		sqs := make([]*bitindex.Sparse, queries)
+		for i := range qs {
+			q := bitindex.NewOnes(r)
+			for _, pos := range rng.Perm(r)[:z] {
+				q.SetBit(pos, 0)
+			}
+			qs[i] = q
+			sqs[i] = q.Sparsify()
+		}
+		pt := KernelPoint{ZeroBits: z, ActiveWords: sqs[0].ActiveWords()}
+
+		boxedPass := func() int {
+			m := 0
+			for _, q := range qs {
+				for _, v := range boxed {
+					if v.Matches(q) {
+						m++
+					}
+				}
+			}
+			return m
+		}
+		arenaPass := func() int {
+			m := 0
+			for _, q := range qs {
+				// Dense arena sweep: every word of ¬q, no preprocessing.
+				qw := q.Words()
+				for base := 0; base < len(arena); base += stride {
+					ok := true
+					for wi, w := range arena[base : base+stride] {
+						if w&^qw[wi] != 0 {
+							ok = false
+							break
+						}
+					}
+					if ok {
+						m++
+					}
+				}
+			}
+			return m
+		}
+		skipPass := func() int {
+			m := 0
+			for _, s := range sqs {
+				rows = s.AppendMatchingRows(arena, stride, rows[:0])
+				m += len(rows)
+			}
+			return m
+		}
+
+		boxedMatches, arenaMatches, skipMatches := boxedPass(), arenaPass(), skipPass()
+		if boxedMatches != arenaMatches || boxedMatches != skipMatches {
+			return nil, fmt.Errorf("kernel disagreement at %d zeros: boxed %d, arena %d, skip %d",
+				z, boxedMatches, arenaMatches, skipMatches)
+		}
+		// The whole-arena kernel must agree with the boxed scan row by row.
+		sqs[0].MatchArena(arena, stride, matched)
+		for i, v := range boxed {
+			if matched[i] != v.Matches(qs[0]) {
+				return nil, fmt.Errorf("MatchArena disagreement at %d zeros, row %d", z, i)
+			}
+		}
+		pt.Matches = boxedMatches / queries
+		tests := float64(docs * queries)
+		pt.Boxed = float64(timeKernel(boxedPass)) / tests
+		pt.Arena = float64(timeKernel(arenaPass)) / tests
+		pt.Skip = float64(timeKernel(skipPass)) / tests
+		if pt.Arena > 0 {
+			pt.ArenaX = pt.Boxed / pt.Arena
+		}
+		if pt.Skip > 0 {
+			pt.SkipX = pt.Boxed / pt.Skip
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// kernelSink defeats dead-code elimination of the timed passes.
+var kernelSink int
+
+// timeKernel times one scan pass, repeating it until enough wall clock has
+// accumulated (≥ 20 ms) for the per-document quotient to be stable.
+func timeKernel(pass func() int) time.Duration {
+	kernelSink += pass() // warmup
+	iters := 0
+	start := time.Now()
+	var elapsed time.Duration
+	for elapsed < 20*time.Millisecond {
+		kernelSink += pass()
+		iters++
+		elapsed = time.Since(start)
+	}
+	return elapsed / time.Duration(iters)
+}
+
+// Format renders the sweep as a table.
+func (r *KernelSweepResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Match kernel — %d docs, r=%d (%d words/row), %d queries per point\n", r.Docs, r.R, r.Stride, r.Queries)
+	b.WriteString("zeros  active-words  matches   boxed ns/doc   arena ns/doc    skip ns/doc   arena×    skip×\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%5d %13d %8d %14.2f %14.2f %14.2f %8.2f %8.2f\n",
+			p.ZeroBits, p.ActiveWords, p.Matches,
+			p.Boxed, p.Arena, p.Skip,
+			p.ArenaX, p.SkipX)
+	}
+	return b.String()
+}
