@@ -9,7 +9,7 @@
 //	mkse-bench -exp cao -dict 2000      # widen the MRSE gap
 //
 // Experiments: fig2a fig2b fig3 fig4a fig4b table1 table2 ranking cao
-// analytic theorem3 attack shards kernel all
+// analytic theorem3 attack shards kernel recovery all
 package main
 
 import (
@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (fig2a fig2b fig3 fig4a fig4b table1 table2 ranking cao analytic theorem3 attack ablate-d ablate-v ablate-bins shards kernel all)")
+		exp     = flag.String("exp", "all", "experiment to run (fig2a fig2b fig3 fig4a fig4b table1 table2 ranking cao analytic theorem3 attack ablate-d ablate-v ablate-bins shards kernel recovery all)")
 		seed    = flag.Int64("seed", 2012, "experiment seed")
 		docs    = flag.Int("docs", 400, "corpus size for fig3/table2")
 		sizes   = flag.String("sizes", "2000,4000,6000,8000,10000", "comma-separated corpus sizes for fig4a/fig4b/cao sweeps")
@@ -132,6 +132,14 @@ func main() {
 			return nil, err
 		}
 		r, err := experiments.KernelSweep(*kdocs, 0, zs, *queries, *seed)
+		return stringer{r}, err
+	})
+	run("recovery", func() (fmt.Stringer, error) {
+		recSizes := sweep
+		if *exp == "all" {
+			recSizes = []int{1000, 5000}
+		}
+		r, err := experiments.RecoverySweep(recSizes, *seed)
 		return stringer{r}, err
 	})
 	run("shards", func() (fmt.Stringer, error) {

@@ -8,9 +8,10 @@
 //	            search cloud encrypted ranked
 //	mkse-client -owner ... -cloud ... -user alice get doc-00042
 //	mkse-client -owner ... -cloud ... -user alice searchget cloud privacy
+//	mkse-client -owner ... -cloud ... -user alice delete doc-00042
 //
 // Subcommands: search <kw...>, get <docID>, searchget <kw...> (search then
-// retrieve the best match).
+// retrieve the best match), delete <docID>.
 package main
 
 import (
@@ -32,7 +33,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: mkse-client [flags] search|get|searchget <args...>")
+		fmt.Fprintln(os.Stderr, "usage: mkse-client [flags] search|get|searchget|delete <args...>")
 		os.Exit(2)
 	}
 
@@ -77,6 +78,11 @@ func main() {
 			log.Fatalf("mkse-client: retrieve: %v", err)
 		}
 		os.Stdout.Write(pt)
+	case "delete":
+		if err := client.Delete(args[1]); err != nil {
+			log.Fatalf("mkse-client: delete: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "deleted %s\n", args[1])
 	default:
 		fmt.Fprintf(os.Stderr, "mkse-client: unknown subcommand %q\n", args[0])
 		os.Exit(2)

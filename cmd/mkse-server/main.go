@@ -5,22 +5,37 @@
 //
 // Usage:
 //
-//	mkse-server -listen :7002 [-levels 1,5,10] [-snapshot cloud.db]
-//	            [-shards 8] [-workers 8]
+//	mkse-server -listen :7002 [-levels 1,5,10] [-shards 8] [-workers 8]
+//	            [-data /var/lib/mkse] [-checkpoint-every 4096]
+//	            [-fsync always|interval|never]
+//	            [-snapshot cloud.db]
 //
 // -shards splits the document store into independently locked shards
 // (default: one per core) scanned concurrently by -workers goroutines per
 // query; see core.Server for the architecture.
 //
-// With -snapshot the daemon restores its database from the given file at
-// startup (if it exists) and writes it back on SIGINT/SIGTERM, so owners do
-// not need to re-upload across restarts. The scheme parameters must match
-// the owner daemon's.
+// -data enables the durable storage engine (internal/durable): every upload
+// and delete is appended to a write-ahead log in the directory before it is
+// acknowledged, a checkpoint is materialized in the background every
+// -checkpoint-every mutations (and on shutdown) without stopping searches,
+// and startup recovers the newest checkpoint plus the log tail — so a
+// crash, not just a clean exit, loses at most what the -fsync policy allows
+// (always: nothing; interval: the last ~100ms; never: whatever the OS had
+// not written back). The directory is created on first boot.
+//
+// -snapshot is the legacy single-file mode, superseded by -data: the
+// database is restored from the file at startup (first boot starts empty)
+// and written back only on shutdown. Both modes persist on any clean
+// shutdown — SIGINT, SIGTERM, or the listener closing — and both restore
+// with the scheme parameters recorded on disk, which must match the owner
+// daemon's.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log"
 	"net"
 	"os"
@@ -29,17 +44,21 @@ import (
 
 	"mkse/internal/cliutil"
 	"mkse/internal/core"
+	"mkse/internal/durable"
 	"mkse/internal/service"
 	"mkse/internal/store"
 )
 
 func main() {
 	var (
-		listen   = flag.String("listen", ":7002", "address to listen on")
-		levels   = flag.String("levels", "1", "comma-separated ranking thresholds (η levels)")
-		snapshot = flag.String("snapshot", "", "path to persist/restore the database")
-		shards   = flag.Int("shards", 0, "document store shards (0 = one per core)")
-		workers  = flag.Int("workers", 0, "concurrent shard scans per query (0 = auto)")
+		listen    = flag.String("listen", ":7002", "address to listen on")
+		levels    = flag.String("levels", "1", "comma-separated ranking thresholds (η levels)")
+		snapshot  = flag.String("snapshot", "", "legacy single-file persistence (superseded by -data)")
+		dataDir   = flag.String("data", "", "durable engine data directory (write-ahead log + checkpoints)")
+		ckptEvery = flag.Int("checkpoint-every", 4096, "mutations between background checkpoints with -data (0 = only on shutdown)")
+		fsyncMode = flag.String("fsync", "interval", "WAL sync policy with -data: always, interval or never")
+		shards    = flag.Int("shards", 0, "document store shards (0 = one per core)")
+		workers   = flag.Int("workers", 0, "concurrent shard scans per query (0 = auto)")
 	)
 	flag.Parse()
 
@@ -53,22 +72,73 @@ func main() {
 	}
 	p.Levels = lv
 
-	mkServer := func(p core.Params) (*core.Server, error) {
-		return core.NewServerSharded(p, *shards, *workers)
+	if *dataDir != "" && *snapshot != "" {
+		fmt.Fprintln(os.Stderr, "mkse-server: -data and -snapshot are mutually exclusive")
+		os.Exit(2)
 	}
-	var server *core.Server
-	if *snapshot != "" {
-		if restored, err := store.LoadFileWith(*snapshot, mkServer); err == nil {
-			server = restored
-			logger.Printf("restored %d documents from %s", server.NumDocuments(), *snapshot)
-		} else if !os.IsNotExist(err) {
-			log.Fatalf("mkse-server: restoring %s: %v", *snapshot, err)
-		}
-	}
-	if server == nil {
-		server, err = mkServer(p)
+
+	svc := &service.CloudService{Logger: logger}
+	// persist runs on every clean shutdown path.
+	var persist func()
+
+	switch {
+	case *dataDir != "":
+		fsync, err := durable.ParseFsyncPolicy(*fsyncMode)
 		if err != nil {
-			log.Fatalf("mkse-server: %v", err)
+			fmt.Fprintf(os.Stderr, "mkse-server: %v\n", err)
+			os.Exit(2)
+		}
+		eng, err := durable.Open(*dataDir, p, durable.Options{
+			Shards: *shards, Workers: *workers,
+			Fsync: fsync, CheckpointEvery: *ckptEvery,
+			Logger: logger,
+		})
+		if err != nil {
+			log.Fatalf("mkse-server: opening %s: %v", *dataDir, err)
+		}
+		st := eng.Stats()
+		logger.Printf("durable engine at %s: %d documents (checkpoint LSN %d, %d ops replayed), fsync=%s",
+			*dataDir, eng.Server().NumDocuments(), st.CheckpointLSN, st.ReplayedOps, fsync)
+		svc.Server = eng.Server()
+		svc.Store = eng
+		persist = func() {
+			if err := eng.Close(); err != nil {
+				logger.Printf("final checkpoint failed: %v", err)
+				os.Exit(1)
+			}
+			logger.Printf("checkpointed %d documents at LSN %d", eng.Server().NumDocuments(), eng.Stats().CheckpointLSN)
+		}
+
+	default:
+		mkServer := func(p core.Params) (*core.Server, error) {
+			return core.NewServerSharded(p, *shards, *workers)
+		}
+		var server *core.Server
+		if *snapshot != "" {
+			switch restored, err := store.LoadFileWith(*snapshot, mkServer); {
+			case err == nil:
+				server = restored
+				logger.Printf("restored %d documents from %s", server.NumDocuments(), *snapshot)
+			case errors.Is(err, fs.ErrNotExist):
+				logger.Printf("no snapshot at %s yet, starting empty", *snapshot)
+			default:
+				log.Fatalf("mkse-server: restoring %s: %v", *snapshot, err)
+			}
+		}
+		if server == nil {
+			if server, err = mkServer(p); err != nil {
+				log.Fatalf("mkse-server: %v", err)
+			}
+		}
+		svc.Server = server
+		if *snapshot != "" {
+			persist = func() {
+				if err := store.SaveFile(*snapshot, server); err != nil {
+					logger.Printf("snapshot failed: %v", err)
+					os.Exit(1)
+				}
+				logger.Printf("snapshotted %d documents to %s", server.NumDocuments(), *snapshot)
+			}
 		}
 	}
 
@@ -77,22 +147,22 @@ func main() {
 		log.Fatalf("mkse-server: %v", err)
 	}
 
-	if *snapshot != "" {
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		go func() {
-			<-sig
-			if err := store.SaveFile(*snapshot, server); err != nil {
-				logger.Printf("snapshot failed: %v", err)
-				os.Exit(1)
-			}
-			logger.Printf("snapshotted %d documents to %s", server.NumDocuments(), *snapshot)
-			os.Exit(0)
-		}()
-	}
+	// A signal closes the listener; Serve then returns cleanly and the
+	// shutdown path below persists — the same path a programmatic listener
+	// close takes, so persistence is not tied to signals alone.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		logger.Printf("received %v, shutting down", s)
+		l.Close()
+	}()
 
-	logger.Printf("listening on %s (r=%d, η=%d, %d shards)", l.Addr(), server.Params().R, server.Params().Eta(), server.NumShards())
-	if err := (&service.CloudService{Server: server, Logger: logger}).Serve(l); err != nil {
+	logger.Printf("listening on %s (r=%d, η=%d, %d shards)", l.Addr(), svc.Server.Params().R, svc.Server.Params().Eta(), svc.Server.NumShards())
+	if err := svc.Serve(l); err != nil {
 		log.Fatalf("mkse-server: %v", err)
+	}
+	if persist != nil {
+		persist()
 	}
 }

@@ -30,6 +30,25 @@
 // are byte-identical to the paper's sequential scan. See core.Server and
 // EXPERIMENTS.md ("Columnar index arenas") for the layout and measurements.
 //
+// # Persistence and crash recovery
+//
+// The cloud daemon's documents survive crashes, not just clean exits: a
+// durable storage engine (internal/durable) appends every upload and delete
+// to a CRC-framed write-ahead log before acknowledging it, with an fsync
+// policy chosen per deployment (every record, on an interval, or never). A
+// background checkpointer periodically materializes the server's state —
+// pausing only the mutation stream for milliseconds while searches keep
+// running — serializes it beside the log (internal/store's versioned
+// checkpoint format, which still loads pre-engine snapshot files), and
+// truncates the replayed log. Recovery loads the newest checkpoint and
+// replays the log tail, tolerating the torn final record a crash mid-append
+// leaves; for any crash point the recovered server's search output is
+// byte-identical to a server that applied exactly the surviving operations.
+// Documents can also be removed end to end: core.Server.Delete compacts the
+// columnar arenas by swap-remove, and the Delete verb runs through the wire
+// protocol, the daemons and the client. See EXPERIMENTS.md ("Durable
+// storage engine") for replay-throughput and checkpoint-pause numbers.
+//
 // # Package layout
 //
 // This root package is the public API: parameters, the three roles (Owner,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"slices"
@@ -12,6 +13,11 @@ import (
 	"mkse/internal/bitindex"
 	"mkse/internal/costs"
 )
+
+// ErrNotFound reports an operation on a document ID the server does not
+// hold. Fetch and Delete wrap it so callers (the durable write-ahead log,
+// the service layer) can distinguish "no such document" from real failures.
+var ErrNotFound = errors.New("no such document")
 
 // Server is the semi-honest cloud server of Figure 1. It stores encrypted
 // documents, RSA-wrapped keys and search indices, and answers queries with
@@ -177,6 +183,54 @@ func (s *Server) Upload(si *SearchIndex, doc *EncryptedDocument) error {
 		sh.levels[l] = v.AppendTo(sh.levels[l])
 	}
 	return nil
+}
+
+// Delete removes a stored document: its encrypted payload, wrapped key and
+// every ranking level's index row. The freed arena rows are compacted by
+// swap-remove — the shard's last row moves into the vacated slot and the
+// arenas shrink by one stride — so scans never visit dead rows and a long
+// delete-heavy workload cannot leak arena space (capacities are released
+// once a shard falls to a quarter of its high-water mark). Deleting an
+// unknown ID returns ErrNotFound. Delete does not reset the document's
+// upload sequence: re-uploading the same ID later enrolls it as new, at the
+// end of the upload order.
+func (s *Server) Delete(docID string) error {
+	sh := s.shardFor(docID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	row, ok := sh.byID[docID]
+	if !ok {
+		return fmt.Errorf("core: no document %q: %w", docID, ErrNotFound)
+	}
+	last := len(sh.ids) - 1
+	if row != last {
+		sh.ids[row] = sh.ids[last]
+		sh.seqs[row] = sh.seqs[last]
+		sh.docs[row] = sh.docs[last]
+		sh.byID[sh.ids[row]] = row
+		for _, arena := range sh.levels {
+			copy(arena[row*sh.stride:(row+1)*sh.stride], arena[last*sh.stride:(last+1)*sh.stride])
+		}
+	}
+	sh.ids = shrink(sh.ids[:last])
+	sh.seqs = shrink(sh.seqs[:last])
+	sh.docs[last] = nil // release the payload reference
+	sh.docs = shrink(sh.docs[:last])
+	for l := range sh.levels {
+		sh.levels[l] = shrink(sh.levels[l][:last*sh.stride])
+	}
+	delete(sh.byID, docID)
+	return nil
+}
+
+// shrink reallocates a column whose length has fallen to a quarter of its
+// capacity, so a store that grew large and was then mostly deleted returns
+// the memory. Small columns are left alone.
+func shrink[T any](s []T) []T {
+	if cap(s) >= 64 && len(s)*4 <= cap(s) {
+		return append(make([]T, 0, len(s)*2), s...)
+	}
+	return s
 }
 
 // NumDocuments returns the number of stored documents σ.
@@ -501,7 +555,7 @@ func (s *Server) Fetch(docID string) (*EncryptedDocument, error) {
 	defer sh.mu.RUnlock()
 	row, ok := sh.byID[docID]
 	if !ok {
-		return nil, fmt.Errorf("core: no document %q", docID)
+		return nil, fmt.Errorf("core: no document %q: %w", docID, ErrNotFound)
 	}
 	return sh.docs[row], nil
 }
@@ -549,9 +603,12 @@ func (s *Server) snapshotOrdered() []exported {
 
 // Export iterates over every stored document in upload order, passing its
 // search index and encrypted payload to fn. It is the hook persistence
-// layers (internal/store) snapshot the server through; iteration stops at
-// the first error. The callback must not retain or mutate the arguments
-// beyond the call.
+// layers (internal/store, internal/durable) snapshot the server through;
+// iteration stops at the first error. The callback must not mutate the
+// arguments, but it may retain them: the SearchIndex is materialized fresh
+// for each call and the EncryptedDocument is immutable under the Upload
+// contract — the durable checkpointer relies on this to capture a snapshot
+// under lock and serialize it after release.
 func (s *Server) Export(fn func(*SearchIndex, *EncryptedDocument) error) error {
 	for _, d := range s.snapshotOrdered() {
 		if err := fn(d.si, d.doc); err != nil {

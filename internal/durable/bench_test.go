@@ -1,0 +1,91 @@
+package durable
+
+import (
+	"math/rand"
+	"testing"
+
+	"mkse/internal/core"
+)
+
+// benchOps pre-builds n upload ops so index generation stays out of the
+// measured region.
+func benchOps(b *testing.B, p core.Params, n int) []op {
+	b.Helper()
+	rng := rand.New(rand.NewSource(2012))
+	ops := make([]op, n)
+	for i := range ops {
+		ops[i] = uploadOp(rng, p, "doc-"+string(rune('a'+i%26))+string(rune('0'+i%10))+"-"+itoa(i), "payload payload payload")
+	}
+	return ops
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	n := len(buf)
+	for i > 0 {
+		n--
+		buf[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[n:])
+}
+
+// BenchmarkWALAppend measures the logged-upload path (validate + frame +
+// append + apply) without fsync.
+func BenchmarkWALAppend(b *testing.B) {
+	p := testParams()
+	ops := benchOps(b, p, 512)
+	e, err := Open(b.TempDir(), p, Options{Fsync: FsyncNever})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Crash()
+	var bytes0 int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := ops[i%len(ops)]
+		if err := e.Upload(o.si, o.doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := e.Stats()
+	b.SetBytes((st.WALBytes - bytes0) / int64(b.N))
+}
+
+// BenchmarkWALReplay measures crash recovery: reopening a directory whose
+// log holds 1000 uploads and replaying them into a fresh server. This is
+// the `-exp recovery` hot path; CI runs it at -benchtime=1x so it cannot
+// rot.
+func BenchmarkWALReplay(b *testing.B) {
+	p := testParams()
+	ops := benchOps(b, p, 1000)
+	dir := b.TempDir()
+	e, err := Open(dir, p, Options{Fsync: FsyncNever})
+	if err != nil {
+		b.Fatal(err)
+	}
+	applyOps(b, e, ops)
+	if err := e.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	e.Crash()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		re, err := Open(dir, p, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := re.Stats()
+		if st.ReplayedOps != len(ops) {
+			b.Fatalf("replayed %d, want %d", st.ReplayedOps, len(ops))
+		}
+		b.SetBytes(st.ReplayedBytes)
+		re.Crash()
+	}
+	b.ReportMetric(float64(len(ops))*float64(b.N)/b.Elapsed().Seconds(), "docs/s")
+}

@@ -1,0 +1,773 @@
+// Package durable is the cloud server's storage engine: an append-only
+// write-ahead log (WAL) of upload/delete mutations plus periodic materialized
+// checkpoints, giving the daemon crash recovery with bounded data loss
+// instead of the seed's exit-time-only snapshot.
+//
+// # Data directory layout
+//
+// An engine owns a directory holding two kinds of files, both named by LSN —
+// the log sequence number, a count of mutations since the directory was
+// created:
+//
+//	wal-<lsn>.log         log segment whose first record is mutation <lsn>
+//	checkpoint-<lsn>.ckpt store.SaveCheckpoint snapshot covering mutations [0, lsn)
+//
+// Every mutation is validated, appended to the live segment (fsynced per
+// FsyncPolicy), and only then applied to the in-memory core.Server — so the
+// log is always at least as new as the state it reconstructs. A checkpoint
+// cuts the log at the current LSN: the mutation stream is paused only while
+// the server's state is materialized in memory and the segment rotated
+// (searches keep running throughout; the pause is reported in Stats), then
+// the snapshot is serialized and atomically renamed into place while uploads
+// and deletes continue into the fresh segment, and obsolete files are
+// removed.
+//
+// # Recovery
+//
+// Open loads the newest readable checkpoint and replays the log from its
+// LSN, record by record, until the log ends or a record fails to decode. A
+// torn final record — the expected residue of a crash mid-append — is
+// truncated away and the engine resumes appending after it; a corrupt record
+// with valid records behind it (bit rot, not tearing) aborts recovery, since
+// silently skipping mutations would fork the state from the log. For any
+// crash point, the recovered server's search output is byte-identical to a
+// server that applied exactly the surviving prefix of mutations.
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mkse/internal/bitindex"
+	"mkse/internal/core"
+	"mkse/internal/store"
+)
+
+// FsyncPolicy says when the engine forces logged records to stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs the log before every mutation is acknowledged: no
+	// acknowledged write is ever lost, at the price of a disk round trip
+	// per mutation.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval syncs on a background tick (Options.FsyncEvery,
+	// default 100ms): a crash loses at most the last interval.
+	FsyncInterval
+	// FsyncNever leaves flushing to the operating system: fastest, and a
+	// process crash (as opposed to a power cut) still loses nothing once
+	// the engine's buffer is flushed.
+	FsyncNever
+)
+
+// ParseFsyncPolicy maps the -fsync flag values onto policies.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("durable: unknown fsync policy %q (want always, interval or never)", s)
+}
+
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	default:
+		return "never"
+	}
+}
+
+// Options tunes an engine. The zero value is usable: default shard layout,
+// fsync on every mutation, no automatic checkpoints.
+type Options struct {
+	// Shards and Workers set the recovered server's layout, as in
+	// core.NewServerSharded (<= 0 picks the defaults).
+	Shards, Workers int
+	// Fsync is the log sync policy.
+	Fsync FsyncPolicy
+	// FsyncEvery is the FsyncInterval period; 0 means 100ms.
+	FsyncEvery time.Duration
+	// CheckpointEvery triggers a background checkpoint after that many
+	// mutations since the last one; 0 checkpoints only on Close or by
+	// explicit Checkpoint calls.
+	CheckpointEvery int
+	// Logger, if set, receives recovery and checkpoint notices.
+	Logger *log.Logger
+}
+
+// Stats is a point-in-time snapshot of the engine's counters.
+type Stats struct {
+	LSN           uint64 // mutations logged over the directory's lifetime
+	CheckpointLSN uint64 // LSN covered by the newest durable checkpoint
+	Checkpoints   int    // checkpoints taken by this engine instance
+
+	// LastCheckpointPause is how long the last checkpoint blocked the
+	// mutation stream (state materialization + segment rotation); searches
+	// are never blocked. LastCheckpointWrite is the full serialization
+	// time, which overlaps normal service.
+	LastCheckpointPause time.Duration
+	LastCheckpointWrite time.Duration
+
+	// Replay footprint of Open: records applied, bytes decoded, wall time.
+	ReplayedOps   int
+	ReplayedBytes int64
+	ReplayTime    time.Duration
+
+	WALBytes int64 // bytes appended to the log by this engine instance
+}
+
+// ErrClosed reports a mutation against a closed engine.
+var ErrClosed = errors.New("durable: engine is closed")
+
+// Engine couples a core.Server with its write-ahead log and checkpointer.
+// Route every mutation through the engine (Upload, Delete); reads — Search,
+// SearchBatch, Fetch — go straight to Server(), which stays safe for
+// concurrent use.
+type Engine struct {
+	dir  string
+	opts Options
+	srv  *core.Server
+
+	// mu serializes mutations and checkpoint cuts, fixing one global order
+	// that the log, the in-memory state and any replay all share.
+	mu           sync.Mutex
+	f            *os.File // live segment
+	lsn          uint64
+	segStart     uint64
+	segSize      int64 // bytes of complete records in the live segment
+	opsSinceCkpt int
+	dirty        bool // bytes written since the last sync
+	closing      bool
+	broken       bool   // a failed append could not be rolled back
+	buf          []byte // op staging buffer
+	frame        []byte // framed-record staging buffer
+	stats        Stats
+
+	ckptMu sync.Mutex // serializes whole checkpoints
+
+	ckptCh chan struct{}
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// Open recovers (or creates) an engine over dir. A directory that does not
+// exist yet is created and yields an empty server with parameters p; an
+// existing directory is recovered from its newest checkpoint plus log tail,
+// using the parameters persisted there (p is ignored then, like the legacy
+// snapshot path — the log already encodes indices of the on-disk geometry).
+func Open(dir string, p core.Params, opts Options) (*Engine, error) {
+	if opts.FsyncEvery <= 0 {
+		opts.FsyncEvery = 100 * time.Millisecond
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: creating data dir: %w", err)
+	}
+	ckpts, segs, err := scanDir(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	e := &Engine{
+		dir:    dir,
+		opts:   opts,
+		ckptCh: make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+	mk := func(p core.Params) (*core.Server, error) {
+		return core.NewServerSharded(p, opts.Shards, opts.Workers)
+	}
+
+	// Newest readable checkpoint wins; fall back past corrupt ones (a crash
+	// cannot produce them — the rename is atomic — but bit rot can).
+	for i := len(ckpts) - 1; i >= 0; i-- {
+		srv, lsn, err := store.LoadCheckpointFile(filepath.Join(dir, ckptName(ckpts[i])), mk)
+		if err != nil {
+			logf(opts.Logger, "durable: checkpoint %s unreadable, trying older: %v", ckptName(ckpts[i]), err)
+			continue
+		}
+		if lsn != ckpts[i] {
+			return nil, fmt.Errorf("durable: checkpoint %s covers LSN %d", ckptName(ckpts[i]), lsn)
+		}
+		e.srv, e.lsn = srv, lsn
+		break
+	}
+	if e.srv == nil {
+		if len(ckpts) > 0 {
+			return nil, fmt.Errorf("durable: no readable checkpoint among %d in %s", len(ckpts), dir)
+		}
+		if e.srv, err = mk(p); err != nil {
+			return nil, err
+		}
+	}
+	e.stats.CheckpointLSN = e.lsn
+
+	if err := e.replay(segs); err != nil {
+		return nil, err
+	}
+	if err := e.openSegment(segs); err != nil {
+		return nil, err
+	}
+	e.cleanup()
+
+	e.wg.Add(1)
+	go e.checkpointLoop()
+	if opts.Fsync == FsyncInterval {
+		e.wg.Add(1)
+		go e.flushLoop()
+	}
+	return e, nil
+}
+
+// Server exposes the recovered server for reads. Mutations must go through
+// the engine.
+func (e *Engine) Server() *core.Server { return e.srv }
+
+// Dir returns the engine's data directory.
+func (e *Engine) Dir() string { return e.dir }
+
+// Stats returns a copy of the engine's counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Upload durably stores one document: the mutation is logged (and synced,
+// per policy) before it is applied to the server, so a crash straight after
+// Upload returns cannot lose it under FsyncAlways. Re-uploading an existing
+// ID logs and applies a replacement, as in core.Server.Upload.
+func (e *Engine) Upload(si *core.SearchIndex, doc *core.EncryptedDocument) error {
+	if si == nil || doc == nil {
+		return fmt.Errorf("core: nil upload")
+	}
+	// Validate up front: only mutations that cannot fail to apply may reach
+	// the log, otherwise replay would diverge from the live state.
+	if err := si.Validate(e.srv.Params()); err != nil {
+		return err
+	}
+	if doc.ID != si.DocID {
+		return fmt.Errorf("core: index is for %q but document is %q", si.DocID, doc.ID)
+	}
+	levels := make([][]byte, len(si.Levels))
+	for i, l := range si.Levels {
+		enc, err := l.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		levels[i] = enc
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closing {
+		return ErrClosed
+	}
+	e.buf = appendUploadOp(e.buf[:0], si.DocID, levels, doc.Ciphertext, doc.EncKey)
+	if err := e.logLocked(e.buf); err != nil {
+		return err
+	}
+	if err := e.srv.Upload(si, doc); err != nil {
+		return err // unreachable given the validation above
+	}
+	e.noteOpLocked()
+	return nil
+}
+
+// Delete durably removes one document; deleting an unknown ID returns
+// core.ErrNotFound without touching the log.
+func (e *Engine) Delete(docID string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closing {
+		return ErrClosed
+	}
+	if _, err := e.srv.Fetch(docID); err != nil {
+		return err
+	}
+	e.buf = appendDeleteOp(e.buf[:0], docID)
+	if err := e.logLocked(e.buf); err != nil {
+		return err
+	}
+	if err := e.srv.Delete(docID); err != nil {
+		return err // unreachable: existence was checked under e.mu
+	}
+	e.noteOpLocked()
+	return nil
+}
+
+// logLocked frames rec, appends it to the live segment and syncs per
+// policy. Caller holds e.mu.
+func (e *Engine) logLocked(rec []byte) error {
+	if e.broken {
+		return fmt.Errorf("durable: log is in an unknown state after an unrecoverable append failure")
+	}
+	var err error
+	e.frame, err = AppendRecord(e.frame[:0], rec)
+	if err != nil {
+		return err
+	}
+	if n, err := e.f.Write(e.frame); err != nil {
+		// A short write (disk full, I/O error) leaves a partial frame in the
+		// segment. Recovery would read it as a torn tail and silently drop
+		// any acknowledged records appended after it — so roll the segment
+		// back to the last record boundary; if even that fails, refuse all
+		// further appends rather than risk losing acknowledged data.
+		if n > 0 {
+			if terr := e.f.Truncate(e.segSize); terr != nil {
+				e.broken = true
+				return fmt.Errorf("durable: appending WAL record: %v; rolling back partial frame: %w", err, terr)
+			}
+		}
+		return fmt.Errorf("durable: appending WAL record: %w", err)
+	}
+	e.segSize += int64(len(e.frame))
+	e.lsn++
+	e.stats.LSN = e.lsn
+	e.stats.WALBytes += int64(len(e.frame))
+	e.dirty = true
+	if e.opts.Fsync == FsyncAlways {
+		return e.syncLocked()
+	}
+	return nil
+}
+
+func (e *Engine) syncLocked() error {
+	if !e.dirty {
+		return nil
+	}
+	if err := e.f.Sync(); err != nil {
+		return fmt.Errorf("durable: syncing WAL: %w", err)
+	}
+	e.dirty = false
+	return nil
+}
+
+// Sync forces every logged record to stable storage, whatever the policy.
+func (e *Engine) Sync() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.syncLocked()
+}
+
+// noteOpLocked counts a mutation toward the automatic checkpoint trigger.
+func (e *Engine) noteOpLocked() {
+	e.opsSinceCkpt++
+	if e.opts.CheckpointEvery > 0 && e.opsSinceCkpt >= e.opts.CheckpointEvery {
+		select {
+		case e.ckptCh <- struct{}{}:
+		default: // one is already pending
+		}
+	}
+}
+
+// memSnapshot is the state captured during a checkpoint cut, serialized
+// after the mutation stream resumes. It satisfies store.Exporter.
+type memSnapshot struct {
+	params core.Params
+	items  []snapItem
+}
+
+type snapItem struct {
+	si  *core.SearchIndex
+	doc *core.EncryptedDocument
+}
+
+func (s *memSnapshot) Params() core.Params { return s.params }
+func (s *memSnapshot) NumDocuments() int   { return len(s.items) }
+func (s *memSnapshot) Export(fn func(*core.SearchIndex, *core.EncryptedDocument) error) error {
+	for _, it := range s.items {
+		if err := fn(it.si, it.doc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Checkpoint materializes the server's state, rotates the log, serializes
+// the snapshot beside the live directory and atomically installs it, then
+// prunes files the new checkpoint obsoletes. Mutations are blocked only
+// during materialization and rotation (the reported pause); searches and
+// fetches are never blocked, and the serialization overlaps normal service.
+// Checkpointing an unchanged engine is a no-op.
+func (e *Engine) Checkpoint() error {
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+
+	start := time.Now()
+	e.mu.Lock()
+	lsn := e.lsn
+	if lsn == e.stats.CheckpointLSN {
+		e.mu.Unlock()
+		return nil
+	}
+	snap := &memSnapshot{params: e.srv.Params()}
+	// Export's contract permits retaining (not mutating) its arguments, so
+	// the snapshot captures the pointers and serializes after unlock.
+	err := e.srv.Export(func(si *core.SearchIndex, doc *core.EncryptedDocument) error {
+		snap.items = append(snap.items, snapItem{si: si, doc: doc})
+		return nil
+	})
+	if err == nil {
+		err = e.rotateLocked(lsn)
+	}
+	pause := time.Since(start)
+	e.stats.LastCheckpointPause = pause
+	e.mu.Unlock()
+	if err != nil {
+		return err
+	}
+
+	wstart := time.Now()
+	path := filepath.Join(e.dir, ckptName(lsn))
+	if err := store.SaveCheckpointFile(path, snap, lsn); err != nil {
+		return fmt.Errorf("durable: writing checkpoint: %w", err)
+	}
+	if err := syncDir(e.dir); err != nil {
+		return err
+	}
+
+	e.mu.Lock()
+	e.stats.CheckpointLSN = lsn
+	e.stats.Checkpoints++
+	e.stats.LastCheckpointWrite = time.Since(wstart)
+	e.mu.Unlock()
+	e.cleanup()
+	logf(e.opts.Logger, "durable: checkpoint at LSN %d (%d documents, %v pause)", lsn, len(snap.items), pause)
+	return nil
+}
+
+// rotateLocked finishes the live segment and starts wal-<lsn>.log. Caller
+// holds e.mu.
+func (e *Engine) rotateLocked(lsn uint64) error {
+	if err := e.syncLocked(); err != nil {
+		return err
+	}
+	if err := e.f.Close(); err != nil {
+		return err
+	}
+	// O_APPEND keeps the write offset glued to EOF, so a rollback truncate
+	// in logLocked cannot leave a hole.
+	f, err := os.OpenFile(filepath.Join(e.dir, segName(lsn)), os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: rotating WAL: %w", err)
+	}
+	if err := syncDir(e.dir); err != nil {
+		f.Close()
+		return err
+	}
+	e.f = f
+	e.segStart = lsn
+	e.segSize = 0
+	e.opsSinceCkpt = 0
+	e.dirty = false
+	return nil
+}
+
+// checkpointLoop runs automatic checkpoints off the mutation path.
+func (e *Engine) checkpointLoop() {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.done:
+			return
+		case <-e.ckptCh:
+			if err := e.Checkpoint(); err != nil {
+				logf(e.opts.Logger, "durable: background checkpoint: %v", err)
+			}
+		}
+	}
+}
+
+// flushLoop services FsyncInterval.
+func (e *Engine) flushLoop() {
+	defer e.wg.Done()
+	t := time.NewTicker(e.opts.FsyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.done:
+			return
+		case <-t.C:
+			if err := e.Sync(); err != nil {
+				logf(e.opts.Logger, "durable: interval sync: %v", err)
+			}
+		}
+	}
+}
+
+// Close stops the background work, takes a final checkpoint (so the next
+// Open is replay-free) and closes the log. Further mutations return
+// ErrClosed; reads through Server() keep working.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closing {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closing = true
+	e.mu.Unlock()
+	close(e.done)
+	e.wg.Wait()
+	err := e.Checkpoint()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if serr := e.syncLocked(); err == nil {
+		err = serr
+	}
+	if cerr := e.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Crash abandons the engine the way a killed process would: background work
+// stops and the log handle is closed without a flush, a sync or a final
+// checkpoint. Only what the chosen fsync policy already made durable (plus
+// whatever the OS wrote back on its own) survives into the next Open. For
+// crash-recovery tests and experiments.
+func (e *Engine) Crash() {
+	e.mu.Lock()
+	if e.closing {
+		e.mu.Unlock()
+		return
+	}
+	e.closing = true
+	e.mu.Unlock()
+	close(e.done)
+	e.wg.Wait()
+	e.f.Close()
+}
+
+// replay applies the log tail (segments at or past the checkpoint LSN) to
+// the freshly loaded server.
+func (e *Engine) replay(segs []uint64) error {
+	start := time.Now()
+	for i, seg := range segs {
+		if seg < e.lsn {
+			// Fully covered by the checkpoint — its cut always lands on a
+			// rotation boundary — so skip it; cleanup prunes it later.
+			continue
+		}
+		if seg > e.lsn {
+			return fmt.Errorf("durable: log gap: next segment starts at LSN %d, have %d", seg, e.lsn)
+		}
+		stop, err := e.replaySegment(filepath.Join(e.dir, segName(seg)), i == len(segs)-1)
+		if err != nil {
+			return err
+		}
+		if stop {
+			break
+		}
+	}
+	e.stats.ReplayTime = time.Since(start)
+	e.stats.LSN = e.lsn
+	if e.stats.ReplayedOps > 0 {
+		logf(e.opts.Logger, "durable: replayed %d operations (%d bytes) in %v",
+			e.stats.ReplayedOps, e.stats.ReplayedBytes, e.stats.ReplayTime)
+	}
+	return nil
+}
+
+// replaySegment applies one segment's records. last marks the directory's
+// final segment, the only place a torn record is legitimate: the tail is
+// truncated away and replay stops. Returns stop=true when the segment ended
+// early.
+func (e *Engine) replaySegment(path string, last bool) (stop bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, fmt.Errorf("durable: reading segment: %w", err)
+	}
+	off := 0
+	for off < len(data) {
+		payload, n, derr := DecodeRecord(data[off:])
+		if derr != nil {
+			if !last {
+				return false, fmt.Errorf("durable: %s: record at offset %d with later segments present: %w", filepath.Base(path), off, derr)
+			}
+			logf(e.opts.Logger, "durable: %s: dropping torn tail at offset %d (%v)", filepath.Base(path), off, derr)
+			if terr := os.Truncate(path, int64(off)); terr != nil {
+				return false, fmt.Errorf("durable: truncating torn tail: %w", terr)
+			}
+			return true, nil
+		}
+		if aerr := e.applyPayload(payload); aerr != nil {
+			return false, fmt.Errorf("durable: %s: applying record %d: %w", filepath.Base(path), e.lsn, aerr)
+		}
+		off += n
+		e.lsn++
+		e.stats.ReplayedOps++
+		e.stats.ReplayedBytes += int64(n)
+	}
+	return false, nil
+}
+
+// applyPayload re-applies one logged mutation.
+func (e *Engine) applyPayload(payload []byte) error {
+	op, err := decodeOp(payload)
+	if err != nil {
+		return err
+	}
+	switch op.kind {
+	case opDelete:
+		if err := e.srv.Delete(string(op.docID)); err != nil && !errors.Is(err, core.ErrNotFound) {
+			return err
+		}
+		return nil
+	case opUpload:
+		levels := make([]*bitindex.Vector, len(op.levels))
+		for i, raw := range op.levels {
+			var v bitindex.Vector
+			if err := v.UnmarshalBinary(raw); err != nil {
+				return fmt.Errorf("level %d: %w", i+1, err)
+			}
+			levels[i] = &v
+		}
+		si := &core.SearchIndex{DocID: string(op.docID), Levels: levels}
+		doc := &core.EncryptedDocument{
+			ID: si.DocID,
+			// Copy out of the segment read buffer so retained payloads do
+			// not pin whole segments in memory.
+			Ciphertext: append([]byte(nil), op.ciphertext...),
+			EncKey:     append([]byte(nil), op.encKey...),
+		}
+		return e.srv.Upload(si, doc)
+	}
+	return fmt.Errorf("%w: unknown operation kind %d", ErrCorruptRecord, op.kind)
+}
+
+// openSegment resumes appending: to the directory's last segment if replay
+// consumed it fully, otherwise to a fresh segment at the recovered LSN.
+func (e *Engine) openSegment(segs []uint64) error {
+	if len(segs) > 0 {
+		last := segs[len(segs)-1]
+		if last <= e.lsn {
+			path := filepath.Join(e.dir, segName(last))
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err == nil {
+				fi, err := f.Stat()
+				if err != nil {
+					f.Close()
+					return fmt.Errorf("durable: sizing WAL segment: %w", err)
+				}
+				e.f = f
+				e.segStart = last
+				e.segSize = fi.Size()
+				return nil
+			}
+		}
+	}
+	f, err := os.OpenFile(filepath.Join(e.dir, segName(e.lsn)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: opening WAL segment: %w", err)
+	}
+	e.f = f
+	e.segStart = e.lsn
+	e.segSize = 0
+	return syncDir(e.dir)
+}
+
+// cleanup removes files a durable checkpoint has obsoleted: older
+// checkpoints, segments fully below the checkpoint LSN, and stale temp
+// files. Failures are cosmetic (retried on the next cleanup) and ignored.
+func (e *Engine) cleanup() {
+	e.mu.Lock()
+	ckptLSN := e.stats.CheckpointLSN
+	segStart := e.segStart
+	e.mu.Unlock()
+	ckpts, segs, err := scanDir(e.dir)
+	if err != nil {
+		return
+	}
+	for _, c := range ckpts {
+		if c < ckptLSN {
+			os.Remove(filepath.Join(e.dir, ckptName(c)))
+		}
+	}
+	for i, s := range segs {
+		// A segment is dead once the checkpoint covers it entirely — its
+		// end is the next segment's start — and it is not the live one.
+		if s >= segStart {
+			continue
+		}
+		if i+1 < len(segs) && segs[i+1] <= ckptLSN {
+			os.Remove(filepath.Join(e.dir, segName(s)))
+		}
+	}
+}
+
+// --- directory plumbing ---
+
+func segName(lsn uint64) string  { return fmt.Sprintf("wal-%016d.log", lsn) }
+func ckptName(lsn uint64) string { return fmt.Sprintf("checkpoint-%016d.ckpt", lsn) }
+
+// scanDir lists the directory's checkpoint and segment LSNs, ascending, and
+// sweeps temp files left by an interrupted checkpoint write.
+func scanDir(dir string) (ckpts, segs []uint64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: reading data dir: %w", err)
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if n, ok := parseName(name, "wal-", ".log"); ok {
+			segs = append(segs, n)
+		} else if n, ok := parseName(name, "checkpoint-", ".ckpt"); ok {
+			ckpts = append(ckpts, n)
+		}
+	}
+	sort.Slice(ckpts, func(i, j int) bool { return ckpts[i] < ckpts[j] })
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return ckpts, segs, nil
+}
+
+func parseName(name, prefix, suffix string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(name, prefix)
+	if !ok {
+		return 0, false
+	}
+	rest, ok = strings.CutSuffix(rest, suffix)
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(rest, 10, 64)
+	return n, err == nil
+}
+
+// syncDir fsyncs a directory so renames and creates within it survive a
+// power cut.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("durable: syncing data dir: %w", err)
+	}
+	return nil
+}
+
+func logf(l *log.Logger, format string, args ...any) {
+	if l != nil {
+		l.Printf(format, args...)
+	}
+}

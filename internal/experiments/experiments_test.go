@@ -410,3 +410,29 @@ func TestShardSweepReportsPerDocCosts(t *testing.T) {
 		t.Error("Format output malformed")
 	}
 }
+
+// The recovery sweep must replay every logged operation, report positive
+// throughput, and agree with the never-crashed reference (the sweep itself
+// errors on disagreement).
+func TestRecoverySweepReplaysEverything(t *testing.T) {
+	res, err := RecoverySweep([]int{80}, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 {
+		t.Fatalf("%d points, want 1", len(res.Points))
+	}
+	p := res.Points[0]
+	if p.ReplayOps != p.NumDocs+p.Deletes {
+		t.Errorf("replayed %d ops, want %d uploads + %d deletes", p.ReplayOps, p.NumDocs, p.Deletes)
+	}
+	if p.DocsPerSec <= 0 || p.MBPerSec <= 0 || p.WALBytes <= 0 {
+		t.Errorf("degenerate throughput: %+v", p)
+	}
+	if p.CheckpointPause <= 0 || p.CleanOpen <= 0 {
+		t.Errorf("checkpoint timings missing: %+v", p)
+	}
+	if !strings.Contains(res.Format(), "docs/s") {
+		t.Error("Format output malformed")
+	}
+}

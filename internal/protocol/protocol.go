@@ -82,6 +82,9 @@ type Message struct {
 	UploadReq  *UploadRequest
 	UploadResp *UploadResponse
 
+	DeleteReq  *DeleteRequest
+	DeleteResp *DeleteResponse
+
 	SearchReq  *SearchRequest
 	SearchResp *SearchResponse
 
@@ -215,6 +218,19 @@ type UploadRequest struct {
 // UploadResponse acknowledges an upload.
 type UploadResponse struct {
 	Stored int // total documents now stored
+}
+
+// DeleteRequest removes one document — payload, wrapped key and every
+// index level — from the cloud server (owner → server, the inverse of
+// UploadRequest). On a durably backed server the deletion is logged before
+// it is acknowledged.
+type DeleteRequest struct {
+	DocID string
+}
+
+// DeleteResponse acknowledges a deletion.
+type DeleteResponse struct {
+	Stored int // total documents remaining
 }
 
 // SearchRequest submits an r-bit query index (step 2 of Figure 1).

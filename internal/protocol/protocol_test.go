@@ -324,3 +324,31 @@ func TestSearchBatchMessageRoundTrip(t *testing.T) {
 		t.Errorf("match round trip mangled: %+v", m)
 	}
 }
+
+func TestDeleteMessageRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	if err := c.Send(&Message{DeleteReq: &DeleteRequest{DocID: "doc-7"}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DeleteReq == nil || got.DeleteReq.DocID != "doc-7" {
+		t.Fatalf("DeleteReq mangled: %+v", got.DeleteReq)
+	}
+	if got.UploadReq != nil || got.Error != nil {
+		t.Error("unrelated fields populated")
+	}
+	if err := c.Send(&Message{DeleteResp: &DeleteResponse{Stored: 41}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err = c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DeleteResp == nil || got.DeleteResp.Stored != 41 {
+		t.Fatalf("DeleteResp mangled: %+v", got.DeleteResp)
+	}
+}

@@ -343,6 +343,43 @@ func (c *Client) Retrieve(docID string) ([]byte, error) {
 	})
 }
 
+// Delete asks the cloud daemon to remove a document. In the paper's model
+// removal is the data owner's act; the client method exists for deployments
+// where the owner drives the cloud through the same connection pair.
+func (c *Client) Delete(docID string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, err := c.cloudConn.Roundtrip(&protocol.Message{DeleteReq: &protocol.DeleteRequest{DocID: docID}})
+	if err != nil {
+		return fmt.Errorf("service: delete: %w", err)
+	}
+	if resp.DeleteResp == nil {
+		return fmt.Errorf("service: delete response missing")
+	}
+	return nil
+}
+
+// DeleteAll removes documents from the cloud daemon by ID — the owner-side
+// retraction mirroring UploadAll.
+func DeleteAll(cloudAddr string, docIDs []string) error {
+	conn, err := net.Dial("tcp", cloudAddr)
+	if err != nil {
+		return fmt.Errorf("service: dialing cloud: %w", err)
+	}
+	defer conn.Close()
+	pc := protocol.NewConn(conn)
+	for _, id := range docIDs {
+		resp, err := pc.Roundtrip(&protocol.Message{DeleteReq: &protocol.DeleteRequest{DocID: id}})
+		if err != nil {
+			return fmt.Errorf("service: deleting %q: %w", id, err)
+		}
+		if resp.DeleteResp == nil {
+			return fmt.Errorf("service: delete response missing for %q", id)
+		}
+	}
+	return nil
+}
+
 // UploadAll pushes prepared documents from the owner to the cloud daemon —
 // the owner-side upload of Figure 1's offline stage.
 func UploadAll(cloudAddr string, items []UploadItem) error {

@@ -10,13 +10,34 @@ import (
 	"mkse/internal/protocol"
 )
 
-// CloudService exposes a core.Server over TCP: Upload, Search and Fetch
-// endpoints. It requires no authentication — the server is semi-honest and
-// queries are anonymous ("the user does not provide his identity during the
-// communication with the server", Section 7).
+// Backend applies the mutating half of the cloud service. *core.Server
+// satisfies it (in-memory only); the durable storage engine
+// (internal/durable) satisfies it too, logging every mutation to its
+// write-ahead log before applying it.
+type Backend interface {
+	Upload(*core.SearchIndex, *core.EncryptedDocument) error
+	Delete(docID string) error
+}
+
+// CloudService exposes a core.Server over TCP: Upload, Delete, Search and
+// Fetch endpoints. It requires no authentication — the server is semi-honest
+// and queries are anonymous ("the user does not provide his identity during
+// the communication with the server", Section 7).
 type CloudService struct {
 	Server *core.Server
+	// Store, when set, receives uploads and deletions instead of Server —
+	// the hook that puts the durable write-ahead log under the daemon.
+	// Reads always go to Server.
+	Store  Backend
 	Logger *log.Logger // optional
+}
+
+// backend returns the mutation sink: Store when configured, else Server.
+func (s *CloudService) backend() Backend {
+	if s.Store != nil {
+		return s.Store
+	}
+	return s.Server
 }
 
 // Serve accepts connections on l until it is closed.
@@ -25,6 +46,8 @@ func (s *CloudService) Serve(l net.Listener) error {
 		switch {
 		case m.UploadReq != nil:
 			return s.handleUpload(m.UploadReq)
+		case m.DeleteReq != nil:
+			return s.handleDelete(m.DeleteReq)
 		case m.SearchReq != nil:
 			return s.handleSearch(m.SearchReq)
 		case m.SearchBatchReq != nil:
@@ -48,10 +71,18 @@ func (s *CloudService) handleUpload(req *protocol.UploadRequest) *protocol.Messa
 	}
 	si := &core.SearchIndex{DocID: req.DocID, Levels: levels}
 	doc := &core.EncryptedDocument{ID: req.DocID, Ciphertext: req.Ciphertext, EncKey: req.EncKey}
-	if err := s.Server.Upload(si, doc); err != nil {
+	if err := s.backend().Upload(si, doc); err != nil {
 		return errMsg(err)
 	}
 	return &protocol.Message{UploadResp: &protocol.UploadResponse{Stored: s.Server.NumDocuments()}}
+}
+
+func (s *CloudService) handleDelete(req *protocol.DeleteRequest) *protocol.Message {
+	if err := s.backend().Delete(req.DocID); err != nil {
+		return errMsg(err)
+	}
+	logf(s.Logger, "cloud: deleted %q, %d documents remain", req.DocID, s.Server.NumDocuments())
+	return &protocol.Message{DeleteResp: &protocol.DeleteResponse{Stored: s.Server.NumDocuments()}}
 }
 
 func (s *CloudService) handleSearch(req *protocol.SearchRequest) *protocol.Message {

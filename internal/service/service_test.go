@@ -9,6 +9,7 @@ import (
 
 	"mkse/internal/core"
 	"mkse/internal/corpus"
+	"mkse/internal/durable"
 	"mkse/internal/protocol"
 	"mkse/internal/rank"
 	"mkse/internal/store"
@@ -560,5 +561,177 @@ func TestMalformedBatchQueryRejectedByCloud(t *testing.T) {
 		Queries: [][]byte{{1, 2, 3}},
 	}}); err == nil {
 		t.Error("malformed batch query accepted")
+	}
+}
+
+// Deletion over the wire: the document disappears from search and fetch,
+// and deleting it again surfaces the server's not-found error. Runs against
+// a private deployment so the shared corpus stays intact.
+func TestDeleteOverTCP(t *testing.T) {
+	d, err := newDeployment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Dial("delete-tester", d.ownerAddr, d.cloudAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	target := d.docs[3]
+	words := target.Keywords()[:2]
+	found := func() bool {
+		matches, err := client.Search(words, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range matches {
+			if m.DocID == target.ID {
+				return true
+			}
+		}
+		return false
+	}
+	if !found() {
+		t.Fatalf("document %s not searchable before deletion", target.ID)
+	}
+	if err := client.Delete(target.ID); err != nil {
+		t.Fatal(err)
+	}
+	if found() {
+		t.Fatalf("document %s still searchable after deletion", target.ID)
+	}
+	if _, err := client.Retrieve(target.ID); err == nil {
+		t.Fatal("Retrieve of deleted document succeeded")
+	}
+	if err := client.Delete(target.ID); err == nil || !strings.Contains(err.Error(), "no such document") {
+		t.Fatalf("second delete = %v, want no-such-document error", err)
+	}
+	if got, want := d.server.NumDocuments(), len(d.docs)-1; got != want {
+		t.Fatalf("server holds %d documents, want %d", got, want)
+	}
+
+	// The owner-side bulk retraction removes the rest.
+	rest := []string{d.docs[0].ID, d.docs[1].ID}
+	if err := DeleteAll(d.cloudAddr, rest); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := d.server.NumDocuments(), len(d.docs)-3; got != want {
+		t.Fatalf("after DeleteAll: %d documents, want %d", got, want)
+	}
+}
+
+// A cloud daemon backed by the durable engine survives a kill: uploads and
+// deletions that went through the write-ahead log are reconstructed on
+// reopen, and a client of the restarted daemon sees identical results.
+func TestDurableCloudRecoveryOverTCP(t *testing.T) {
+	p := core.DefaultParams().WithLevels(rank.Levels{1, 5, 10})
+	p.Bins = 64
+	owner, err := core.NewOwner(p, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs, err := corpus.Generate(corpus.Config{
+		NumDocs: 25, KeywordsPerDoc: 10, Dictionary: corpus.Dictionary(200),
+		MaxTermFreq: 15, ContentWords: 12, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var items []UploadItem
+	for _, d := range docs {
+		si, enc, err := owner.Prepare(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items = append(items, UploadItem{Index: si, Doc: enc})
+	}
+
+	ownerL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ownerL.Close()
+	go func() { _ = (&OwnerService{Owner: owner}).Serve(ownerL) }()
+
+	dir := t.TempDir()
+	eng, err := durable.Open(dir, p, durable.Options{Fsync: durable.FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloudL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = (&CloudService{Server: eng.Server(), Store: eng}).Serve(cloudL) }()
+
+	if err := UploadAll(cloudL.Addr().String(), items); err != nil {
+		t.Fatal(err)
+	}
+	if err := DeleteAll(cloudL.Addr().String(), []string{docs[0].ID, docs[7].ID}); err != nil {
+		t.Fatal(err)
+	}
+
+	words := docs[3].Keywords()[:2]
+	c1, err := Dial("before-crash", ownerL.Addr().String(), cloudL.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := c1.Search(words, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+
+	// Kill the daemon: no clean close, no final checkpoint.
+	cloudL.Close()
+	if err := eng.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Crash()
+
+	eng2, err := durable.Open(dir, p, durable.Options{})
+	if err != nil {
+		t.Fatalf("recovering engine: %v", err)
+	}
+	defer eng2.Close()
+	if got := eng2.Stats().ReplayedOps; got != len(items)+2 {
+		t.Fatalf("replayed %d ops, want %d", got, len(items)+2)
+	}
+	cloudL2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cloudL2.Close()
+	go func() { _ = (&CloudService{Server: eng2.Server(), Store: eng2}).Serve(cloudL2) }()
+
+	c2, err := Dial("after-crash", ownerL.Addr().String(), cloudL2.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	after, err := c2.Search(words, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("recovered daemon returned %d matches, want %d", len(after), len(before))
+	}
+	for i := range before {
+		if after[i] != before[i] {
+			t.Fatalf("match %d = %+v, want %+v", i, after[i], before[i])
+		}
+	}
+	for _, id := range []string{docs[0].ID, docs[7].ID} {
+		if _, err := c2.Retrieve(id); err == nil {
+			t.Fatalf("deleted document %s retrievable after recovery", id)
+		}
+	}
+	// The recovered daemon accepts new durable mutations.
+	if err := DeleteAll(cloudL2.Addr().String(), []string{docs[3].ID}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := eng2.Server().NumDocuments(), len(docs)-3; got != want {
+		t.Fatalf("recovered daemon holds %d documents, want %d", got, want)
 	}
 }

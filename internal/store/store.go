@@ -4,6 +4,13 @@
 // stores exactly what the server legitimately holds (Figure 1): nothing in a
 // snapshot lets its holder decrypt or search beyond what the live server
 // could.
+//
+// Two on-disk versions exist. V1 ("MKSESTO1") is the bare snapshot written
+// by Save. V2 ("MKSESTO2") is the checkpoint format of the durable storage
+// engine (internal/durable): the same body prefixed with the write-ahead-log
+// sequence number the checkpoint covers, so recovery knows where replay
+// starts. Load and LoadWith accept both, which keeps pre-engine snapshot
+// files loadable.
 package store
 
 import (
@@ -19,8 +26,11 @@ import (
 	"mkse/internal/rank"
 )
 
-// magic and version identify the snapshot format.
-var magic = [8]byte{'M', 'K', 'S', 'E', 'S', 'T', 'O', '1'}
+// magicV1 and magicV2 identify the two snapshot format versions.
+var (
+	magicV1 = [8]byte{'M', 'K', 'S', 'E', 'S', 'T', 'O', '1'}
+	magicV2 = [8]byte{'M', 'K', 'S', 'E', 'S', 'T', 'O', '2'}
+)
 
 // ErrBadSnapshot is returned for malformed or truncated snapshot data.
 var ErrBadSnapshot = errors.New("store: malformed snapshot")
@@ -29,12 +39,42 @@ var ErrBadSnapshot = errors.New("store: malformed snapshot")
 // corrupted header from forcing an absurd allocation.
 const maxSliceLen = 1 << 30
 
-// Save snapshots a server's full state to w.
-func Save(w io.Writer, srv *core.Server) error {
+// Exporter is the view of a server's state the snapshot writers need.
+// *core.Server satisfies it; the durable engine's in-memory checkpoint
+// snapshots (captured under lock, serialized after release) do too.
+type Exporter interface {
+	Params() core.Params
+	NumDocuments() int
+	Export(func(*core.SearchIndex, *core.EncryptedDocument) error) error
+}
+
+// Save snapshots a server's full state to w in the V1 format.
+func Save(w io.Writer, srv Exporter) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(magic[:]); err != nil {
+	if _, err := bw.Write(magicV1[:]); err != nil {
 		return err
 	}
+	return saveBody(bw, srv)
+}
+
+// SaveCheckpoint snapshots a server's full state to w in the V2 checkpoint
+// format: the body of Save prefixed with the LSN (count of write-ahead-log
+// records) the state covers. Recovery replays the log from that record on.
+func SaveCheckpoint(w io.Writer, srv Exporter, lsn uint64) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magicV2[:]); err != nil {
+		return err
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], lsn)
+	if _, err := bw.Write(buf[:]); err != nil {
+		return err
+	}
+	return saveBody(bw, srv)
+}
+
+// saveBody writes the magic-independent part of a snapshot and flushes.
+func saveBody(bw *bufio.Writer, srv Exporter) error {
 	p := srv.Params()
 	if err := writeParams(bw, p); err != nil {
 		return err
@@ -76,16 +116,44 @@ func Load(r io.Reader) (*core.Server, error) {
 
 // LoadWith reconstructs a server from a snapshot, building the empty server
 // through mk — the hook daemons use to restore into a non-default shard
-// layout. The snapshot format is layout-independent.
+// layout. The snapshot format is layout-independent. Both the V1 snapshot
+// and V2 checkpoint formats are accepted; the checkpoint's LSN is discarded
+// (use LoadCheckpoint to recover it).
 func LoadWith(r io.Reader, mk func(core.Params) (*core.Server, error)) (*core.Server, error) {
+	srv, _, err := LoadCheckpoint(r, mk)
+	return srv, err
+}
+
+// LoadCheckpoint reconstructs a server from a snapshot in either format and
+// returns the write-ahead-log sequence number it covers (0 for a V1
+// snapshot, which predates the log).
+func LoadCheckpoint(r io.Reader, mk func(core.Params) (*core.Server, error)) (*core.Server, uint64, error) {
 	br := bufio.NewReader(r)
 	var got [8]byte
 	if _, err := io.ReadFull(br, got[:]); err != nil {
-		return nil, fmt.Errorf("store: reading magic: %w", err)
+		return nil, 0, fmt.Errorf("store: reading magic: %w", err)
 	}
-	if got != magic {
-		return nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+	var lsn uint64
+	switch got {
+	case magicV1:
+	case magicV2:
+		var buf [8]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, 0, fmt.Errorf("%w: truncated checkpoint LSN", ErrBadSnapshot)
+		}
+		lsn = binary.BigEndian.Uint64(buf[:])
+	default:
+		return nil, 0, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
 	}
+	srv, err := loadBody(br, mk)
+	if err != nil {
+		return nil, 0, err
+	}
+	return srv, lsn, nil
+}
+
+// loadBody reads the magic-independent part of a snapshot.
+func loadBody(br *bufio.Reader, mk func(core.Params) (*core.Server, error)) (*core.Server, error) {
 	p, err := readParams(br)
 	if err != nil {
 		return nil, err
@@ -139,14 +207,30 @@ func LoadWith(r io.Reader, mk func(core.Params) (*core.Server, error)) (*core.Se
 	return srv, nil
 }
 
-// SaveFile writes a snapshot to path atomically (write temp + rename).
-func SaveFile(path string, srv *core.Server) error {
+// SaveFile writes a V1 snapshot to path atomically (write temp + rename).
+func SaveFile(path string, srv Exporter) error {
+	return saveFileAs(path, func(f *os.File) error { return Save(f, srv) })
+}
+
+// SaveCheckpointFile writes a V2 checkpoint to path atomically, fsyncing the
+// file before the rename so a crash cannot leave a live checkpoint name
+// pointing at partial data.
+func SaveCheckpointFile(path string, srv Exporter, lsn uint64) error {
+	return saveFileAs(path, func(f *os.File) error {
+		if err := SaveCheckpoint(f, srv, lsn); err != nil {
+			return err
+		}
+		return f.Sync()
+	})
+}
+
+func saveFileAs(path string, write func(*os.File) error) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := Save(f, srv); err != nil {
+	if err := write(f); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -172,6 +256,17 @@ func LoadFileWith(path string, mk func(core.Params) (*core.Server, error)) (*cor
 	}
 	defer f.Close()
 	return LoadWith(f, mk)
+}
+
+// LoadCheckpointFile reads a snapshot in either format from path and
+// returns the covered LSN (see LoadCheckpoint).
+func LoadCheckpointFile(path string, mk func(core.Params) (*core.Server, error)) (*core.Server, uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	return LoadCheckpoint(f, mk)
 }
 
 func writeParams(w io.Writer, p core.Params) error {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"math/big"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -181,5 +182,70 @@ func TestLoadEmptyServer(t *testing.T) {
 	}
 	if restored.NumDocuments() != 0 {
 		t.Errorf("empty snapshot restored %d docs", restored.NumDocuments())
+	}
+}
+
+// A PR-2-era (V1, "MKSESTO1") snapshot must keep loading through LoadWith /
+// LoadFileWith after the checkpoint format's introduction, reporting LSN 0
+// through LoadCheckpoint. Guards the upgrade path of daemons that ran with
+// the bare -snapshot flag before the durable engine existed.
+func TestV1SnapshotBackCompat(t *testing.T) {
+	_, srv, _ := populatedServer(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, srv); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(buf.Bytes()[:8]); got != "MKSESTO1" {
+		t.Fatalf("Save wrote magic %q, want the V1 magic (PR-2 snapshots must stay readable)", got)
+	}
+	path := filepath.Join(t.TempDir(), "pr2-era.db")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadFileWith(path, core.NewServer)
+	if err != nil {
+		t.Fatalf("LoadFileWith on V1 snapshot: %v", err)
+	}
+	if restored.NumDocuments() != srv.NumDocuments() {
+		t.Fatalf("restored %d docs, want %d", restored.NumDocuments(), srv.NumDocuments())
+	}
+	_, lsn, err := LoadCheckpointFile(path, core.NewServer)
+	if err != nil {
+		t.Fatalf("LoadCheckpointFile on V1 snapshot: %v", err)
+	}
+	if lsn != 0 {
+		t.Fatalf("V1 snapshot reported LSN %d, want 0", lsn)
+	}
+}
+
+// The checkpoint format carries a distinct magic and round-trips the LSN.
+func TestCheckpointRoundTrip(t *testing.T) {
+	_, srv, _ := populatedServer(t)
+	var buf bytes.Buffer
+	const lsn = 0xDEADBEEFCAFE
+	if err := SaveCheckpoint(&buf, srv, lsn); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(buf.Bytes()[:8]); got != "MKSESTO2" {
+		t.Fatalf("SaveCheckpoint wrote magic %q, want the V2 magic", got)
+	}
+	restored, gotLSN, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()), core.NewServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotLSN != lsn {
+		t.Fatalf("LSN = %#x, want %#x", gotLSN, lsn)
+	}
+	if restored.NumDocuments() != srv.NumDocuments() {
+		t.Fatalf("restored %d docs, want %d", restored.NumDocuments(), srv.NumDocuments())
+	}
+	// The old entry point accepts checkpoints too (the daemon can point
+	// -snapshot at a checkpoint file).
+	if _, err := Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("Load on V2 checkpoint: %v", err)
+	}
+	// A truncated LSN header is a bad snapshot, not a crash.
+	if _, _, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()[:12]), core.NewServer); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("truncated checkpoint header = %v, want ErrBadSnapshot", err)
 	}
 }

@@ -83,6 +83,12 @@ func UploadAll(cloudAddr string, items []UploadItem) error {
 	return service.UploadAll(cloudAddr, items)
 }
 
+// DeleteAll removes documents from a remote cloud daemon by ID — the
+// owner-side retraction mirroring UploadAll.
+func DeleteAll(cloudAddr string, docIDs []string) error {
+	return service.DeleteAll(cloudAddr, docIDs)
+}
+
 // Tokenize extracts lower-cased alphanumeric keywords (length >= minLen)
 // with term frequencies from text — the minimal analyzer for indexing real
 // documents.
@@ -128,6 +134,13 @@ func (s *System) AddDocumentWithKeywords(id string, termFreqs map[string]int, co
 		return err
 	}
 	return s.Cloud.Upload(si, enc)
+}
+
+// DeleteDocument removes a document from the cloud: its ciphertext, wrapped
+// key and every ranking level's index row. Deleting an unknown ID returns an
+// error wrapping core.ErrNotFound.
+func (s *System) DeleteDocument(id string) error {
+	return s.Cloud.Delete(id)
 }
 
 // NewUser enrolls a user: generates its keys, registers the verification key

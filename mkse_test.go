@@ -325,3 +325,48 @@ func TestSystemSearchBatch(t *testing.T) {
 		t.Errorf("batch query 1 missed eng-design: %v", results[1])
 	}
 }
+
+// DeleteDocument removes a document from search and retrieval; the System
+// facade surfaces the server's not-found error for unknown IDs. Uses a
+// private System so the shared corpus stays intact.
+func TestSystemDeleteDocument(t *testing.T) {
+	p := DefaultParams()
+	p.Bins = 64
+	s, err := NewSystem(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddDocument("keep", []byte("shared cloud revenue report for the board")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddDocument("drop", []byte("shared cloud revenue draft to retract later")); err != nil {
+		t.Fatal(err)
+	}
+	u, err := s.NewUser("deleter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches, err := s.Search(u, []string{"shared", "revenue"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 2 {
+		t.Fatalf("expected both documents before deletion, got %d", len(matches))
+	}
+	if err := s.DeleteDocument("drop"); err != nil {
+		t.Fatal(err)
+	}
+	matches, err = s.Search(u, []string{"shared", "revenue"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 || matches[0].DocID != "keep" {
+		t.Fatalf("after deletion got %+v, want only %q", matches, "keep")
+	}
+	if _, err := s.Retrieve(u, "drop"); err == nil {
+		t.Fatal("Retrieve of deleted document succeeded")
+	}
+	if err := s.DeleteDocument("drop"); err == nil {
+		t.Fatal("deleting a deleted document succeeded")
+	}
+}
