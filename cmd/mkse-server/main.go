@@ -8,6 +8,7 @@
 //	mkse-server -listen :7002 [-levels 1,5,10] [-shards 8] [-workers 8]
 //	            [-data /var/lib/mkse] [-checkpoint-every 4096]
 //	            [-fsync always|interval|never]
+//	            [-replica-of primary:7002]
 //	            [-snapshot cloud.db]
 //
 // -shards splits the document store into independently locked shards
@@ -21,7 +22,20 @@
 // and startup recovers the newest checkpoint plus the log tail — so a
 // crash, not just a clean exit, loses at most what the -fsync policy allows
 // (always: nothing; interval: the last ~100ms; never: whatever the OS had
-// not written back). The directory is created on first boot.
+// not written back). The directory is created on first boot. A durably
+// backed server also serves its write-ahead log to followers (see below);
+// no extra flag is needed on the primary.
+//
+// -replica-of turns the daemon into a read-only follower of another
+// durably backed mkse-server: it bootstraps from the primary's newest
+// checkpoint when needed, then streams and replays the primary's
+// write-ahead log through its own -data directory (logging before applying,
+// so the follower is itself crash-safe), answers search and fetch requests,
+// rejects uploads and deletions, and reports its lag to read balancers via
+// the replica-status verb. It requires -data and the primary's scheme
+// parameters (-levels). A follower killed mid-catch-up resumes from its
+// recovered position on restart; restarting it without -replica-of promotes
+// it to a standalone primary over the same directory.
 //
 // -snapshot is the legacy single-file mode, superseded by -data: the
 // database is restored from the file at startup (first boot starts empty)
@@ -57,6 +71,7 @@ func main() {
 		dataDir   = flag.String("data", "", "durable engine data directory (write-ahead log + checkpoints)")
 		ckptEvery = flag.Int("checkpoint-every", 4096, "mutations between background checkpoints with -data (0 = only on shutdown)")
 		fsyncMode = flag.String("fsync", "interval", "WAL sync policy with -data: always, interval or never")
+		replicaOf = flag.String("replica-of", "", "primary address to follow as a read-only replica (requires -data)")
 		shards    = flag.Int("shards", 0, "document store shards (0 = one per core)")
 		workers   = flag.Int("workers", 0, "concurrent shard scans per query (0 = auto)")
 	)
@@ -74,6 +89,10 @@ func main() {
 
 	if *dataDir != "" && *snapshot != "" {
 		fmt.Fprintln(os.Stderr, "mkse-server: -data and -snapshot are mutually exclusive")
+		os.Exit(2)
+	}
+	if *replicaOf != "" && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "mkse-server: -replica-of requires -data (the follower replays the primary's log through its own durable engine)")
 		os.Exit(2)
 	}
 
@@ -101,7 +120,17 @@ func main() {
 			*dataDir, eng.Server().NumDocuments(), st.CheckpointLSN, st.ReplayedOps, fsync)
 		svc.Server = eng.Server()
 		svc.Store = eng
+		svc.WAL = eng // any durable server can feed followers
+		var rep *service.Replica
+		if *replicaOf != "" {
+			rep = service.StartReplica(eng, *replicaOf, logger)
+			svc.Replica = rep
+			logger.Printf("following primary %s from position %d (read-only)", *replicaOf, eng.Position())
+		}
 		persist = func() {
+			if rep != nil {
+				rep.Close()
+			}
 			if err := eng.Close(); err != nil {
 				logger.Printf("final checkpoint failed: %v", err)
 				os.Exit(1)

@@ -49,6 +49,27 @@
 // protocol, the daemons and the client. See EXPERIMENTS.md ("Durable
 // storage engine") for replay-throughput and checkpoint-pause numbers.
 //
+// # Replication
+//
+// Search traffic scales horizontally with WAL-shipping read replicas. A
+// follower daemon (mkse-server -replica-of, or service.StartReplica over a
+// durable engine) subscribes to a primary from its own log position; the
+// primary bootstraps it from the newest checkpoint when the requested
+// records have been pruned, then streams write-ahead-log record batches as
+// mutations arrive and heartbeats when idle. The follower replays every
+// record through its own durable engine — logging before applying, the
+// same invariant as a primary-side mutation — so a follower killed at any
+// point recovers and resumes from its acknowledged position, and is
+// promoted by restarting it without -replica-of. Followers reject writes,
+// answer searches and fetches, and report their lag (own position vs the
+// primary's, as heard on the stream) through a status verb. service.Client
+// fans Search/SearchBatch across a registered replica set with rotating
+// selection, probing status and skipping followers that lag beyond
+// MaxReplicaLag, and falls back to the primary on any transport failure;
+// mutations and retrievals always go to the primary. See EXPERIMENTS.md
+// ("WAL-shipping replication") for catch-up throughput and fan-out
+// numbers, and examples/replication for a runnable deployment.
+//
 // # Package layout
 //
 // This root package is the public API: parameters, the three roles (Owner,
@@ -62,7 +83,10 @@
 //   - internal/analysis — the Section 6/7 analytic model
 //   - internal/baseline/caomrse, internal/baseline/wangcsi — the paper's
 //     comparison baselines
-//   - internal/protocol, internal/service — the three-party TCP deployment
+//   - internal/durable, internal/store — the write-ahead-logged storage
+//     engine and the checkpoint/snapshot format
+//   - internal/protocol, internal/service — the three-party TCP deployment,
+//     including the replication stream and the read-balancing client
 //
 // # Quickstart
 //

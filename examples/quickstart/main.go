@@ -63,4 +63,11 @@ func main() {
 		}
 		fmt.Printf("\nbest match %q decrypts to:\n  %s\n", matches[0].DocID, pt)
 	}
+
+	// 6. Retract a document. Deletion removes the ciphertext, the wrapped
+	//    key and every index level; later searches cannot match it.
+	if err := sys.DeleteDocument("lunch-menu"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndeleted lunch-menu; it can no longer be searched or fetched")
 }

@@ -64,6 +64,25 @@ func (p Params) WithLevels(l rank.Levels) Params {
 // Eta returns the number of ranking levels η.
 func (p Params) Eta() int { return len(p.Levels) }
 
+// Equal reports whether two parameter sets describe the same scheme —
+// every scalar matches and the ranking thresholds are identical. Replication
+// uses it to refuse bootstrapping a follower whose parameters differ from
+// the primary's checkpoint.
+func (p Params) Equal(o Params) bool {
+	if p.R != o.R || p.D != o.D || p.Bins != o.Bins || p.U != o.U || p.V != o.V || p.RSABits != o.RSABits {
+		return false
+	}
+	if len(p.Levels) != len(o.Levels) {
+		return false
+	}
+	for i, th := range p.Levels {
+		if o.Levels[i] != th {
+			return false
+		}
+	}
+	return true
+}
+
 // HMACBytes returns the byte length l/8 of the raw keyword HMAC expansion.
 func (p Params) HMACBytes() int { return (p.R*p.D + 7) / 8 }
 

@@ -81,6 +81,7 @@ func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
 	return 0, fmt.Errorf("durable: unknown fsync policy %q (want always, interval or never)", s)
 }
 
+// String returns the policy's -fsync flag spelling.
 func (p FsyncPolicy) String() string {
 	switch p {
 	case FsyncAlways:
@@ -157,6 +158,7 @@ type Engine struct {
 	buf          []byte // op staging buffer
 	frame        []byte // framed-record staging buffer
 	stats        Stats
+	notify       chan struct{} // closed and replaced on every append (see WaitWAL)
 
 	ckptMu sync.Mutex // serializes whole checkpoints
 
@@ -187,6 +189,7 @@ func Open(dir string, p core.Params, opts Options) (*Engine, error) {
 		opts:   opts,
 		ckptCh: make(chan struct{}, 1),
 		done:   make(chan struct{}),
+		notify: make(chan struct{}),
 	}
 	mk := func(p core.Params) (*core.Server, error) {
 		return core.NewServerSharded(p, opts.Shards, opts.Workers)
@@ -316,6 +319,9 @@ func (e *Engine) logLocked(rec []byte) error {
 	if e.broken {
 		return fmt.Errorf("durable: log is in an unknown state after an unrecoverable append failure")
 	}
+	if len(rec) > MaxOpSize {
+		return fmt.Errorf("durable: %d-byte mutation exceeds the %d-byte limit (documents must stay shippable to replicas in one frame)", len(rec), MaxOpSize)
+	}
 	var err error
 	e.frame, err = AppendRecord(e.frame[:0], rec)
 	if err != nil {
@@ -340,6 +346,9 @@ func (e *Engine) logLocked(rec []byte) error {
 	e.stats.LSN = e.lsn
 	e.stats.WALBytes += int64(len(e.frame))
 	e.dirty = true
+	// Wake WAL tailers (replication streams) blocked in WaitWAL.
+	close(e.notify)
+	e.notify = make(chan struct{})
 	if e.opts.Fsync == FsyncAlways {
 		return e.syncLocked()
 	}
@@ -622,6 +631,11 @@ func (e *Engine) applyPayload(payload []byte) error {
 	if err != nil {
 		return err
 	}
+	return e.applyOp(op)
+}
+
+// applyOp applies one decoded mutation to the in-memory server.
+func (e *Engine) applyOp(op *walOp) error {
 	switch op.kind {
 	case opDelete:
 		if err := e.srv.Delete(string(op.docID)); err != nil && !errors.Is(err, core.ErrNotFound) {
@@ -629,25 +643,34 @@ func (e *Engine) applyPayload(payload []byte) error {
 		}
 		return nil
 	case opUpload:
-		levels := make([]*bitindex.Vector, len(op.levels))
-		for i, raw := range op.levels {
-			var v bitindex.Vector
-			if err := v.UnmarshalBinary(raw); err != nil {
-				return fmt.Errorf("level %d: %w", i+1, err)
-			}
-			levels[i] = &v
-		}
-		si := &core.SearchIndex{DocID: string(op.docID), Levels: levels}
-		doc := &core.EncryptedDocument{
-			ID: si.DocID,
-			// Copy out of the segment read buffer so retained payloads do
-			// not pin whole segments in memory.
-			Ciphertext: append([]byte(nil), op.ciphertext...),
-			EncKey:     append([]byte(nil), op.encKey...),
+		si, doc, err := decodeUploadOp(op)
+		if err != nil {
+			return err
 		}
 		return e.srv.Upload(si, doc)
 	}
 	return fmt.Errorf("%w: unknown operation kind %d", ErrCorruptRecord, op.kind)
+}
+
+// decodeUploadOp materializes an upload mutation's index and document. The
+// ciphertext and key are copied out of the decode buffer so retained
+// payloads do not pin whole segments (or wire batches) in memory.
+func decodeUploadOp(op *walOp) (*core.SearchIndex, *core.EncryptedDocument, error) {
+	levels := make([]*bitindex.Vector, len(op.levels))
+	for i, raw := range op.levels {
+		var v bitindex.Vector
+		if err := v.UnmarshalBinary(raw); err != nil {
+			return nil, nil, fmt.Errorf("level %d: %w", i+1, err)
+		}
+		levels[i] = &v
+	}
+	si := &core.SearchIndex{DocID: string(op.docID), Levels: levels}
+	doc := &core.EncryptedDocument{
+		ID:         si.DocID,
+		Ciphertext: append([]byte(nil), op.ciphertext...),
+		EncKey:     append([]byte(nil), op.encKey...),
+	}
+	return si, doc, nil
 }
 
 // openSegment resumes appending: to the directory's last segment if replay

@@ -24,6 +24,14 @@ const recordHeaderSize = 8
 // that a corrupted length field cannot demand an absurd allocation.
 const MaxRecordSize = 64 << 20
 
+// MaxOpSize bounds the mutations the engine accepts for logging, one
+// mebibyte under MaxRecordSize. The headroom guarantees every logged
+// record — even one carrying a maximal document — fits inside a single
+// replication frame (protocol.MaxFrameSize, also 64 MiB) with envelope
+// overhead to spare, so a follower can never be wedged behind a record too
+// large to ship.
+const MaxOpSize = MaxRecordSize - 1<<20
+
 // castagnoli is the CRC-32C polynomial table (the checksum used by iSCSI,
 // ext4 and most storage engines; hardware-accelerated on amd64/arm64).
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)

@@ -93,6 +93,15 @@ type Message struct {
 
 	FetchReq  *FetchRequest
 	FetchResp *FetchResponse
+
+	ReplicaSubscribeReq  *ReplicaSubscribeRequest
+	ReplicaSubscribeResp *ReplicaSubscribeResponse
+	ReplicaSnapshot      *ReplicaSnapshotChunk
+	ReplicaRecords       *ReplicaRecordBatch
+	ReplicaAck           *ReplicaAckMsg
+
+	ReplicaStatusReq  *ReplicaStatusRequest
+	ReplicaStatusResp *ReplicaStatusResponse
 }
 
 // ErrorMsg reports a request failure.
@@ -266,6 +275,81 @@ type SearchBatchResponse struct {
 	Results [][]MatchWire
 }
 
+// ReplicaSubscribeRequest opens a replication stream: a follower asks the
+// primary for every write-ahead-log record from position From (the
+// follower's own log sequence number) onward. It is the first and only
+// request on a replication connection; after the response the primary
+// pushes ReplicaSnapshotChunk and ReplicaRecordBatch messages while the
+// follower sends ReplicaAckMsg back on the same connection.
+type ReplicaSubscribeRequest struct {
+	From uint64
+}
+
+// ReplicaSubscribeResponse opens the primary's side of the stream. If the
+// primary no longer retains log records back to the requested position, it
+// bootstraps the follower instead: SnapshotSize > 0 announces a checkpoint
+// covering positions [0, SnapshotLSN), delivered next as one or more
+// ReplicaSnapshotChunk messages, after which records stream from
+// SnapshotLSN. Position is the primary's log position at subscribe time.
+type ReplicaSubscribeResponse struct {
+	SnapshotLSN  uint64
+	SnapshotSize int    // total checkpoint bytes to follow; 0 = no bootstrap
+	Position     uint64 // primary position at subscribe time
+}
+
+// ReplicaSnapshotChunk carries one slice of the bootstrap checkpoint, in
+// order. Last marks the final chunk; the reassembled bytes are a complete
+// store checkpoint file (MKSESTO2).
+type ReplicaSnapshotChunk struct {
+	Data []byte
+	Last bool
+}
+
+// ReplicaRecordBatch carries consecutive write-ahead-log record payloads:
+// Records[i] is the mutation at position From+i. Position is the primary's
+// log position after the batch, so the follower can compute its own lag. An
+// empty batch is a heartbeat: it carries a fresh Position (and proves the
+// primary alive) without any records.
+type ReplicaRecordBatch struct {
+	From     uint64
+	Records  [][]byte
+	Position uint64
+}
+
+// ReplicaAckMsg reports the follower's durably applied position back to the
+// primary, which exposes it as that follower's acknowledged position (the
+// basis of lag reporting). Sent after each applied batch and heartbeat.
+type ReplicaAckMsg struct {
+	Position uint64
+}
+
+// ReplicaStatusRequest asks any cloud daemon where it stands in the
+// replicated log. Read balancers use it to route queries away from lagging
+// followers; operators use it to watch catch-up.
+type ReplicaStatusRequest struct{}
+
+// FollowerWire is one connected follower as seen by the primary.
+type FollowerWire struct {
+	Addr  string // follower's remote address on the replication stream
+	Acked uint64 // last position the follower acknowledged applying
+}
+
+// ReplicaStatusResponse reports a daemon's replication position. On a
+// primary, Position and PrimaryPosition are equal and Followers lists every
+// connected replication stream. On a follower, Position is its own applied
+// log position, PrimaryPosition is the newest position heard from the
+// primary (their difference is the follower's lag), and Connected says
+// whether the stream is currently up. Durable is false on a memory-only
+// daemon, which has no log to replicate.
+type ReplicaStatusResponse struct {
+	Durable         bool
+	Replica         bool
+	Connected       bool
+	Position        uint64
+	PrimaryPosition uint64
+	Followers       []FollowerWire
+}
+
 // FetchRequest retrieves one encrypted document (step 3 of Figure 1).
 type FetchRequest struct {
 	DocID string
@@ -309,8 +393,23 @@ func (c *Conn) Recv() (*Message, error) {
 	return &m, nil
 }
 
+// RemoteError is an ErrorMsg reply surfaced as an error: the peer received
+// the request and rejected it. Distinguishing it from a transport failure
+// matters to read balancers — a rejected request would be rejected by any
+// server, so it is not grounds for failing over, while a broken connection
+// is.
+type RemoteError struct {
+	Text string
+}
+
+// Error renders the rejection with the same text errors.Is-style callers
+// matched before RemoteError existed.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("protocol: remote error: %s", e.Text)
+}
+
 // Roundtrip sends a request and waits for the reply, surfacing ErrorMsg
-// replies as errors.
+// replies as *RemoteError.
 func (c *Conn) Roundtrip(m *Message) (*Message, error) {
 	if err := c.Send(m); err != nil {
 		return nil, err
@@ -320,7 +419,7 @@ func (c *Conn) Roundtrip(m *Message) (*Message, error) {
 		return nil, err
 	}
 	if resp.Error != nil {
-		return nil, fmt.Errorf("protocol: remote error: %s", resp.Error.Text)
+		return nil, &RemoteError{Text: resp.Error.Text}
 	}
 	return resp, nil
 }

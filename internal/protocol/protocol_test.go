@@ -2,6 +2,7 @@ package protocol
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"math/big"
 	"net"
@@ -350,5 +351,87 @@ func TestDeleteMessageRoundTrip(t *testing.T) {
 	}
 	if got.DeleteResp == nil || got.DeleteResp.Stored != 41 {
 		t.Fatalf("DeleteResp mangled: %+v", got.DeleteResp)
+	}
+}
+
+func TestReplicationMessagesRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	msgs := []*Message{
+		{ReplicaSubscribeReq: &ReplicaSubscribeRequest{From: 42}},
+		{ReplicaSubscribeResp: &ReplicaSubscribeResponse{SnapshotLSN: 40, SnapshotSize: 9, Position: 50}},
+		{ReplicaSnapshot: &ReplicaSnapshotChunk{Data: []byte("MKSESTO2!"), Last: true}},
+		{ReplicaRecords: &ReplicaRecordBatch{From: 40, Records: [][]byte{{1, 2}, {3}}, Position: 42}},
+		{ReplicaRecords: &ReplicaRecordBatch{From: 42, Position: 42}}, // heartbeat
+		{ReplicaAck: &ReplicaAckMsg{Position: 42}},
+		{ReplicaStatusReq: &ReplicaStatusRequest{}},
+		{ReplicaStatusResp: &ReplicaStatusResponse{
+			Durable: true, Replica: true, Connected: true,
+			Position: 42, PrimaryPosition: 50,
+			Followers: []FollowerWire{{Addr: "10.0.0.7:1234", Acked: 41}},
+		}},
+	}
+	for _, m := range msgs {
+		if err := c.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sub, err := c.Recv()
+	if err != nil || sub.ReplicaSubscribeReq == nil || sub.ReplicaSubscribeReq.From != 42 {
+		t.Fatalf("subscribe request mangled: %+v (%v)", sub, err)
+	}
+	resp, err := c.Recv()
+	if err != nil || resp.ReplicaSubscribeResp == nil || resp.ReplicaSubscribeResp.SnapshotLSN != 40 ||
+		resp.ReplicaSubscribeResp.SnapshotSize != 9 || resp.ReplicaSubscribeResp.Position != 50 {
+		t.Fatalf("subscribe response mangled: %+v (%v)", resp, err)
+	}
+	snap, err := c.Recv()
+	if err != nil || snap.ReplicaSnapshot == nil || !snap.ReplicaSnapshot.Last ||
+		string(snap.ReplicaSnapshot.Data) != "MKSESTO2!" {
+		t.Fatalf("snapshot chunk mangled: %+v (%v)", snap, err)
+	}
+	batch, err := c.Recv()
+	if err != nil || batch.ReplicaRecords == nil || batch.ReplicaRecords.From != 40 ||
+		len(batch.ReplicaRecords.Records) != 2 || batch.ReplicaRecords.Position != 42 {
+		t.Fatalf("record batch mangled: %+v (%v)", batch, err)
+	}
+	hb, err := c.Recv()
+	if err != nil || hb.ReplicaRecords == nil || len(hb.ReplicaRecords.Records) != 0 ||
+		hb.ReplicaRecords.Position != 42 {
+		t.Fatalf("heartbeat mangled: %+v (%v)", hb, err)
+	}
+	ack, err := c.Recv()
+	if err != nil || ack.ReplicaAck == nil || ack.ReplicaAck.Position != 42 {
+		t.Fatalf("ack mangled: %+v (%v)", ack, err)
+	}
+	if sreq, err := c.Recv(); err != nil || sreq.ReplicaStatusReq == nil {
+		t.Fatalf("status request mangled: %+v (%v)", sreq, err)
+	}
+	st, err := c.Recv()
+	if err != nil || st.ReplicaStatusResp == nil {
+		t.Fatalf("status response missing: %v", err)
+	}
+	got := st.ReplicaStatusResp
+	if !got.Durable || !got.Replica || !got.Connected || got.Position != 42 || got.PrimaryPosition != 50 ||
+		len(got.Followers) != 1 || got.Followers[0].Addr != "10.0.0.7:1234" || got.Followers[0].Acked != 41 {
+		t.Fatalf("status response mangled: %+v", got)
+	}
+}
+
+func TestRemoteErrorType(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	go func() {
+		sc := NewConn(server)
+		if _, err := sc.Recv(); err != nil {
+			return
+		}
+		_ = sc.Send(&Message{Error: &ErrorMsg{Text: "nope"}})
+	}()
+	_, err := NewConn(client).Roundtrip(&Message{FetchReq: &FetchRequest{DocID: "x"}})
+	var remote *RemoteError
+	if !errors.As(err, &remote) || remote.Text != "nope" {
+		t.Fatalf("want *RemoteError{nope}, got %v", err)
 	}
 }

@@ -1,20 +1,41 @@
 package service
 
 import (
+	"errors"
 	"fmt"
 	"math/big"
 	"net"
 	"sync"
+	"time"
 
 	"mkse/internal/bitindex"
 	"mkse/internal/core"
 	"mkse/internal/protocol"
 )
 
+// DefaultMaxReplicaLag is how many log records a read replica may trail the
+// primary before the client routes its reads back to the primary.
+const DefaultMaxReplicaLag = 1024
+
+// replicaDialTimeout bounds connection attempts to read replicas. It is
+// deliberately short — the dial happens on the read path, and the primary
+// is always there to fall back to.
+const replicaDialTimeout = 500 * time.Millisecond
+
+// replicaMaxBench caps the exponential back-off a repeatedly failing
+// replica is benched for between redial attempts.
+const replicaMaxBench = 30 * time.Second
+
 // Client drives the user's side of the full protocol against a remote owner
 // daemon and a remote cloud daemon. It wraps a core.User created during
 // Enroll. A Client serializes its protocol exchanges and is safe for
 // concurrent use.
+//
+// A client may additionally be given a set of read replicas
+// (AddReadReplicas): Search and SearchBatch then rotate across the healthy,
+// caught-up followers and fall back to the primary when a replica is down,
+// lagging past MaxReplicaLag, or fails mid-request. Mutations (Delete) and
+// retrievals always go to the primary.
 type Client struct {
 	UserID string
 
@@ -23,12 +44,37 @@ type Client struct {
 	// to have registered a dictionary). Set before the first search.
 	VectorMode bool
 
+	// MaxReplicaLag is the most records a replica may trail the primary and
+	// still serve this client's reads (0 = DefaultMaxReplicaLag). Set
+	// before the first search.
+	MaxReplicaLag uint64
+
+	// ReplicaProbeEvery is how often a replica's position is re-checked
+	// with a status request before trusting it with reads (0 = 1s). Set
+	// before the first search.
+	ReplicaProbeEvery time.Duration
+
 	mu        sync.Mutex
 	ownerConn *protocol.Conn
 	cloudConn *protocol.Conn
 	ownerRaw  net.Conn
 	cloudRaw  net.Conn
 	user      *core.User
+
+	replicas []*readReplica
+	rrNext   int
+	reads    map[string]uint64
+}
+
+// readReplica is one follower the client may fan read traffic to.
+type readReplica struct {
+	addr      string
+	conn      *protocol.Conn
+	raw       net.Conn
+	downUntil time.Time // failed recently; no redial before this
+	checkedAt time.Time // last successful status probe
+	lagging   bool      // last probe showed lag beyond the budget
+	fails     int       // consecutive failures, drives the bench back-off
 }
 
 // Dial connects to the owner and cloud daemons and enrolls the user with the
@@ -103,7 +149,7 @@ func (c *Client) enroll() error {
 // User exposes the underlying core.User (for cost inspection in experiments).
 func (c *Client) User() *core.User { return c.user }
 
-// Close tears down both connections.
+// Close tears down the owner, cloud and replica connections.
 func (c *Client) Close() error {
 	var first error
 	if c.ownerRaw != nil {
@@ -116,7 +162,150 @@ func (c *Client) Close() error {
 			first = err
 		}
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, r := range c.replicas {
+		if r.raw != nil {
+			r.raw.Close()
+			r.raw, r.conn = nil, nil
+		}
+	}
 	return first
+}
+
+// AddReadReplicas registers follower addresses to fan Search/SearchBatch
+// traffic across. Connections are dialed lazily and re-dialed after
+// failures; an unreachable or lagging replica routes reads back to the
+// primary, with failing replicas benched on an exponential back-off so a
+// dead address costs at most an occasional short dial timeout, not a stall
+// per search.
+func (c *Client) AddReadReplicas(addrs ...string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, a := range addrs {
+		c.replicas = append(c.replicas, &readReplica{addr: a})
+	}
+}
+
+// ReadDistribution reports how many read requests this client has sent to
+// each server, keyed by replica address, plus "primary" for the primary.
+func (c *Client) ReadDistribution() map[string]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]uint64, len(c.reads))
+	for k, v := range c.reads {
+		out[k] = v
+	}
+	return out
+}
+
+// countReadLocked tallies one read against a server for ReadDistribution.
+func (c *Client) countReadLocked(key string) {
+	if c.reads == nil {
+		c.reads = make(map[string]uint64)
+	}
+	c.reads[key]++
+}
+
+// readRoundtrip sends a read request to the next healthy, caught-up
+// replica, falling back to the primary when none qualifies or the chosen
+// replica fails in transit. A *protocol.RemoteError is returned as-is
+// without failover: the server understood the request and rejected it, and
+// every server would. Caller holds c.mu.
+func (c *Client) readRoundtrip(m *protocol.Message) (*protocol.Message, error) {
+	if r := c.pickReplicaLocked(); r != nil {
+		resp, err := r.conn.Roundtrip(m)
+		var remote *protocol.RemoteError
+		if err == nil || errors.As(err, &remote) {
+			c.countReadLocked(r.addr)
+			return resp, err
+		}
+		c.dropReplicaLocked(r)
+	}
+	resp, err := c.cloudConn.Roundtrip(m)
+	if err == nil {
+		c.countReadLocked("primary")
+	}
+	return resp, err
+}
+
+// pickReplicaLocked rotates over the replica set and returns the first one
+// fit to serve a read, or nil to use the primary. Caller holds c.mu.
+func (c *Client) pickReplicaLocked() *readReplica {
+	n := len(c.replicas)
+	for i := 0; i < n; i++ {
+		r := c.replicas[(c.rrNext+i)%n]
+		if c.probeLocked(r) {
+			c.rrNext = (c.rrNext + i + 1) % n
+			return r
+		}
+	}
+	return nil
+}
+
+// probeLocked reports whether a replica is connected and caught up,
+// dialing and status-checking it as needed. Caller holds c.mu.
+func (c *Client) probeLocked(r *readReplica) bool {
+	now := time.Now()
+	if now.Before(r.downUntil) {
+		return false
+	}
+	if r.conn == nil {
+		raw, err := net.DialTimeout("tcp", r.addr, replicaDialTimeout)
+		if err != nil {
+			c.dropReplicaLocked(r)
+			return false
+		}
+		r.raw = raw
+		r.conn = protocol.NewConn(raw)
+		r.checkedAt = time.Time{} // force a status probe on a fresh connection
+	}
+	if now.Sub(r.checkedAt) >= c.probeEvery() {
+		resp, err := r.conn.Roundtrip(&protocol.Message{ReplicaStatusReq: &protocol.ReplicaStatusRequest{}})
+		if err != nil || resp.ReplicaStatusResp == nil {
+			c.dropReplicaLocked(r)
+			return false
+		}
+		st := resp.ReplicaStatusResp
+		r.checkedAt = now
+		r.fails = 0
+		r.lagging = st.PrimaryPosition-st.Position > c.maxLag() || (st.Replica && !st.Connected)
+	}
+	return !r.lagging
+}
+
+// dropReplicaLocked closes a failed replica connection and benches the
+// replica before the next redial, doubling the bench on every consecutive
+// failure (up to replicaMaxBench) so a dead address is retried rarely.
+// Caller holds c.mu.
+func (c *Client) dropReplicaLocked(r *readReplica) {
+	if r.raw != nil {
+		r.raw.Close()
+	}
+	r.raw, r.conn = nil, nil
+	r.lagging = false
+	bench := c.probeEvery() << r.fails
+	if bench > replicaMaxBench || bench <= 0 {
+		bench = replicaMaxBench
+	}
+	if r.fails < 30 {
+		r.fails++
+	}
+	r.downUntil = time.Now().Add(bench)
+}
+
+func (c *Client) maxLag() uint64 {
+	if c.MaxReplicaLag > 0 {
+		return c.MaxReplicaLag
+	}
+	return DefaultMaxReplicaLag
+}
+
+func (c *Client) probeEvery() time.Duration {
+	if c.ReplicaProbeEvery > 0 {
+		return c.ReplicaProbeEvery
+	}
+	return time.Second
 }
 
 // EnsureTrapdoors fetches trapdoor material for any of the given keywords
@@ -227,7 +416,7 @@ func (c *Client) Search(words []string, topK int) ([]Match, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.cloudConn.Roundtrip(&protocol.Message{SearchReq: &protocol.SearchRequest{
+	resp, err := c.readRoundtrip(&protocol.Message{SearchReq: &protocol.SearchRequest{
 		Query: marshalVector(q),
 		TopK:  topK,
 	}})
@@ -264,7 +453,7 @@ func (c *Client) SearchBatch(queries [][]string, topK int) ([][]Match, error) {
 		}
 		wire[i] = marshalVector(q)
 	}
-	resp, err := c.cloudConn.Roundtrip(&protocol.Message{SearchBatchReq: &protocol.SearchBatchRequest{
+	resp, err := c.readRoundtrip(&protocol.Message{SearchBatchReq: &protocol.SearchBatchRequest{
 		Queries: wire,
 		TopK:    topK,
 	}})

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"sync"
+	"time"
 
 	"mkse/internal/bitindex"
 	"mkse/internal/core"
@@ -28,8 +30,22 @@ type CloudService struct {
 	// Store, when set, receives uploads and deletions instead of Server —
 	// the hook that puts the durable write-ahead log under the daemon.
 	// Reads always go to Server.
-	Store  Backend
-	Logger *log.Logger // optional
+	Store Backend
+	// WAL, when set, lets this daemon serve its write-ahead log to
+	// followers over the replication verbs (any durably backed daemon can;
+	// set it to the same durable engine as Store).
+	WAL WALSource
+	// Replica, when set, marks this daemon a read-only follower: uploads
+	// and deletions are rejected — its state is fed exclusively by the
+	// replication stream — and status replies report the stream's lag.
+	Replica *Replica
+	// HeartbeatEvery is the idle heartbeat interval of outgoing replication
+	// streams (0 = 500ms).
+	HeartbeatEvery time.Duration
+	Logger         *log.Logger // optional
+
+	replMu    sync.Mutex // guards followers
+	followers map[*follower]struct{}
 }
 
 // backend returns the mutation sink: Store when configured, else Server.
@@ -42,7 +58,7 @@ func (s *CloudService) backend() Backend {
 
 // Serve accepts connections on l until it is closed.
 func (s *CloudService) Serve(l net.Listener) error {
-	return serveLoop(l, s.Logger, func(_ *protocol.Conn, m *protocol.Message) *protocol.Message {
+	return serveLoop(l, s.Logger, func(pc *protocol.Conn, conn net.Conn, m *protocol.Message) *protocol.Message {
 		switch {
 		case m.UploadReq != nil:
 			return s.handleUpload(m.UploadReq)
@@ -54,6 +70,13 @@ func (s *CloudService) Serve(l net.Listener) error {
 			return s.handleSearchBatch(m.SearchBatchReq)
 		case m.FetchReq != nil:
 			return s.handleFetch(m.FetchReq)
+		case m.ReplicaSubscribeReq != nil:
+			// Takes over the connection for the stream's lifetime; a nil
+			// return tells serveLoop the conversation is over.
+			s.handleReplicaSubscribe(pc, conn.RemoteAddr().String(), m.ReplicaSubscribeReq)
+			return nil
+		case m.ReplicaStatusReq != nil:
+			return s.handleReplicaStatus()
 		default:
 			return errMsg(fmt.Errorf("cloud: unsupported request"))
 		}
@@ -61,6 +84,9 @@ func (s *CloudService) Serve(l net.Listener) error {
 }
 
 func (s *CloudService) handleUpload(req *protocol.UploadRequest) *protocol.Message {
+	if s.Replica != nil {
+		return errMsg(fmt.Errorf("cloud: this server is a read-only replica; route uploads to the primary"))
+	}
 	levels := make([]*bitindex.Vector, len(req.Levels))
 	for i, raw := range req.Levels {
 		v, err := unmarshalVector(raw)
@@ -78,6 +104,9 @@ func (s *CloudService) handleUpload(req *protocol.UploadRequest) *protocol.Messa
 }
 
 func (s *CloudService) handleDelete(req *protocol.DeleteRequest) *protocol.Message {
+	if s.Replica != nil {
+		return errMsg(fmt.Errorf("cloud: this server is a read-only replica; route deletions to the primary"))
+	}
 	if err := s.backend().Delete(req.DocID); err != nil {
 		return errMsg(err)
 	}

@@ -21,7 +21,7 @@ type OwnerService struct {
 
 // Serve accepts connections on l until it is closed.
 func (s *OwnerService) Serve(l net.Listener) error {
-	return serveLoop(l, s.Logger, func(_ *protocol.Conn, m *protocol.Message) *protocol.Message {
+	return serveLoop(l, s.Logger, func(_ *protocol.Conn, _ net.Conn, m *protocol.Message) *protocol.Message {
 		switch {
 		case m.EnrollReq != nil:
 			return s.handleEnroll(m.EnrollReq)

@@ -23,8 +23,10 @@ func logf(l *log.Logger, format string, args ...any) {
 }
 
 // serveLoop accepts connections and dispatches them to handler until the
-// listener closes.
-func serveLoop(l net.Listener, logger *log.Logger, handler func(*protocol.Conn, *protocol.Message) *protocol.Message) error {
+// listener closes. A handler that returns nil has taken the connection
+// over (replication streams do — they push messages for the connection's
+// whole lifetime) and the connection is closed when it returns.
+func serveLoop(l net.Listener, logger *log.Logger, handler func(*protocol.Conn, net.Conn, *protocol.Message) *protocol.Message) error {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -44,9 +46,9 @@ func serveLoop(l net.Listener, logger *log.Logger, handler func(*protocol.Conn, 
 					}
 					return
 				}
-				resp := handler(pc, msg)
+				resp := handler(pc, conn, msg)
 				if resp == nil {
-					resp = &protocol.Message{Error: &protocol.ErrorMsg{Text: "unrecognized request"}}
+					return
 				}
 				if err := pc.Send(resp); err != nil {
 					logf(logger, "service: send error: %v", err)

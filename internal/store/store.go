@@ -15,6 +15,7 @@ package store
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -256,6 +257,13 @@ func LoadFileWith(path string, mk func(core.Params) (*core.Server, error)) (*cor
 	}
 	defer f.Close()
 	return LoadWith(f, mk)
+}
+
+// LoadCheckpointBytes reads a snapshot in either format from an in-memory
+// buffer and returns the covered LSN. Replication uses it to install a
+// checkpoint a follower received over the wire (see LoadCheckpoint).
+func LoadCheckpointBytes(data []byte, mk func(core.Params) (*core.Server, error)) (*core.Server, uint64, error) {
+	return LoadCheckpoint(bytes.NewReader(data), mk)
 }
 
 // LoadCheckpointFile reads a snapshot in either format from path and
