@@ -23,7 +23,9 @@ import (
 	"mkse/internal/core"
 	"mkse/internal/corpus"
 	"mkse/internal/experiments"
+	"mkse/internal/protocol"
 	"mkse/internal/rank"
+	"mkse/internal/service"
 )
 
 // ---------------------------------------------------------------------------
@@ -503,6 +505,100 @@ func BenchmarkMatchKernel(b *testing.B) {
 			kernelSink += len(rows)
 		})
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Query-result cache (EXPERIMENTS.md "Query-result cache")
+// ---------------------------------------------------------------------------
+
+// BenchmarkSearchCached measures the cloud service's wire-level search path
+// over 10k documents with the query-result cache in its three regimes: the
+// pure hit path (a repeated query answered without touching the arenas),
+// the pure miss path (an LRU too small for the query working set, so every
+// lookup falls through to a full scan plus fingerprint/insert overhead),
+// and an invalidation-heavy mix (a mutation bumps the epoch before every
+// query, the cache's worst case). The uncached sub-benchmark is the same
+// path with no cache configured — the baseline the warm-hit speedup is
+// quoted against. Owners are deterministic, so the match sets — and the
+// work a miss does — are identical across runs.
+func BenchmarkSearchCached(b *testing.B) {
+	const size = 10000
+	p := core.DefaultParams()
+	p.Bins = 64
+	p.Levels = rank.DefaultLevels(3, 15)
+	owner, err := core.NewOwnerDeterministic(p, 1, 0xbe7c4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	server, err := core.NewServerSharded(p, 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	docs, err := corpus.Generate(corpus.Config{
+		NumDocs: size, KeywordsPerDoc: 20, Dictionary: corpus.Dictionary(4000),
+		MaxTermFreq: 15, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	indices, err := owner.BuildIndexes(docs, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, d := range docs {
+		if err := server.Upload(indices[i], &core.EncryptedDocument{ID: d.ID, Ciphertext: []byte{0}, EncKey: []byte{0}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reqFor := func(i int) *protocol.SearchRequest {
+		q := queryFor(b, owner, docs[(i*13)%size].Keywords()[:2])
+		raw, err := q.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return &protocol.SearchRequest{Query: raw, TopK: 10}
+	}
+	reqs := make([]*protocol.SearchRequest, 512)
+	for i := range reqs {
+		reqs[i] = reqFor(i)
+	}
+	svc := &service.CloudService{Server: server}
+	run := func(req func(i int) *protocol.SearchRequest) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := svc.SearchWire(req(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+
+	svc.Cache = nil
+	b.Run("uncached", run(func(int) *protocol.SearchRequest { return reqs[0] }))
+
+	svc.Cache = service.NewResultCache(64 << 20)
+	if _, err := svc.SearchWire(reqs[0]); err != nil { // prime
+		b.Fatal(err)
+	}
+	b.Run("hit", run(func(int) *protocol.SearchRequest { return reqs[0] }))
+
+	// A budget far under the 512-query working set: every entry is evicted
+	// before its query comes around again, so every lookup misses.
+	svc.Cache = service.NewResultCache(64 << 10)
+	b.Run("miss", run(func(i int) *protocol.SearchRequest { return reqs[i%len(reqs)] }))
+
+	// Invalidation-heavy mix: an in-place re-upload bumps the epoch before
+	// every query, so each search pays mutation + scan + re-insert.
+	svc.Cache = service.NewResultCache(64 << 20)
+	b.Run("invalidate-mix", run(func(i int) *protocol.SearchRequest {
+		j := i % 8
+		if err := server.Upload(indices[j], &core.EncryptedDocument{ID: docs[j].ID, Ciphertext: []byte{0}, EncKey: []byte{0}}); err != nil {
+			b.Fatal(err)
+		}
+		return reqs[j]
+	}))
 }
 
 // BenchmarkShardedSearchTop compares ranked top-τ search across store

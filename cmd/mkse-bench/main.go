@@ -9,7 +9,7 @@
 //	mkse-bench -exp cao -dict 2000      # widen the MRSE gap
 //
 // Experiments: fig2a fig2b fig3 fig4a fig4b table1 table2 ranking cao
-// analytic theorem3 attack shards kernel recovery replication all
+// analytic theorem3 attack shards kernel recovery replication cache all
 package main
 
 import (
@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (fig2a fig2b fig3 fig4a fig4b table1 table2 ranking cao analytic theorem3 attack ablate-d ablate-v ablate-bins shards kernel recovery replication all)")
+		exp     = flag.String("exp", "all", "experiment to run (fig2a fig2b fig3 fig4a fig4b table1 table2 ranking cao analytic theorem3 attack ablate-d ablate-v ablate-bins shards kernel recovery replication cache all)")
 		seed    = flag.Int64("seed", 2012, "experiment seed")
 		docs    = flag.Int("docs", 400, "corpus size for fig3/table2")
 		sizes   = flag.String("sizes", "2000,4000,6000,8000,10000", "comma-separated corpus sizes for fig4a/fig4b/cao sweeps")
@@ -33,6 +33,7 @@ func main() {
 		kdocs   = flag.Int("kdocs", 10000, "corpus size for -exp kernel")
 		zeros   = flag.String("zeros", "1,2,4,7,14,28,56,112,224", "comma-separated query zero-counts for -exp kernel")
 		replicas = flag.Int("replicas", 2, "read replicas for -exp replication")
+		cacheMB  = flag.Int("cache-mb", 64, "query-result cache budget in MiB for -exp cache")
 		shards   = flag.Int("shards", 0, "store shards for -exp shards (0 = one per core)")
 		workers = flag.Int("workers", 0, "concurrent shard scans for -exp shards (0 = auto)")
 		batch   = flag.Int("batch", 16, "queries per SearchBatch call for -exp shards")
@@ -149,6 +150,14 @@ func main() {
 			repSizes = []int{1000, 5000}
 		}
 		r, err := experiments.ReplicationSweep(repSizes, *replicas, *queries, *seed)
+		return stringer{r}, err
+	})
+	run("cache", func() (fmt.Stringer, error) {
+		cacheSizes := sweep
+		if *exp == "all" {
+			cacheSizes = []int{1000, 10000}
+		}
+		r, err := experiments.CacheSweep(cacheSizes, *cacheMB, *queries, *seed)
 		return stringer{r}, err
 	})
 	run("shards", func() (fmt.Stringer, error) {

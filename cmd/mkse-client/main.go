@@ -9,9 +9,12 @@
 //	mkse-client -owner ... -cloud ... -user alice get doc-00042
 //	mkse-client -owner ... -cloud ... -user alice searchget cloud privacy
 //	mkse-client -owner ... -cloud ... -user alice delete doc-00042
+//	mkse-client -cloud localhost:7002 stats
 //
 // Subcommands: search <kw...>, get <docID>, searchget <kw...> (search then
-// retrieve the best match), delete <docID>.
+// retrieve the best match), delete <docID>, stats (one-round-trip server
+// introspection: document/shard counts, WAL position, replication lag,
+// query-result cache counters; needs only -cloud, no enrollment).
 package main
 
 import (
@@ -32,8 +35,14 @@ func main() {
 	)
 	flag.Parse()
 	args := flag.Args()
+	if len(args) >= 1 && args[0] == "stats" {
+		// Operator introspection: a raw dial to the cloud daemon, no owner
+		// connection or user enrollment needed.
+		printStats(*cloudAddr)
+		return
+	}
 	if len(args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: mkse-client [flags] search|get|searchget|delete <args...>")
+		fmt.Fprintln(os.Stderr, "usage: mkse-client [flags] search|get|searchget|delete <args...> | stats")
 		os.Exit(2)
 	}
 
@@ -87,4 +96,40 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mkse-client: unknown subcommand %q\n", args[0])
 		os.Exit(2)
 	}
+}
+
+// printStats renders one cloud daemon's stats response for operators.
+func printStats(cloudAddr string) {
+	st, err := service.FetchStats(cloudAddr)
+	if err != nil {
+		log.Fatalf("mkse-client: stats: %v", err)
+	}
+	fmt.Printf("documents      %d\n", st.NumDocuments)
+	fmt.Printf("shards         %d\n", st.NumShards)
+	fmt.Printf("epoch          %d\n", st.Epoch)
+	if st.Durable {
+		fmt.Printf("wal-position   %d\n", st.WALPosition)
+	} else {
+		fmt.Printf("wal-position   - (memory-only)\n")
+	}
+	if st.Replica {
+		fmt.Printf("replica        yes (connected=%v)\n", st.ReplicaConnected)
+		fmt.Printf("primary-pos    %d (lag %d records)\n", st.PrimaryPosition, st.PrimaryPosition-st.WALPosition)
+	} else {
+		fmt.Printf("replica        no\n")
+	}
+	c := st.Cache
+	if !c.Enabled {
+		fmt.Printf("cache          disabled\n")
+		return
+	}
+	total := c.Hits + c.Misses
+	rate := 0.0
+	if total > 0 {
+		rate = float64(c.Hits) / float64(total) * 100
+	}
+	fmt.Printf("cache          %d/%d bytes, %d entries\n", c.Bytes, c.MaxBytes, c.Entries)
+	fmt.Printf("cache-hits     %d (%.1f%% of %d lookups)\n", c.Hits, rate, total)
+	fmt.Printf("cache-misses   %d (%d epoch invalidations)\n", c.Misses, c.Invalidations)
+	fmt.Printf("cache-evicted  %d\n", c.Evictions)
 }

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	mkse-server -listen :7002 [-levels 1,5,10] [-shards 8] [-workers 8]
+//	            [-cache-mb 256]
 //	            [-data /var/lib/mkse] [-checkpoint-every 4096]
 //	            [-fsync always|interval|never]
 //	            [-replica-of primary:7002]
@@ -14,6 +15,17 @@
 // -shards splits the document store into independently locked shards
 // (default: one per core) scanned concurrently by -workers goroutines per
 // query; see core.Server for the architecture.
+//
+// -cache-mb enables the query-result cache (internal/qcache): repeated
+// queries — identical query vector and τ — are answered from a sharded,
+// memory-bounded LRU without rescanning the store, and every upload or
+// delete bumps a mutation epoch that invalidates all cached results, so no
+// acknowledged mutation is ever missing from a served result. Deterministic
+// trapdoors make repeated searches produce identical vectors, and the
+// scheme already concedes search-pattern leakage to the server, so caching
+// reveals nothing new. Followers may enable it too: replicated applies bump
+// the follower's own epoch. The stats verb (mkse-client stats) reports
+// hit/miss/eviction counters.
 //
 // -data enables the durable storage engine (internal/durable): every upload
 // and delete is appended to a write-ahead log in the directory before it is
@@ -74,6 +86,7 @@ func main() {
 		replicaOf = flag.String("replica-of", "", "primary address to follow as a read-only replica (requires -data)")
 		shards    = flag.Int("shards", 0, "document store shards (0 = one per core)")
 		workers   = flag.Int("workers", 0, "concurrent shard scans per query (0 = auto)")
+		cacheMB   = flag.Int("cache-mb", 0, "query-result cache budget in MiB (0 = disabled)")
 	)
 	flag.Parse()
 
@@ -97,6 +110,13 @@ func main() {
 	}
 
 	svc := &service.CloudService{Logger: logger}
+	if *cacheMB > 0 {
+		// Works on primaries and followers alike: entries are validated
+		// against this server's own mutation epoch, so local mutations and
+		// replicated applies both invalidate naturally.
+		svc.Cache = service.NewResultCache(int64(*cacheMB) << 20)
+		logger.Printf("query-result cache enabled: %d MiB", *cacheMB)
+	}
 	// persist runs on every clean shutdown path.
 	var persist func()
 

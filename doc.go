@@ -70,6 +70,28 @@
 // ("WAL-shipping replication") for catch-up throughput and fan-out
 // numbers, and examples/replication for a runnable deployment.
 //
+// # Query-result caching
+//
+// Production read traffic is dominated by repeated and popular queries, and
+// trapdoors are deterministic per keyword set — the same search produces the
+// same query vector. The cloud daemon can therefore memoize results
+// (mkse-server -cache-mb, internal/qcache): a sharded, memory-bounded LRU
+// maps a query fingerprint (hash of the wire query vector and τ) to the
+// ranked result it produced. Correctness is enforced by epoch invalidation:
+// the store keeps a mutation epoch bumped by every applied upload and
+// delete, entries record the epoch their scan ran at, and a lookup hits
+// only at that exact epoch — so an acknowledged mutation instantly
+// invalidates every cached result, and a cache can never serve a stale
+// answer (property-tested against uncached scans across random
+// mutate/search interleavings). Caching is privacy-neutral under the
+// paper's leakage profile: the server already observes that two identical
+// queries are identical — the accepted search-pattern leakage — which is
+// the only signal the cache exploits. Batches dedupe identical query
+// vectors even with the cache disabled, and followers cache against their
+// own epoch, so replicated applies invalidate naturally. The stats verb
+// (mkse-client stats) reports hit/miss/eviction/invalidation counters. See
+// EXPERIMENTS.md ("Query-result cache") for cold/warm/invalidate numbers.
+//
 // # Package layout
 //
 // This root package is the public API: parameters, the three roles (Owner,
@@ -85,6 +107,7 @@
 //     comparison baselines
 //   - internal/durable, internal/store — the write-ahead-logged storage
 //     engine and the checkpoint/snapshot format
+//   - internal/qcache — the epoch-invalidated query-result cache
 //   - internal/protocol, internal/service — the three-party TCP deployment,
 //     including the replication stream and the read-balancing client
 //

@@ -75,6 +75,13 @@ type Server struct {
 
 	seq atomic.Uint64 // global upload order, for Export/DocumentIDs
 
+	// epoch counts applied mutations. It is bumped after a mutation is
+	// applied and before the mutating call returns, so once an Upload or
+	// Delete has been acknowledged, every later Epoch read observes a value
+	// newer than any epoch read before the mutation — the invariant the
+	// query-result cache (internal/qcache) builds its invalidation on.
+	epoch atomic.Uint64
+
 	scratch sync.Pool // *scanScratch, reused across searches
 
 	// Costs tallies server-side binary comparisons (Table 2) and traffic.
@@ -133,6 +140,14 @@ func (s *Server) Params() Params { return s.params }
 // NumShards returns the number of store shards.
 func (s *Server) NumShards() int { return len(s.shards) }
 
+// Epoch returns the store's mutation epoch: a counter bumped by every
+// applied Upload and Delete (wherever it originates — a client request, a
+// WAL replay, a replicated record, a checkpoint install). A result computed
+// at epoch E is valid exactly as long as Epoch still returns E. Callers
+// caching search results must read the epoch before starting the scan; see
+// internal/qcache.
+func (s *Server) Epoch() uint64 { return s.epoch.Load() }
+
 // NumWorkers returns the resolved search worker-pool size.
 func (s *Server) NumWorkers() int { return s.workers }
 
@@ -173,6 +188,7 @@ func (s *Server) Upload(si *SearchIndex, doc *EncryptedDocument) error {
 			v.CopyWordsTo(sh.levels[l][row*sh.stride : (row+1)*sh.stride])
 		}
 		sh.docs[row] = doc
+		s.epoch.Add(1) // after apply, before ack (see Epoch)
 		return nil
 	}
 	sh.byID[si.DocID] = len(sh.ids)
@@ -182,6 +198,7 @@ func (s *Server) Upload(si *SearchIndex, doc *EncryptedDocument) error {
 	for l, v := range si.Levels {
 		sh.levels[l] = v.AppendTo(sh.levels[l])
 	}
+	s.epoch.Add(1) // after apply, before ack (see Epoch)
 	return nil
 }
 
@@ -220,6 +237,7 @@ func (s *Server) Delete(docID string) error {
 		sh.levels[l] = shrink(sh.levels[l][:last*sh.stride])
 	}
 	delete(sh.byID, docID)
+	s.epoch.Add(1) // after apply, before ack (see Epoch)
 	return nil
 }
 

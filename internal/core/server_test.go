@@ -407,3 +407,60 @@ func TestSearchScanPathAllocationFree(t *testing.T) {
 		t.Errorf("SearchTop with %d matches allocates %.0f times per query, want <= %.0f", len(res), got, budget)
 	}
 }
+
+// Every applied mutation — insert, in-place replacement, delete — must bump
+// the mutation epoch before the call returns; failed mutations must not.
+// The query-result cache's no-stale-results guarantee rests on this.
+func TestEpochAdvancesOnEveryMutation(t *testing.T) {
+	o := sharedOwner(t)
+	srv, err := NewServerSharded(o.Params(), 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Epoch(); got != 0 {
+		t.Fatalf("fresh server epoch = %d", got)
+	}
+	docs := uploadCorpus(t, o, 5, 91, srv)
+	if got := srv.Epoch(); got != 5 {
+		t.Fatalf("epoch after 5 uploads = %d", got)
+	}
+
+	// Re-upload (in-place replacement) mutates visible state: must bump.
+	si, err := o.BuildIndex(docs[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Upload(si, &EncryptedDocument{ID: docs[2].ID, Ciphertext: []byte("v2"), EncKey: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Epoch(); got != 6 {
+		t.Fatalf("epoch after replacement = %d, want 6", got)
+	}
+
+	if err := srv.Delete(docs[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Epoch(); got != 7 {
+		t.Fatalf("epoch after delete = %d, want 7", got)
+	}
+
+	// Failed mutations leave the epoch alone: nothing changed.
+	if err := srv.Delete("no-such-doc"); err == nil {
+		t.Fatal("deleting unknown ID succeeded")
+	}
+	if err := srv.Upload(nil, nil); err == nil {
+		t.Fatal("nil upload succeeded")
+	}
+	if got := srv.Epoch(); got != 7 {
+		t.Fatalf("epoch after failed mutations = %d, want 7", got)
+	}
+
+	// Searches are reads: no bump.
+	q := bitindex.New(o.Params().R)
+	if _, err := srv.SearchTop(q, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Epoch(); got != 7 {
+		t.Fatalf("epoch after search = %d, want 7", got)
+	}
+}

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"time"
+
+	"mkse/internal/core"
+	"mkse/internal/protocol"
+	"mkse/internal/rank"
+	"mkse/internal/service"
+)
+
+// ---------------------------------------------------------------------------
+// Query-result cache — cold vs warm vs mutate-invalidate (ISSUE 5)
+// ---------------------------------------------------------------------------
+
+// CachePoint is one corpus-size measurement of the query-result cache.
+type CachePoint struct {
+	NumDocs int
+
+	Uncached   time.Duration // per query, cache disabled (the full arena scan)
+	Cold       time.Duration // per query, cache enabled but empty (miss + fill)
+	Warm       time.Duration // per query, repeated queries (all hits)
+	Invalidate time.Duration // per query with a mutation landing before each one
+
+	WarmSpeedup float64 // Uncached / Warm
+	Hits        uint64  // cache counters at the end of the point
+	Misses      uint64
+	Invalid     uint64
+}
+
+// CacheSweepResult is the cache sweep across corpus sizes.
+type CacheSweepResult struct {
+	CacheMB int
+	Queries int
+	Points  []CachePoint
+}
+
+// CacheSweep measures the query-result cache through the same wire-level
+// entry points the TCP daemon serves (service.CloudService.SearchWire):
+// the uncached scan, the cold pass that fills the cache, the warm pass
+// that repeats the identical queries, and an invalidation-heavy pass where
+// a mutation (an in-place re-upload, so results stay comparable) bumps the
+// epoch before every query. Every warm result is checked byte-identical to
+// its uncached counterpart before any timing is reported — a cache that
+// ever served a stale or wrong result fails the sweep instead of
+// graduating into EXPERIMENTS.md.
+func CacheSweep(sizes []int, cacheMB, queries int, seed int64) (*CacheSweepResult, error) {
+	if queries <= 0 {
+		queries = 25
+	}
+	if cacheMB <= 0 {
+		cacheMB = 64
+	}
+	owner, err := newExperimentOwner(rank.DefaultLevels(3, 15), seed)
+	if err != nil {
+		return nil, err
+	}
+	f := newQueryFactory(owner, seed+67)
+
+	maxN := 0
+	for _, n := range sizes {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	docs, indices, err := experimentCorpus(owner, maxN, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	server, err := core.NewServer(owner.Params())
+	if err != nil {
+		return nil, err
+	}
+	svc := &service.CloudService{Server: server}
+	res := &CacheSweepResult{CacheMB: cacheMB, Queries: queries}
+
+	uploadTo := func(i int) error {
+		doc := &core.EncryptedDocument{ID: docs[i].ID, Ciphertext: []byte{0}, EncKey: []byte{0}}
+		return server.Upload(indices[i], doc)
+	}
+
+	uploaded := 0
+	for _, n := range sizes {
+		for ; uploaded < n && uploaded < len(docs); uploaded++ {
+			if err := uploadTo(uploaded); err != nil {
+				return nil, err
+			}
+		}
+		reqs := make([]*protocol.SearchRequest, queries)
+		for i := range reqs {
+			q := f.build(docs[i%n].Keywords()[:2])
+			raw, err := q.MarshalBinary()
+			if err != nil {
+				return nil, err
+			}
+			reqs[i] = &protocol.SearchRequest{Query: raw, TopK: 10}
+		}
+		pt := CachePoint{NumDocs: n}
+
+		// Uncached baseline: the path a daemon without -cache-mb serves.
+		svc.Cache = nil
+		truth := make([]*protocol.SearchResponse, queries)
+		start := time.Now()
+		for i, req := range reqs {
+			if truth[i], err = svc.SearchWire(req); err != nil {
+				return nil, err
+			}
+		}
+		pt.Uncached = time.Since(start) / time.Duration(queries)
+
+		// Cold: fresh cache, every query misses and fills.
+		svc.Cache = service.NewResultCache(int64(cacheMB) << 20)
+		start = time.Now()
+		for _, req := range reqs {
+			if _, err := svc.SearchWire(req); err != nil {
+				return nil, err
+			}
+		}
+		pt.Cold = time.Since(start) / time.Duration(queries)
+
+		// Agreement check (untimed): every cached result must be
+		// byte-identical to the uncached scan before any warm number is
+		// reported.
+		for i, req := range reqs {
+			resp, err := svc.SearchWire(req)
+			if err != nil {
+				return nil, err
+			}
+			if !reflect.DeepEqual(resp.Matches, truth[i].Matches) {
+				return nil, fmt.Errorf("cache sweep: warm result for query %d differs from the uncached scan at %d docs", i, n)
+			}
+		}
+
+		// Warm: identical queries again, all hits.
+		start = time.Now()
+		for _, req := range reqs {
+			if _, err := svc.SearchWire(req); err != nil {
+				return nil, err
+			}
+		}
+		pt.Warm = time.Since(start) / time.Duration(queries)
+
+		// Mutate-invalidate: an in-place re-upload (same index, so results
+		// stay byte-comparable) bumps the epoch before every query; each
+		// search pays a full scan plus the invalidation bookkeeping.
+		responses := make([]*protocol.SearchResponse, queries)
+		start = time.Now()
+		for i, req := range reqs {
+			if err := uploadTo(i % n); err != nil {
+				return nil, err
+			}
+			if responses[i], err = svc.SearchWire(req); err != nil {
+				return nil, err
+			}
+		}
+		pt.Invalidate = time.Since(start) / time.Duration(queries)
+		for i, resp := range responses {
+			if !reflect.DeepEqual(resp.Matches, truth[i].Matches) {
+				return nil, fmt.Errorf("cache sweep: post-mutation result for query %d differs from the uncached scan at %d docs", i, n)
+			}
+		}
+
+		if pt.Warm > 0 {
+			pt.WarmSpeedup = float64(pt.Uncached) / float64(pt.Warm)
+		}
+		st := svc.Cache.Stats()
+		pt.Hits, pt.Misses, pt.Invalid = st.Hits, st.Misses, st.Invalidations
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// Format renders the sweep as a table.
+func (r *CacheSweepResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Query-result cache — %d MiB budget, %d queries per pass (τ=10, η=3)\n", r.CacheMB, r.Queries)
+	b.WriteString("#docs   uncached/query    cold/query    warm/query  warm-speedup  invalidate/query   hits misses invalidations\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%6d %13.4fms %12.4fms %12.4fms %12.1fx %16.4fms %6d %6d %13d\n",
+			p.NumDocs,
+			float64(p.Uncached)/float64(time.Millisecond),
+			float64(p.Cold)/float64(time.Millisecond),
+			float64(p.Warm)/float64(time.Millisecond),
+			p.WarmSpeedup,
+			float64(p.Invalidate)/float64(time.Millisecond),
+			p.Hits, p.Misses, p.Invalid)
+	}
+	b.WriteString("warm pass agreement-checked byte-identical against the uncached scan; invalidate pass re-checks after every mutation\n")
+	return b.String()
+}

@@ -411,6 +411,37 @@ func TestShardSweepReportsPerDocCosts(t *testing.T) {
 	}
 }
 
+// The cache sweep agreement-checks itself (warm and post-mutation results
+// byte-identical to the uncached scan — it errors on any divergence); the
+// test pins the counter bookkeeping and that warm hits actually beat the
+// scan. The timing assertion is deliberately loose (a cache hit is a map
+// lookup ~two orders of magnitude under the scan) so a loaded CI machine
+// cannot flake it.
+func TestCacheSweepWarmHitsBeatScans(t *testing.T) {
+	res, err := CacheSweep([]int{400}, 16, 10, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 {
+		t.Fatalf("%d points, want 1", len(res.Points))
+	}
+	p := res.Points[0]
+	// 10 distinct queries: agreement pass hits 10, warm pass hits 10; cold
+	// pass misses 10, invalidate pass misses (and invalidates) 10.
+	if p.Hits != 20 || p.Misses != 20 || p.Invalid != 10 {
+		t.Errorf("counters hits=%d misses=%d invalidations=%d, want 20/20/10", p.Hits, p.Misses, p.Invalid)
+	}
+	if p.WarmSpeedup < 2 {
+		t.Errorf("warm speedup %.1fx — cache hits are not beating the scan", p.WarmSpeedup)
+	}
+	if p.Uncached <= 0 || p.Cold <= 0 || p.Warm <= 0 || p.Invalidate <= 0 {
+		t.Errorf("degenerate timings: %+v", p)
+	}
+	if !strings.Contains(res.Format(), "warm-speedup") {
+		t.Error("Format output malformed")
+	}
+}
+
 // The recovery sweep must replay every logged operation, report positive
 // throughput, and agree with the never-crashed reference (the sweep itself
 // errors on disagreement).

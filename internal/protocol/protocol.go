@@ -102,6 +102,9 @@ type Message struct {
 
 	ReplicaStatusReq  *ReplicaStatusRequest
 	ReplicaStatusResp *ReplicaStatusResponse
+
+	StatsReq  *StatsRequest
+	StatsResp *StatsResponse
 }
 
 // ErrorMsg reports a request failure.
@@ -348,6 +351,45 @@ type ReplicaStatusResponse struct {
 	Position        uint64
 	PrimaryPosition uint64
 	Followers       []FollowerWire
+}
+
+// StatsRequest asks a cloud daemon for its operational counters: one
+// round-trip introspection for operators and read balancers.
+type StatsRequest struct{}
+
+// CacheStatsWire reports the daemon's query-result cache counters
+// (internal/qcache). Enabled is false — and every other field zero — on a
+// daemon started without -cache-mb.
+type CacheStatsWire struct {
+	Enabled       bool
+	Hits          uint64
+	Misses        uint64
+	Evictions     uint64 // dropped by the LRU byte budget
+	Invalidations uint64 // dropped because the store mutated since they were cached
+	Entries       int
+	Bytes         int64
+	MaxBytes      int64
+}
+
+// StatsResponse is a point-in-time view of one cloud daemon. WALPosition is
+// the daemon's own log sequence number (zero on a memory-only daemon, where
+// Durable is false). On a follower, Replica is true and PrimaryPosition is
+// the newest position heard from the primary — PrimaryPosition minus
+// WALPosition is the replication lag in records; on a primary or standalone
+// daemon the two positions are equal.
+type StatsResponse struct {
+	NumDocuments int
+	NumShards    int
+	Epoch        uint64 // mutation epoch (the query-result cache's validity clock)
+
+	Durable     bool
+	WALPosition uint64
+
+	Replica          bool
+	ReplicaConnected bool
+	PrimaryPosition  uint64
+
+	Cache CacheStatsWire
 }
 
 // FetchRequest retrieves one encrypted document (step 3 of Figure 1).

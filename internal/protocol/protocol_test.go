@@ -354,6 +354,40 @@ func TestDeleteMessageRoundTrip(t *testing.T) {
 	}
 }
 
+func TestStatsMessagesRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	if err := c.Send(&Message{StatsReq: &StatsRequest{}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.StatsReq == nil {
+		t.Fatalf("StatsReq mangled: %+v", got)
+	}
+	resp := &StatsResponse{
+		NumDocuments: 123, NumShards: 8, Epoch: 456,
+		Durable: true, WALPosition: 789,
+		Replica: true, ReplicaConnected: true, PrimaryPosition: 800,
+		Cache: CacheStatsWire{
+			Enabled: true, Hits: 10, Misses: 3, Evictions: 1, Invalidations: 2,
+			Entries: 7, Bytes: 4096, MaxBytes: 1 << 20,
+		},
+	}
+	if err := c.Send(&Message{StatsResp: resp}); err != nil {
+		t.Fatal(err)
+	}
+	got, err = c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.StatsResp == nil || *got.StatsResp != *resp {
+		t.Fatalf("StatsResp mangled: %+v", got.StatsResp)
+	}
+}
+
 func TestReplicationMessagesRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	c := NewConn(&buf)

@@ -1,0 +1,303 @@
+// Package qcache is the cloud server's query-result cache: a sharded,
+// memory-bounded LRU mapping a query fingerprint to the final ranked result
+// it produced, with correctness guaranteed by epoch invalidation rather than
+// by tracking which entries a mutation touches.
+//
+// # Why caching search results is privacy-neutral here
+//
+// In the MKS scheme the server already observes every query vector in the
+// clear (the vector is opaque, but its bits are what the server matches
+// against), and trapdoors are deterministic per keyword set — two searches
+// for the same keywords under the same decoy subset produce identical
+// vectors. The search-pattern leakage the paper accepts (Section 7: the
+// server can tell when two queries are related) is therefore exactly the
+// information a result cache keys on; memoizing the answer reveals nothing
+// the server could not already compute by diffing incoming query vectors.
+//
+// # Epoch invalidation
+//
+// Tracking which cached results a given Upload or Delete affects would mean
+// re-deriving match sets on the mutation path. Instead the store keeps a
+// single monotonically increasing mutation epoch (core.Server.Epoch): every
+// cache entry records the epoch the scan ran at, and a lookup only hits when
+// the entry's epoch equals the store's current epoch. Any mutation bumps the
+// epoch after it is applied and before it is acknowledged, so once a
+// mutation has been acknowledged no later lookup can serve a result computed
+// without it. The flip side — one mutation invalidates everything — is the
+// right trade for this workload: search traffic is read-dominated and
+// repeated-query-heavy, and a full rescan is exactly what the cache was
+// saving, no worse than having no cache for one round.
+//
+// The caller must read the epoch BEFORE starting the scan whose result it
+// stores. Reading it after could pair a pre-mutation result with a
+// post-mutation epoch and serve stale data forever.
+//
+// # Memory bound
+//
+// The cache holds at most MaxBytes of accounted payload (entry overhead
+// included), split evenly across shards; each shard evicts its least
+// recently used entries to stay within its slice of the budget. Entries
+// stranded at an old epoch are not swept eagerly — they are dropped when a
+// lookup trips over them or the LRU pushes them out, so a mutation burst
+// costs no cache-wide scan.
+package qcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+)
+
+// Key is a query fingerprint: a SHA-256 digest, so distinct queries collide
+// with cryptographically negligible probability and a cached result can
+// never be served for a different query.
+type Key [sha256.Size]byte
+
+// Fingerprint derives the cache key for one search: a hash of the scheme's
+// vector width r, the requested result bound τ, and the marshaled query
+// vector exactly as it arrived on the wire (bitindex marshaling is
+// canonical, so equal vectors always produce equal bytes).
+func Fingerprint(r, tau int, query []byte) Key {
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(r))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(tau))
+	h := sha256.New()
+	h.Write(hdr[:])
+	h.Write(query)
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// entryOverhead is the accounted cost of an entry beyond its payload: key,
+// epoch, links, map slot. Keeps a flood of tiny (or empty) results from
+// evading the byte budget.
+const entryOverhead = 128
+
+// Stats is a point-in-time snapshot of the cache's counters.
+type Stats struct {
+	Hits          uint64 // lookups answered from the cache
+	Misses        uint64 // lookups that fell through to a scan (stale included)
+	Evictions     uint64 // entries dropped by the LRU byte budget
+	Invalidations uint64 // entries dropped because their epoch was stale
+	Entries       int    // live entries (stale-but-unswept included)
+	Bytes         int64  // accounted bytes currently held
+	MaxBytes      int64  // configured budget
+}
+
+// Cache is a sharded, memory-bounded, epoch-checked LRU. A nil *Cache is a
+// valid disabled cache: Get always misses, Put and Stats are no-ops — call
+// sites need no enabled/disabled branching. Values are returned by reference
+// and may be handed to any number of concurrent readers, so callers must
+// treat cached values as immutable.
+type Cache[V any] struct {
+	shards   []*shard[V]
+	mask     uint32
+	maxBytes int64
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	evictions     atomic.Uint64
+	invalidations atomic.Uint64
+}
+
+// shard is one independently locked slice of the cache with its own LRU
+// list (head = most recently used) and byte budget.
+type shard[V any] struct {
+	mu         sync.Mutex
+	maxBytes   int64
+	bytes      int64
+	entries    map[Key]*entry[V]
+	head, tail *entry[V]
+}
+
+type entry[V any] struct {
+	key        Key
+	epoch      uint64
+	size       int64
+	val        V
+	prev, next *entry[V]
+}
+
+// defaultShards balances lock contention against per-shard budget
+// granularity; must be a power of two for mask indexing.
+const defaultShards = 16
+
+// New creates a cache bounded to maxBytes of accounted payload, split over
+// the given number of shards (<= 0 picks the default; counts are rounded up
+// to a power of two). maxBytes <= 0 returns nil — the disabled cache.
+func New[V any](maxBytes int64, shards int) *Cache[V] {
+	if maxBytes <= 0 {
+		return nil
+	}
+	if shards <= 0 {
+		shards = defaultShards
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	per := maxBytes / int64(n)
+	if per < entryOverhead {
+		// Budget too small to split: one shard keeps the bound meaningful.
+		n, per = 1, maxBytes
+	}
+	c := &Cache[V]{shards: make([]*shard[V], n), mask: uint32(n - 1), maxBytes: maxBytes}
+	for i := range c.shards {
+		c.shards[i] = &shard[V]{maxBytes: per, entries: make(map[Key]*entry[V])}
+	}
+	return c
+}
+
+// shardFor routes a key to its shard by the digest's first word.
+func (c *Cache[V]) shardFor(k Key) *shard[V] {
+	return c.shards[binary.LittleEndian.Uint32(k[:4])&c.mask]
+}
+
+// Get returns the value cached under k if it was stored at exactly the given
+// epoch. A hit refreshes the entry's LRU position. Finding an entry stored
+// at an OLDER epoch drops it — the store has mutated since it was computed
+// and no future lookup can want it. An entry at a NEWER epoch is left in
+// place and reported as a plain miss: it is valid for every up-to-date
+// reader, and the caller asking is a straggler that read the epoch just
+// before a mutation landed — destroying the fresh entry would let every
+// mutation thrash the warm set.
+func (c *Cache[V]) Get(k Key, epoch uint64) (V, bool) {
+	var zero V
+	if c == nil {
+		return zero, false
+	}
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	e := sh.entries[k]
+	if e == nil {
+		sh.mu.Unlock()
+		c.misses.Add(1)
+		return zero, false
+	}
+	if e.epoch != epoch {
+		if e.epoch < epoch {
+			sh.removeLocked(e)
+			sh.mu.Unlock()
+			c.invalidations.Add(1)
+		} else {
+			sh.mu.Unlock()
+		}
+		c.misses.Add(1)
+		return zero, false
+	}
+	sh.touchLocked(e)
+	v := e.val
+	sh.mu.Unlock()
+	c.hits.Add(1)
+	return v, true
+}
+
+// Put stores v under k as computed at the given epoch, accounting size bytes
+// of payload (entry overhead is added internally), and evicts least recently
+// used entries until the shard is back under budget. A value larger than the
+// shard budget is not stored at all. Storing under an existing key replaces
+// the entry — unless the existing entry was computed at a newer epoch, in
+// which case the stale value is discarded (a straggling scan must not
+// overwrite a result that up-to-date readers can still hit).
+func (c *Cache[V]) Put(k Key, epoch uint64, v V, size int64) {
+	if c == nil {
+		return
+	}
+	if size < 0 {
+		size = 0
+	}
+	size += entryOverhead
+	sh := c.shardFor(k)
+	if size > sh.maxBytes {
+		return
+	}
+	sh.mu.Lock()
+	if e := sh.entries[k]; e != nil {
+		if e.epoch > epoch {
+			sh.mu.Unlock()
+			return
+		}
+		sh.bytes += size - e.size
+		e.epoch, e.val, e.size = epoch, v, size
+		sh.touchLocked(e)
+	} else {
+		e = &entry[V]{key: k, epoch: epoch, size: size, val: v}
+		sh.entries[k] = e
+		sh.pushFrontLocked(e)
+		sh.bytes += size
+	}
+	var evicted uint64
+	for sh.bytes > sh.maxBytes && sh.tail != nil {
+		sh.removeLocked(sh.tail)
+		evicted++
+	}
+	sh.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(evicted)
+	}
+}
+
+// Stats returns a snapshot of the cache's counters. Safe on a nil cache
+// (all zeros).
+func (c *Cache[V]) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	st := Stats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+		MaxBytes:      c.maxBytes,
+	}
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		st.Entries += len(sh.entries)
+		st.Bytes += sh.bytes
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// --- intrusive LRU list plumbing (callers hold sh.mu) ---
+
+func (sh *shard[V]) pushFrontLocked(e *entry[V]) {
+	e.prev, e.next = nil, sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
+}
+
+func (sh *shard[V]) unlinkLocked(e *entry[V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sh.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (sh *shard[V]) touchLocked(e *entry[V]) {
+	if sh.head == e {
+		return
+	}
+	sh.unlinkLocked(e)
+	sh.pushFrontLocked(e)
+}
+
+func (sh *shard[V]) removeLocked(e *entry[V]) {
+	sh.unlinkLocked(e)
+	delete(sh.entries, e.key)
+	sh.bytes -= e.size
+}

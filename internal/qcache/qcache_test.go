@@ -1,0 +1,224 @@
+package qcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func key(s string) Key { return Fingerprint(448, 10, []byte(s)) }
+
+func TestGetPutRoundtrip(t *testing.T) {
+	c := New[string](1<<20, 4)
+	k := key("q1")
+	if v, ok := c.Get(k, 7); ok || v != "" {
+		t.Fatalf("empty cache hit: %q", v)
+	}
+	c.Put(k, 7, "result", 6)
+	if v, ok := c.Get(k, 7); !ok || v != "result" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	// A different fingerprint misses.
+	if _, ok := c.Get(key("q2"), 7); ok {
+		t.Fatal("foreign key hit")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Entries != 1 {
+		t.Fatalf("stats %+v, want 1 hit / 2 misses / 1 entry", st)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := Fingerprint(448, 10, []byte("query-bytes"))
+	if Fingerprint(448, 10, []byte("query-bytes")) != base {
+		t.Fatal("fingerprint is not deterministic")
+	}
+	for name, other := range map[string]Key{
+		"tau":   Fingerprint(448, 11, []byte("query-bytes")),
+		"r":     Fingerprint(256, 10, []byte("query-bytes")),
+		"query": Fingerprint(448, 10, []byte("query-bytez")),
+	} {
+		if other == base {
+			t.Errorf("changing %s did not change the fingerprint", name)
+		}
+	}
+}
+
+func TestEpochInvalidation(t *testing.T) {
+	c := New[int](1<<20, 1)
+	k := key("q")
+	c.Put(k, 1, 42, 8)
+	// The store mutated: epoch 2 must not see the epoch-1 result.
+	if v, ok := c.Get(k, 2); ok {
+		t.Fatalf("stale entry served: %d", v)
+	}
+	// The stale entry was dropped, so even the old epoch misses now.
+	if _, ok := c.Get(k, 1); ok {
+		t.Fatal("invalidated entry resurrected")
+	}
+	st := c.Stats()
+	if st.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1", st.Invalidations)
+	}
+	if st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("stale entry still accounted: %+v", st)
+	}
+}
+
+// A reader that raced a mutation (it read the epoch just before the bump)
+// must neither destroy nor overwrite a result cached at the newer epoch:
+// its Get is a plain miss and its Put is discarded, so up-to-date readers
+// keep hitting the fresh entry instead of rescanning after every mutation.
+func TestStragglerCannotClobberNewerEntry(t *testing.T) {
+	c := New[string](1<<20, 1)
+	k := key("q")
+	c.Put(k, 2, "fresh", 8)
+	if v, ok := c.Get(k, 1); ok {
+		t.Fatalf("old-epoch reader was served the new result: %q", v)
+	}
+	if v, ok := c.Get(k, 2); !ok || v != "fresh" {
+		t.Fatalf("straggler Get destroyed the newer entry: %q, %v", v, ok)
+	}
+	c.Put(k, 1, "stale", 8)
+	if v, ok := c.Get(k, 2); !ok || v != "fresh" {
+		t.Fatalf("straggler Put clobbered the newer entry: %q, %v", v, ok)
+	}
+	if st := c.Stats(); st.Invalidations != 0 {
+		t.Fatalf("newer-epoch misses must not count as invalidations: %+v", st)
+	}
+}
+
+func TestReplaceExistingKey(t *testing.T) {
+	c := New[string](1<<20, 1)
+	k := key("q")
+	c.Put(k, 1, "old", 100)
+	c.Put(k, 2, "new", 10)
+	if v, ok := c.Get(k, 2); !ok || v != "new" {
+		t.Fatalf("Get after replace = %q, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Entries != 1 {
+		t.Fatalf("entries = %d after in-place replace", st.Entries)
+	}
+	if st.Bytes != 10+entryOverhead {
+		t.Fatalf("bytes = %d, want %d (replace must re-account)", st.Bytes, 10+entryOverhead)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	// Budget for roughly three entries in one shard.
+	c := New[int](3*(entryOverhead+100), 1)
+	for i := 0; i < 3; i++ {
+		c.Put(key(fmt.Sprintf("q%d", i)), 1, i, 100)
+	}
+	// Touch q0 so q1 becomes the least recently used.
+	if _, ok := c.Get(key("q0"), 1); !ok {
+		t.Fatal("q0 missing before eviction")
+	}
+	c.Put(key("q3"), 1, 3, 100)
+	if _, ok := c.Get(key("q1"), 1); ok {
+		t.Fatal("LRU entry q1 survived over-budget insert")
+	}
+	for _, name := range []string{"q0", "q2", "q3"} {
+		if _, ok := c.Get(key(name), 1); !ok {
+			t.Errorf("recently used %s evicted", name)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestByteBudgetHeld(t *testing.T) {
+	const budget = 64 << 10
+	c := New[[]byte](budget, 4)
+	val := make([]byte, 1024)
+	for i := 0; i < 1000; i++ {
+		c.Put(key(fmt.Sprintf("q%d", i)), 1, val, int64(len(val)))
+		if st := c.Stats(); st.Bytes > budget {
+			t.Fatalf("insert %d: %d accounted bytes over the %d budget", i, st.Bytes, budget)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("1000 x 1KiB inserts into 64KiB evicted nothing")
+	}
+	if st.Entries == 0 {
+		t.Fatal("cache emptied itself")
+	}
+}
+
+func TestOversizedValueRejected(t *testing.T) {
+	c := New[[]byte](1024, 1)
+	c.Put(key("big"), 1, make([]byte, 4096), 4096)
+	if _, ok := c.Get(key("big"), 1); ok {
+		t.Fatal("value larger than the whole budget was cached")
+	}
+	if st := c.Stats(); st.Bytes != 0 {
+		t.Fatalf("rejected value accounted %d bytes", st.Bytes)
+	}
+}
+
+func TestNilCacheIsDisabled(t *testing.T) {
+	var c *Cache[string]
+	c.Put(key("q"), 1, "v", 1)
+	if v, ok := c.Get(key("q"), 1); ok || v != "" {
+		t.Fatalf("nil cache returned %q", v)
+	}
+	if st := c.Stats(); st != (Stats{}) {
+		t.Fatalf("nil cache stats %+v", st)
+	}
+	if New[string](0, 4) != nil {
+		t.Fatal("New with zero budget is not the disabled cache")
+	}
+}
+
+func TestTinyBudgetCollapsesToOneShard(t *testing.T) {
+	// Splitting 256 bytes over 16 shards would leave each shard unable to
+	// hold anything; the constructor must fall back to one shard.
+	c := New[int](2*entryOverhead, 16)
+	c.Put(key("a"), 1, 1, 0)
+	c.Put(key("b"), 1, 2, 0)
+	st := c.Stats()
+	if st.Entries == 0 {
+		t.Fatal("tiny-budget cache holds nothing at all")
+	}
+	if st.Bytes > 2*entryOverhead {
+		t.Fatalf("tiny-budget cache over budget: %+v", st)
+	}
+}
+
+// TestConcurrentMixedUse hammers one cache from many goroutines mixing
+// hits, misses, replacements, invalidations and evictions; run under -race
+// it is the cache's data-race suite, and the byte budget must hold after.
+func TestConcurrentMixedUse(t *testing.T) {
+	const budget = 32 << 10
+	c := New[int](budget, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := key(fmt.Sprintf("q%d", i%97))
+				epoch := uint64(i % 5) // rotating epochs force invalidations
+				if v, ok := c.Get(k, epoch); ok && v != i%97 {
+					t.Errorf("cached value %d under key q%d", v, i%97)
+					return
+				}
+				c.Put(k, epoch, i%97, int64(i%512))
+				if i%100 == g {
+					c.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Bytes > budget {
+		t.Fatalf("budget violated after concurrent use: %+v", st)
+	}
+	if st.Hits+st.Misses == 0 {
+		t.Fatal("no lookups recorded")
+	}
+}

@@ -532,6 +532,42 @@ func (c *Client) Retrieve(docID string) ([]byte, error) {
 	})
 }
 
+// Stats fetches the cloud daemon's operational counters — document and
+// shard counts, mutation epoch, WAL position and replication lag, and the
+// query-result cache counters — in one round trip. It always asks the
+// primary, whose answer describes the server this client mutates.
+func (c *Client) Stats() (*protocol.StatsResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, err := c.cloudConn.Roundtrip(&protocol.Message{StatsReq: &protocol.StatsRequest{}})
+	if err != nil {
+		return nil, fmt.Errorf("service: stats: %w", err)
+	}
+	if resp.StatsResp == nil {
+		return nil, fmt.Errorf("service: stats response missing")
+	}
+	return resp.StatsResp, nil
+}
+
+// FetchStats asks any cloud daemon (primary or follower) for its
+// operational counters without enrolling a user — the operator's one-shot
+// introspection path, mirroring UploadAll/DeleteAll's raw dials.
+func FetchStats(cloudAddr string) (*protocol.StatsResponse, error) {
+	conn, err := net.Dial("tcp", cloudAddr)
+	if err != nil {
+		return nil, fmt.Errorf("service: dialing cloud: %w", err)
+	}
+	defer conn.Close()
+	resp, err := protocol.NewConn(conn).Roundtrip(&protocol.Message{StatsReq: &protocol.StatsRequest{}})
+	if err != nil {
+		return nil, fmt.Errorf("service: stats: %w", err)
+	}
+	if resp.StatsResp == nil {
+		return nil, fmt.Errorf("service: stats response missing")
+	}
+	return resp.StatsResp, nil
+}
+
 // Delete asks the cloud daemon to remove a document. In the paper's model
 // removal is the data owner's act; the client method exists for deployments
 // where the owner drives the cloud through the same connection pair.

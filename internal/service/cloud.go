@@ -10,7 +10,21 @@ import (
 	"mkse/internal/bitindex"
 	"mkse/internal/core"
 	"mkse/internal/protocol"
+	"mkse/internal/qcache"
 )
+
+// ResultCache is the query-result cache a cloud daemon may carry: query
+// fingerprint → the wire-encoded ranked matches it produced, validated
+// against the store's mutation epoch (see internal/qcache for why caching
+// is privacy-neutral under this scheme's leakage profile). Cached match
+// slices are shared across responses and must never be mutated.
+type ResultCache = qcache.Cache[[]protocol.MatchWire]
+
+// NewResultCache builds a query-result cache bounded to maxBytes (<= 0
+// returns the nil disabled cache, which every call site tolerates).
+func NewResultCache(maxBytes int64) *ResultCache {
+	return qcache.New[[]protocol.MatchWire](maxBytes, 0)
+}
 
 // Backend applies the mutating half of the cloud service. *core.Server
 // satisfies it (in-memory only); the durable storage engine
@@ -21,10 +35,10 @@ type Backend interface {
 	Delete(docID string) error
 }
 
-// CloudService exposes a core.Server over TCP: Upload, Delete, Search and
-// Fetch endpoints. It requires no authentication — the server is semi-honest
-// and queries are anonymous ("the user does not provide his identity during
-// the communication with the server", Section 7).
+// CloudService exposes a core.Server over TCP: Upload, Delete, Search,
+// Fetch and Stats endpoints. It requires no authentication — the server is
+// semi-honest and queries are anonymous ("the user does not provide his
+// identity during the communication with the server", Section 7).
 type CloudService struct {
 	Server *core.Server
 	// Store, when set, receives uploads and deletions instead of Server —
@@ -39,6 +53,12 @@ type CloudService struct {
 	// and deletions are rejected — its state is fed exclusively by the
 	// replication stream — and status replies report the stream's lag.
 	Replica *Replica
+	// Cache, when set, memoizes Search/SearchBatch results keyed by query
+	// fingerprint and validated against Server's mutation epoch — repeated
+	// queries skip the arena scan entirely. A nil Cache disables caching.
+	// Works unchanged on followers: entries key off the follower's own
+	// epoch, so replicated applies invalidate them like local mutations.
+	Cache *ResultCache
 	// HeartbeatEvery is the idle heartbeat interval of outgoing replication
 	// streams (0 = 500ms).
 	HeartbeatEvery time.Duration
@@ -70,6 +90,8 @@ func (s *CloudService) Serve(l net.Listener) error {
 			return s.handleSearchBatch(m.SearchBatchReq)
 		case m.FetchReq != nil:
 			return s.handleFetch(m.FetchReq)
+		case m.StatsReq != nil:
+			return s.handleStats()
 		case m.ReplicaSubscribeReq != nil:
 			// Takes over the connection for the stream's lifetime; a nil
 			// return tells serveLoop the conversation is over.
@@ -115,44 +137,188 @@ func (s *CloudService) handleDelete(req *protocol.DeleteRequest) *protocol.Messa
 }
 
 func (s *CloudService) handleSearch(req *protocol.SearchRequest) *protocol.Message {
-	q, err := unmarshalVector(req.Query)
-	if err != nil {
-		return errMsg(fmt.Errorf("cloud: malformed query: %w", err))
-	}
-	matches, err := s.Server.SearchTop(q, req.TopK)
+	resp, err := s.SearchWire(req)
 	if err != nil {
 		return errMsg(err)
 	}
+	logf(s.Logger, "cloud: query over %d documents -> %d matches", s.Server.NumDocuments(), len(resp.Matches))
+	return &protocol.Message{SearchResp: resp}
+}
+
+func (s *CloudService) handleSearchBatch(req *protocol.SearchBatchRequest) *protocol.Message {
+	resp, err := s.SearchBatchWire(req)
+	if err != nil {
+		return errMsg(err)
+	}
+	logf(s.Logger, "cloud: batch of %d queries over %d documents", len(req.Queries), s.Server.NumDocuments())
+	return &protocol.Message{SearchBatchResp: resp}
+}
+
+// matchesToWire encodes ranked matches for the wire (and the cache).
+func matchesToWire(matches []core.Match) []protocol.MatchWire {
 	wire := make([]protocol.MatchWire, len(matches))
 	for i, m := range matches {
 		wire[i] = protocol.MatchWire{DocID: m.DocID, Rank: m.Rank, Meta: marshalVector(m.Meta)}
 	}
-	logf(s.Logger, "cloud: query over %d documents -> %d matches", s.Server.NumDocuments(), len(matches))
-	return &protocol.Message{SearchResp: &protocol.SearchResponse{Matches: wire}}
+	return wire
 }
 
-func (s *CloudService) handleSearchBatch(req *protocol.SearchBatchRequest) *protocol.Message {
-	queries := make([]*bitindex.Vector, len(req.Queries))
-	for i, raw := range req.Queries {
-		q, err := unmarshalVector(raw)
-		if err != nil {
-			return errMsg(fmt.Errorf("cloud: malformed batch query %d: %w", i, err))
-		}
-		queries[i] = q
+// wireSize is the cache-accounted payload of one result: the variable-length
+// bytes plus a constant per match for the fixed fields.
+func wireSize(ms []protocol.MatchWire) int64 {
+	n := int64(0)
+	for i := range ms {
+		n += int64(len(ms[i].DocID)+len(ms[i].Meta)) + 48
 	}
-	results, err := s.Server.SearchBatch(queries, req.TopK)
+	return n
+}
+
+// SearchWire answers one search request at the wire level — the same path
+// handleSearch serves over TCP, callable in-process by experiments, tests
+// and benchmarks. With a Cache configured, the store's mutation epoch is
+// read before the scan and the query fingerprint is looked up: a hit skips
+// the scan entirely, a miss scans and stores the encoded result at that
+// epoch. The returned match slice may be shared with the cache and other
+// requests; callers must not mutate it.
+func (s *CloudService) SearchWire(req *protocol.SearchRequest) (*protocol.SearchResponse, error) {
+	var key qcache.Key
+	var epoch uint64
+	if s.Cache != nil {
+		// The epoch MUST be read before the scan starts: a mutation landing
+		// between this read and the scan invalidates the entry we are about
+		// to store, never the other way around.
+		epoch = s.Server.Epoch()
+		key = qcache.Fingerprint(s.Server.Params().R, req.TopK, req.Query)
+		if wire, ok := s.Cache.Get(key, epoch); ok {
+			return &protocol.SearchResponse{Matches: wire}, nil
+		}
+	}
+	q, err := unmarshalVector(req.Query)
 	if err != nil {
-		return errMsg(err)
+		return nil, fmt.Errorf("cloud: malformed query: %w", err)
 	}
-	wire := make([][]protocol.MatchWire, len(results))
-	for qi, matches := range results {
-		wire[qi] = make([]protocol.MatchWire, len(matches))
-		for i, m := range matches {
-			wire[qi][i] = protocol.MatchWire{DocID: m.DocID, Rank: m.Rank, Meta: marshalVector(m.Meta)}
+	matches, err := s.Server.SearchTop(q, req.TopK)
+	if err != nil {
+		return nil, err
+	}
+	wire := matchesToWire(matches)
+	if s.Cache != nil {
+		s.Cache.Put(key, epoch, wire, wireSize(wire))
+	}
+	return &protocol.SearchResponse{Matches: wire}, nil
+}
+
+// batchGroup collects the request slots holding one distinct query vector.
+type batchGroup struct {
+	key   qcache.Key
+	slots []int
+}
+
+// SearchBatchWire answers one batch search request at the wire level.
+// Identical query vectors within the batch are computed once and the result
+// fanned out to every slot — cache or no cache — and with a Cache configured
+// each distinct query is first looked up by fingerprint, so a batch of
+// already-cached queries performs no scan at all; only the misses go through
+// one sharded SearchBatch pass. Result slices may be shared between
+// duplicate slots and with the cache; callers must not mutate them.
+func (s *CloudService) SearchBatchWire(req *protocol.SearchBatchRequest) (*protocol.SearchBatchResponse, error) {
+	out := make([][]protocol.MatchWire, len(req.Queries))
+	if len(req.Queries) == 0 {
+		return &protocol.SearchBatchResponse{Results: out}, nil
+	}
+	var epoch uint64
+	if s.Cache != nil {
+		epoch = s.Server.Epoch() // before any scan, as in SearchWire
+	}
+
+	// Group slots by query fingerprint, preserving first-appearance order.
+	r := s.Server.Params().R
+	groups := make([]*batchGroup, 0, len(req.Queries))
+	byKey := make(map[qcache.Key]*batchGroup, len(req.Queries))
+	for i, raw := range req.Queries {
+		k := qcache.Fingerprint(r, req.TopK, raw)
+		g := byKey[k]
+		if g == nil {
+			g = &batchGroup{key: k}
+			byKey[k] = g
+			groups = append(groups, g)
+		}
+		g.slots = append(g.slots, i)
+	}
+
+	// Serve cached groups; decode one representative per remaining group.
+	misses := groups[:0]
+	var queries []*bitindex.Vector
+	for _, g := range groups {
+		if s.Cache != nil {
+			if wire, ok := s.Cache.Get(g.key, epoch); ok {
+				for _, slot := range g.slots {
+					out[slot] = wire
+				}
+				continue
+			}
+		}
+		q, err := unmarshalVector(req.Queries[g.slots[0]])
+		if err != nil {
+			return nil, fmt.Errorf("cloud: malformed batch query %d: %w", g.slots[0], err)
+		}
+		misses = append(misses, g)
+		queries = append(queries, q)
+	}
+
+	if len(queries) > 0 {
+		results, err := s.Server.SearchBatch(queries, req.TopK)
+		if err != nil {
+			return nil, err
+		}
+		for gi, g := range misses {
+			wire := matchesToWire(results[gi])
+			if s.Cache != nil {
+				s.Cache.Put(g.key, epoch, wire, wireSize(wire))
+			}
+			for _, slot := range g.slots {
+				out[slot] = wire
+			}
 		}
 	}
-	logf(s.Logger, "cloud: batch of %d queries over %d documents", len(queries), s.Server.NumDocuments())
-	return &protocol.Message{SearchBatchResp: &protocol.SearchBatchResponse{Results: wire}}
+	return &protocol.SearchBatchResponse{Results: out}, nil
+}
+
+// handleStats reports the daemon's operational counters: store size and
+// layout, mutation epoch, log position (with replication lag on a
+// follower), and the query-result cache counters.
+func (s *CloudService) handleStats() *protocol.Message {
+	resp := &protocol.StatsResponse{
+		NumDocuments: s.Server.NumDocuments(),
+		NumShards:    s.Server.NumShards(),
+		Epoch:        s.Server.Epoch(),
+	}
+	if s.WAL != nil {
+		resp.Durable = true
+		resp.WALPosition = s.WAL.Position()
+		resp.PrimaryPosition = resp.WALPosition
+	}
+	if s.Replica != nil {
+		st := s.Replica.Status()
+		resp.Replica = true
+		resp.ReplicaConnected = st.Connected
+		resp.WALPosition = st.Position
+		resp.PrimaryPosition = st.PrimaryPosition
+	}
+	if s.Cache != nil {
+		cs := s.Cache.Stats()
+		resp.Cache = protocol.CacheStatsWire{
+			Enabled:       true,
+			Hits:          cs.Hits,
+			Misses:        cs.Misses,
+			Evictions:     cs.Evictions,
+			Invalidations: cs.Invalidations,
+			Entries:       cs.Entries,
+			Bytes:         cs.Bytes,
+			MaxBytes:      cs.MaxBytes,
+		}
+	}
+	return &protocol.Message{StatsResp: resp}
 }
 
 func (s *CloudService) handleFetch(req *protocol.FetchRequest) *protocol.Message {
