@@ -434,8 +434,10 @@ func benchServer(b *testing.B, shards, workers, size int) (*core.Server, *bitind
 // BenchmarkMatchKernel isolates the Equation-3 scan the server spends its
 // time in, across index layouts (EXPERIMENTS.md "Columnar arenas"): boxed
 // per-document vectors (the pre-arena layout), the flat columnar arena with
-// a dense word sweep, and the arena with the zero-word-skipping kernel — for
-// a near-single-trapdoor query (7 zeros) and a fully randomized
+// a dense word sweep, the arena with the zero-word-skipping kernel, and the
+// word-major transposed layout with the blocked bitmap-refinement kernel
+// (the layout the server's level-1 screen runs on) — for a
+// near-single-trapdoor query (7 zeros) and a fully randomized
 // multi-keyword query (170 zeros, every word active).
 //
 // kernelSink keeps the match counts live so the timed loops cannot be
@@ -457,6 +459,15 @@ func BenchmarkMatchKernel(b *testing.B) {
 		}
 		boxed[i] = v
 		arena = v.AppendTo(arena)
+	}
+	cols := make([][]uint64, stride)
+	for w := range cols {
+		cols[w] = make([]uint64, docs)
+	}
+	for i, v := range boxed {
+		for w, word := range v.Words() {
+			cols[w][i] = word
+		}
 	}
 	for _, zeros := range []int{7, 170} {
 		q := bitindex.NewOnes(r)
@@ -501,6 +512,15 @@ func BenchmarkMatchKernel(b *testing.B) {
 			var rows []int32
 			for i := 0; i < b.N; i++ {
 				rows = sq.AppendMatchingRows(arena, stride, rows[:0])
+			}
+			kernelSink += len(rows)
+		})
+		b.Run(fmt.Sprintf("zeros=%d/layout=cols+blocked", zeros), func(b *testing.B) {
+			b.ReportAllocs()
+			var bs bitindex.BlockScratch
+			var rows []int32
+			for i := 0; i < b.N; i++ {
+				rows = sq.AppendMatchingRowsColumns(cols, docs, &bs, rows[:0])
 			}
 			kernelSink += len(rows)
 		})

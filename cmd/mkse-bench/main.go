@@ -9,7 +9,10 @@
 //	mkse-bench -exp cao -dict 2000      # widen the MRSE gap
 //
 // Experiments: fig2a fig2b fig3 fig4a fig4b table1 table2 ranking cao
-// analytic theorem3 attack shards kernel recovery replication cache all
+// analytic theorem3 attack shards kernel million recovery replication cache
+// all. The million sweep (streamed corpus, -mdocs documents, p50/p99 search
+// latency and RSS) runs only when named explicitly — at full scale it
+// builds a million indices.
 package main
 
 import (
@@ -23,20 +26,22 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (fig2a fig2b fig3 fig4a fig4b table1 table2 ranking cao analytic theorem3 attack ablate-d ablate-v ablate-bins shards kernel recovery replication cache all)")
-		seed    = flag.Int64("seed", 2012, "experiment seed")
-		docs    = flag.Int("docs", 400, "corpus size for fig3/table2")
-		sizes   = flag.String("sizes", "2000,4000,6000,8000,10000", "comma-separated corpus sizes for fig4a/fig4b/cao sweeps")
-		queries = flag.Int("queries", 50, "queries per measurement point")
-		dict    = flag.Int("dict", 1000, "MRSE dictionary size for -exp cao (paper: several thousands)")
-		trials  = flag.Int("trials", 25, "trials for -exp ranking")
-		kdocs   = flag.Int("kdocs", 10000, "corpus size for -exp kernel")
-		zeros   = flag.String("zeros", "1,2,4,7,14,28,56,112,224", "comma-separated query zero-counts for -exp kernel")
+		exp      = flag.String("exp", "all", "experiment to run (fig2a fig2b fig3 fig4a fig4b table1 table2 ranking cao analytic theorem3 attack ablate-d ablate-v ablate-bins shards kernel million recovery replication cache all)")
+		seed     = flag.Int64("seed", 2012, "experiment seed")
+		docs     = flag.Int("docs", 400, "corpus size for fig3/table2")
+		sizes    = flag.String("sizes", "2000,4000,6000,8000,10000", "comma-separated corpus sizes for fig4a/fig4b/cao sweeps")
+		queries  = flag.Int("queries", 50, "queries per measurement point")
+		dict     = flag.Int("dict", 1000, "MRSE dictionary size for -exp cao (paper: several thousands)")
+		trials   = flag.Int("trials", 25, "trials for -exp ranking")
+		kdocs    = flag.Int("kdocs", 10000, "corpus size for -exp kernel")
+		mdocs    = flag.Int("mdocs", 1_000_000, "corpus size for -exp million")
+		zipf     = flag.Bool("zipf", true, "Zipf-skewed keyword popularity for -exp million")
+		zeros    = flag.String("zeros", "1,2,4,7,14,28,56,112,224", "comma-separated query zero-counts for -exp kernel")
 		replicas = flag.Int("replicas", 2, "read replicas for -exp replication")
 		cacheMB  = flag.Int("cache-mb", 64, "query-result cache budget in MiB for -exp cache")
 		shards   = flag.Int("shards", 0, "store shards for -exp shards (0 = one per core)")
-		workers = flag.Int("workers", 0, "concurrent shard scans for -exp shards (0 = auto)")
-		batch   = flag.Int("batch", 16, "queries per SearchBatch call for -exp shards")
+		workers  = flag.Int("workers", 0, "concurrent shard scans for -exp shards (0 = auto)")
+		batch    = flag.Int("batch", 16, "queries per SearchBatch call for -exp shards")
 	)
 	flag.Parse()
 
@@ -160,6 +165,18 @@ func main() {
 		r, err := experiments.CacheSweep(cacheSizes, *cacheMB, *queries, *seed)
 		return stringer{r}, err
 	})
+	// The million-document sweep streams mdocs indices into the server —
+	// minutes of index construction at full scale — so it only runs when
+	// asked for by name, never under -exp all.
+	if *exp == "million" {
+		r, err := experiments.MillionSweep(*mdocs, *shards, *workers, *queries, *zipf, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mkse-bench: million: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(stringer{r})
+	}
+
 	run("shards", func() (fmt.Stringer, error) {
 		shardSizes := sweep
 		if *exp == "all" {

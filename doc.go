@@ -22,13 +22,21 @@
 //
 // The server stores indices in sharded columnar arenas — one flat []uint64
 // per (shard, ranking level) holding every document's index words
-// back-to-back — and scans them with a zero-word-skipping kernel that
-// preprocesses each query into the few 64-bit words where ¬q ≠ 0 (the only
-// words Equation 3 can fail on) and touches nothing else. Searches fan out
-// over the shards with a worker pool, keep bounded top-τ heaps, and reuse
-// pooled scratch so the steady-state query path is allocation-free; results
-// are byte-identical to the paper's sequential scan. See core.Server and
-// EXPERIMENTS.md ("Columnar index arenas") for the layout and measurements.
+// back-to-back, plus a word-major transpose of level 0 (one contiguous
+// column per 64-bit word offset). Each query is preprocessed into the few
+// words where ¬q ≠ 0 (the only words Equation 3 can fail on), and the
+// level-0 screen sweeps just those columns with a blocked
+// bitmap-refinement kernel: a branch-free pass over the first active
+// column yields a survivor bitmask per 64 documents, and only surviving
+// blocks are tested against the remaining active columns, most selective
+// first. Searches fan out over the shards to persistent shard-affine
+// workers, keep bounded top-τ heaps, and reuse pooled scratch so the
+// steady-state query path is allocation-free; results are byte-identical
+// to the paper's sequential scan, at million-document corpus scale
+// (mkse-bench -exp million streams an arbitrarily large corpus through
+// index construction and reports build, latency-percentile and memory
+// numbers). See core.Server, ARCHITECTURE.md ("Index arena layouts") and
+// EXPERIMENTS.md ("Columnar index arenas") for layouts and measurements.
 //
 // # Persistence and crash recovery
 //

@@ -110,7 +110,9 @@ func (s *Sparse) ActiveWords() int { return len(s.off) }
 
 // MatchWords reports whether a document index row (raw words, as laid out by
 // AppendTo) matches the query under Equation 3, testing only the query's
-// active words. It panics if the row length differs from WordLen.
+// active words. It is the rank-walk primitive: the Algorithm-1 level walk
+// tests one specific row per level, where a whole-arena kernel has nothing
+// to amortize. It panics if the row length differs from WordLen.
 func (s *Sparse) MatchWords(row []uint64) bool {
 	if len(row) != len(s.not) {
 		panic(fmt.Sprintf("bitindex: row holds %d words, query needs %d", len(row), len(s.not)))
@@ -131,30 +133,16 @@ func (s *Sparse) MatchWords(row []uint64) bool {
 	return true
 }
 
-// MatchArena runs MatchWords over every stride-sized row of a columnar arena,
-// writing dst[i] for row i. It panics if stride differs from WordLen, the
-// arena is not a whole number of rows, or dst is too short.
-func (s *Sparse) MatchArena(arena []uint64, stride int, dst []bool) {
-	if stride != len(s.not) {
-		panic(fmt.Sprintf("bitindex: arena stride %d, query needs %d", stride, len(s.not)))
-	}
-	if stride == 0 || len(arena)%stride != 0 {
-		panic(fmt.Sprintf("bitindex: arena of %d words is not a whole number of %d-word rows", len(arena), stride))
-	}
-	if n := len(arena) / stride; len(dst) < n {
-		panic(fmt.Sprintf("bitindex: result buffer too short: %d for %d rows", len(dst), n))
-	}
-	for i, base := 0, 0; base < len(arena); i, base = i+1, base+stride {
-		dst[i] = s.MatchWords(arena[base : base+stride])
-	}
-}
-
-// AppendMatchingRows scans a columnar arena with one query and appends the
-// indices of matching rows to dst, returning the extended slice. This is the
-// server's scan kernel: the query's first active word test is hoisted out of
-// the per-row call, so the fail-fast common case (most documents mismatch on
-// the first active word) touches exactly one word per row. Panics mirror
-// MatchArena's.
+// AppendMatchingRows scans a row-major columnar arena with one query and
+// appends the indices of matching rows to dst, returning the extended slice.
+// The query's first active word test is hoisted out of the per-row call, so
+// the fail-fast common case (most documents mismatch on the first active
+// word) touches exactly one word per row. The server's level-0 screen now
+// runs AppendMatchingRowsColumns over the word-major arena instead; this
+// kernel remains the row-major reference the blocked kernel is
+// property-tested against, and the scan for callers that only hold a
+// row-major arena. It panics if stride differs from WordLen or the arena is
+// not a whole number of rows.
 func (s *Sparse) AppendMatchingRows(arena []uint64, stride int, dst []int32) []int32 {
 	if stride != len(s.not) {
 		panic(fmt.Sprintf("bitindex: arena stride %d, query needs %d", stride, len(s.not)))

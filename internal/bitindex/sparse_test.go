@@ -94,9 +94,9 @@ func TestAppendToCopyWordsTo(t *testing.T) {
 }
 
 // The core property of the whole arena design: every sparse kernel —
-// MatchWords, MatchArena, AppendMatchingRows — must agree exactly with the
-// naive Matches relation, for random vectors, lengths (word-boundary cases
-// included), zero densities, and batch sizes.
+// MatchWords, AppendMatchingRows — must agree exactly with the naive Matches
+// relation, for random vectors, lengths (word-boundary cases included), zero
+// densities, and batch sizes.
 func TestSparseKernelsAgreeWithMatches(t *testing.T) {
 	rng := mrand.New(mrand.NewSource(23))
 	lengths := []int{1, 7, 63, 64, 65, 127, 128, 200, 448, 577}
@@ -127,7 +127,6 @@ func TestSparseKernelsAgreeWithMatches(t *testing.T) {
 			qs[i] = raw[i].Sparsify()
 		}
 
-		dst := make([]bool, ndocs)
 		for d, doc := range docs {
 			for qi, q := range qs {
 				want := doc.Matches(raw[qi])
@@ -137,14 +136,10 @@ func TestSparseKernelsAgreeWithMatches(t *testing.T) {
 			}
 		}
 		for qi, q := range qs {
-			q.MatchArena(arena, stride, dst)
 			rows := q.AppendMatchingRows(arena, stride, nil)
 			ri := 0
 			for d, doc := range docs {
 				want := doc.Matches(raw[qi])
-				if dst[d] != want {
-					t.Fatalf("trial %d n=%d doc %d query %d: MatchArena=%v, Matches=%v", trial, n, d, qi, dst[d], want)
-				}
 				if want {
 					if ri >= len(rows) || rows[ri] != int32(d) {
 						t.Fatalf("trial %d query %d: AppendMatchingRows missing row %d (got %v)", trial, qi, d, rows)
@@ -206,13 +201,10 @@ func TestSparseActiveWords(t *testing.T) {
 func TestSparseKernelPanics(t *testing.T) {
 	s := NewOnes(64).Sparsify()
 	for name, fn := range map[string]func(){
-		"row too short":   func() { s.MatchWords(nil) },
-		"row too long":    func() { s.MatchWords(make([]uint64, 2)) },
-		"arena stride":    func() { s.MatchArena(make([]uint64, 4), 2, make([]bool, 2)) },
-		"arena ragged":    func() { NewOnes(80).Sparsify().MatchArena(make([]uint64, 3), 2, make([]bool, 2)) },
-		"arena short dst": func() { s.MatchArena(make([]uint64, 4), 1, make([]bool, 2)) },
-		"rows stride":     func() { s.AppendMatchingRows(make([]uint64, 4), 2, nil) },
-		"rows ragged":     func() { NewOnes(80).Sparsify().AppendMatchingRows(make([]uint64, 3), 2, nil) },
+		"row too short": func() { s.MatchWords(nil) },
+		"row too long":  func() { s.MatchWords(make([]uint64, 2)) },
+		"rows stride":   func() { s.AppendMatchingRows(make([]uint64, 4), 2, nil) },
+		"rows ragged":   func() { NewOnes(80).Sparsify().AppendMatchingRows(make([]uint64, 3), 2, nil) },
 	} {
 		func() {
 			defer func() {

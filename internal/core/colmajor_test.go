@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mkse/internal/bitindex"
+	"mkse/internal/corpus"
+)
+
+// checkColumnInvariant asserts the word-major mirror is exact: every shard's
+// cols[w][row] must equal word w of row's level-0 arena row, with column
+// lengths tracking the row count. This is the invariant Upload (append and
+// replace), Delete (swap-remove) and checkpoint installs must all preserve —
+// the blocked scan kernel reads only cols, so any divergence is a silent
+// wrong answer.
+func checkColumnInvariant(t *testing.T, srv *Server) {
+	t.Helper()
+	for si, sh := range srv.shards {
+		sh.mu.RLock()
+		rows := len(sh.ids)
+		if len(sh.cols) != sh.stride {
+			sh.mu.RUnlock()
+			t.Fatalf("shard %d: %d columns, stride %d", si, len(sh.cols), sh.stride)
+		}
+		for w, col := range sh.cols {
+			if len(col) != rows {
+				sh.mu.RUnlock()
+				t.Fatalf("shard %d column %d: %d entries, %d rows", si, w, len(col), rows)
+			}
+			for row := 0; row < rows; row++ {
+				if col[row] != sh.levels[0][row*sh.stride+w] {
+					sh.mu.RUnlock()
+					t.Fatalf("shard %d row %d word %d: column holds %#x, level-0 arena %#x",
+						si, row, w, col[row], sh.levels[0][row*sh.stride+w])
+				}
+			}
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// Upload (fresh and replacing), Delete and re-upload must keep the
+// word-major columns an exact mirror of the row-major level-0 arena, and
+// searches through the column kernel must stay byte-identical to the
+// sequential reference at every step.
+func TestWordMajorColumnsMirrorLevelZero(t *testing.T) {
+	o := sharedOwner(t)
+	srv, err := NewServerSharded(o.Params(), 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := uploadCorpus(t, o, 60, 71, srv)
+	checkColumnInvariant(t, srv)
+
+	u := newUserFor(t, o, "col-mirror")
+	u.SeedQueryRNG(73)
+	words := docs[5].Keywords()[:2]
+	fetchTrapdoors(t, o, u, words)
+	q, err := u.BuildQuery(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify := func(step string) {
+		t.Helper()
+		checkColumnInvariant(t, srv)
+		got, err := srv.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		matchesEqual(t, step, got, searchReference(t, srv, q, 0))
+	}
+	verify("after initial upload")
+
+	// Replace a third of the corpus in place (same IDs, new term freqs →
+	// new index words written over existing rows and columns).
+	for i := 0; i < len(docs); i += 3 {
+		d := docs[i]
+		for w := range d.TermFreqs {
+			d.TermFreqs[w] = 1 + (d.TermFreqs[w]+6)%15
+		}
+		si, err := o.BuildIndex(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Upload(si, &EncryptedDocument{ID: d.ID, Ciphertext: []byte(d.ID), EncKey: []byte{1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	verify("after in-place replacements")
+
+	// Delete every other document — swap-remove churns row positions, and
+	// the columns must follow every swap.
+	for i := 0; i < len(docs); i += 2 {
+		if err := srv.Delete(docs[i].ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	verify("after deletions")
+
+	// Re-upload the deleted half (rows append again at new positions).
+	for i := 0; i < len(docs); i += 2 {
+		si, err := o.BuildIndex(docs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Upload(si, &EncryptedDocument{ID: docs[i].ID, Ciphertext: []byte(docs[i].ID), EncKey: []byte{1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	verify("after re-upload")
+
+	for _, d := range docs {
+		if err := srv.Delete(d.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	verify("after deleting everything")
+}
+
+// A concurrent upload/delete/search hammer over the transposed columns: the
+// race detector checks the locking, the final column-invariant and
+// reference-search checks the data. Unlike TestConcurrentUploadSearchFetch
+// this mixes Delete into the write load, so searches race against
+// swap-removes shifting rows between columns mid-run.
+func TestConcurrentUploadDeleteSearchColumns(t *testing.T) {
+	o := sharedOwner(t)
+	srv, err := NewServerSharded(o.Params(), 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedDocs := uploadCorpus(t, o, 30, 79, srv)
+
+	u := newUserFor(t, o, "col-hammer")
+	u.SeedQueryRNG(83)
+	words := seedDocs[0].Keywords()[:2]
+	fetchTrapdoors(t, o, u, words)
+	q, err := u.BuildQuery(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, searchers, iters = 3, 3, 20
+	errs := make(chan error, writers+searchers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				doc := &corpus.Document{
+					ID:        fmt.Sprintf("colhammer-%d-%d", w, i),
+					TermFreqs: map[string]int{"kw": 1 + i%15, fmt.Sprintf("w%d", w): 2},
+				}
+				si, enc, err := o.Prepare(doc)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := srv.Upload(si, enc); err != nil {
+					errs <- err
+					return
+				}
+				// Delete an earlier document of this writer's, and
+				// sometimes a seed document, so swap-removes hit rows
+				// other goroutines are scanning.
+				if i%2 == 1 {
+					if err := srv.Delete(fmt.Sprintf("colhammer-%d-%d", w, i-1)); err != nil {
+						errs <- err
+						return
+					}
+				}
+				if i == iters/2 {
+					if err := srv.Delete(seedDocs[w].ID); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < searchers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if _, err := srv.SearchTop(q, 5); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	checkColumnInvariant(t, srv)
+	got, err := srv.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchesEqual(t, "post-hammer", got, searchReference(t, srv, q, 0))
+}
+
+// An empty server (and an emptied shard) must scan cleanly through the
+// column kernel: zero rows means zero-length columns, not nil-column
+// panics.
+func TestColumnScanEmptyShards(t *testing.T) {
+	o := sharedOwner(t)
+	srv, err := NewServerSharded(o.Params(), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := bitindex.NewOnes(o.Params().R)
+	res, err := srv.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("empty server matched %d documents", len(res))
+	}
+	checkColumnInvariant(t, srv)
+}

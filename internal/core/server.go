@@ -59,11 +59,19 @@ var ErrNotFound = errors.New("no such document")
 // existing ID overwrites its rows in place, keeping its original
 // upload-order position. Each query is preprocessed once into a
 // bitindex.Sparse — the offsets of the few words where ¬q ≠ 0, the only
-// words Equation 3 can fail on — and the scan, including the batched
-// level-1 screen and the Algorithm-1 level walk, touches only those offsets
-// per document, skipping the all-ones majority of the query. Scan scratch
-// (per-query match flags, sparse forms, heaps, merge buffers) is pooled and
-// reused, so steady-state searches allocate only their results.
+// words Equation 3 can fail on. The level-1 screen runs over a word-major
+// copy of the level-1 arena (one contiguous column per word offset) with the
+// blocked bitmap-refinement kernel (bitindex.AppendMatchingRowsColumns):
+// the first active column is swept sequentially into per-64-row survivor
+// bitmasks, and only surviving blocks are refined against the remaining
+// active columns, most selective first. The Algorithm-1 level walk then
+// tests survivors row-major per level, touching only the active offsets.
+// Multi-shard scans are dispatched to persistent shard-affine workers —
+// each worker goroutine owns a fixed subset of shards for the server's
+// lifetime, so a shard's arenas are always rescanned by the same worker.
+// Scan scratch (row buffers, block bitmaps, sparse forms, heaps, merge
+// buffers) is pooled and reused, so steady-state searches allocate only
+// their results.
 //
 // Uploaded documents are stored by reference and must not be mutated by the
 // caller afterwards; search indices are copied into the arenas at Upload.
@@ -84,12 +92,28 @@ type Server struct {
 
 	scratch sync.Pool // *scanScratch, reused across searches
 
+	// Persistent shard-affine scan workers, spawned on the first parallel
+	// search. jobs[k] feeds the worker owning shards k, k+W, k+2W, … (W =
+	// workers). The goroutines reference only their channel and shard
+	// subset — not the Server — so a cleanup attached to the Server can
+	// close the channels and end them once the Server is unreachable.
+	startWorkers sync.Once
+	jobs         []chan scanJob
+
 	// Costs tallies server-side binary comparisons (Table 2) and traffic.
 	Costs costs.Counters
 }
 
 // shard is one independently locked slice of the document store, laid out as
 // parallel columns: row i of every slice and arena describes one document.
+//
+// Level-0 indices are stored twice: row-major in levels[0] (the layout the
+// metadata copies, Export and the level walk read rows from) and word-major
+// in cols (cols[w][row] = word w of row's level-0 index — the layout the
+// blocked bitmap-refinement kernel sweeps). Upload and Delete maintain both
+// in lock step; the duplication costs one extra level's worth of memory and
+// buys the scan a sequential, line-dense walk of exactly the query's active
+// words.
 type shard struct {
 	mu     sync.RWMutex
 	byID   map[string]int // docID → row
@@ -97,6 +121,7 @@ type shard struct {
 	seqs   []uint64
 	docs   []*EncryptedDocument
 	levels [][]uint64 // levels[l]: all rows' level-(l+1) index words, back-to-back
+	cols   [][]uint64 // word-major level 0: cols[w][row], one column per word offset
 	stride int
 }
 
@@ -127,6 +152,7 @@ func NewServerSharded(p Params, shards, workers int) (*Server, error) {
 		s.shards[i] = &shard{
 			byID:   make(map[string]int),
 			levels: make([][]uint64, p.Eta()),
+			cols:   make([][]uint64, s.stride),
 			stride: s.stride,
 		}
 	}
@@ -183,9 +209,13 @@ func (s *Server) Upload(si *SearchIndex, doc *EncryptedDocument) error {
 	sh := s.shardFor(si.DocID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	lvl0 := si.Levels[0].Words()
 	if row, ok := sh.byID[si.DocID]; ok {
 		for l, v := range si.Levels {
 			v.CopyWordsTo(sh.levels[l][row*sh.stride : (row+1)*sh.stride])
+		}
+		for w := range sh.cols {
+			sh.cols[w][row] = lvl0[w]
 		}
 		sh.docs[row] = doc
 		s.epoch.Add(1) // after apply, before ack (see Epoch)
@@ -197,6 +227,9 @@ func (s *Server) Upload(si *SearchIndex, doc *EncryptedDocument) error {
 	sh.docs = append(sh.docs, doc)
 	for l, v := range si.Levels {
 		sh.levels[l] = v.AppendTo(sh.levels[l])
+	}
+	for w := range sh.cols {
+		sh.cols[w] = append(sh.cols[w], lvl0[w])
 	}
 	s.epoch.Add(1) // after apply, before ack (see Epoch)
 	return nil
@@ -228,6 +261,9 @@ func (s *Server) Delete(docID string) error {
 		for _, arena := range sh.levels {
 			copy(arena[row*sh.stride:(row+1)*sh.stride], arena[last*sh.stride:(last+1)*sh.stride])
 		}
+		for _, col := range sh.cols {
+			col[row] = col[last]
+		}
 	}
 	sh.ids = shrink(sh.ids[:last])
 	sh.seqs = shrink(sh.seqs[:last])
@@ -235,6 +271,9 @@ func (s *Server) Delete(docID string) error {
 	sh.docs = shrink(sh.docs[:last])
 	for l := range sh.levels {
 		sh.levels[l] = shrink(sh.levels[l][:last*sh.stride])
+	}
+	for w := range sh.cols {
+		sh.cols[w] = shrink(sh.cols[w][:last])
 	}
 	delete(sh.byID, docID)
 	s.epoch.Add(1) // after apply, before ack (see Epoch)
@@ -343,12 +382,15 @@ type scanScratch struct {
 	cands   []candidate        // merge buffer for the global τ-cut
 	qbuf    []*bitindex.Vector // single-query wrapper for SearchTop
 	out     [][]Match          // single-query result wrapper for SearchTop
+	wg      sync.WaitGroup     // parallel-scan barrier, reused across searches
 }
 
 // workerScratch is the buffer set one scanning goroutine owns for the
 // duration of a search.
 type workerScratch struct {
-	rows []int32 // matching-row buffer for the arena scan kernel
+	rows   []int32               // matching-row buffer for the arena scan kernel
+	blocks bitindex.BlockScratch // survivor bitmaps for the blocked column kernel
+	cmps   int64                 // comparisons this worker performed, read after wg.Wait
 }
 
 // queries sparsifies qs into the scratch, reusing prior backing storage.
@@ -390,15 +432,17 @@ func (sh *shard) scan(qs []*bitindex.Sparse, ws *workerScratch, heaps []topTau) 
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	var cmps int64
-	stride := sh.stride
-	lvl0 := sh.levels[0]
+	rows := len(sh.ids)
 	for qi, q := range qs {
-		// One arena sweep per query: the kernel touches one word per
-		// mismatching row (the common case), so even a query batch is
-		// cheaper as consecutive prefetch-friendly sweeps than as a
-		// row-hot multi-query loop with its per-row call overhead.
-		ws.rows = q.AppendMatchingRows(lvl0, stride, ws.rows[:0])
-		cmps += int64(len(lvl0) / stride)
+		// One blocked column sweep per query: the kernel reads the first
+		// active word of every row from one contiguous column (eight rows
+		// per cache line), then refines only the surviving 64-row blocks
+		// against the other active columns — so even a query batch is
+		// cheaper as consecutive sequential sweeps than as a row-hot
+		// multi-query loop with its per-row call overhead. Every row is
+		// still one Equation-3 comparison for Table-2 accounting.
+		ws.rows = q.AppendMatchingRowsColumns(sh.cols, rows, &ws.blocks, ws.rows[:0])
+		cmps += int64(rows)
 		for _, r := range ws.rows {
 			cmps += sh.walkLevelsAt(q, int(r), &heaps[qi])
 		}
@@ -481,27 +525,84 @@ func (s *Server) searchSharded(sc *scanScratch, qs []*bitindex.Vector, tau int, 
 	}
 }
 
-// scanParallel fans the shard scans out over a per-call worker pool: the
-// workers claim shards through an atomic cursor (no feeder goroutine or
-// channel on the query hot path).
+// scanJob is one search's worth of work for one persistent scan worker: scan
+// every shard the worker owns with sqs, feed heaps, leave the comparison
+// count in ws.cmps, and signal wg. All fields are owned by the dispatching
+// search until wg is signalled.
+type scanJob struct {
+	sqs   []*bitindex.Sparse
+	heaps []topTau // full shard × query grid; indexed by the worker's shard numbers
+	nq    int
+	ws    *workerScratch
+	wg    *sync.WaitGroup
+}
+
+// scanParallel dispatches one job per persistent shard-affine worker and
+// waits for all of them. Earlier revisions spun up a fresh goroutine pool
+// per search with an atomic shard cursor; persistent workers keep the
+// goroutine stack and scheduler state warm across searches and pin each
+// shard to one worker, so a shard's arenas are always rescanned by the
+// goroutine that scanned them last. Comparison counts are accumulated in
+// each worker's scratch and folded into Costs here with a single atomic add
+// per search instead of one per shard.
 func (s *Server) scanParallel(sqs []*bitindex.Sparse, sc *scanScratch, nq, workers int) {
-	var wg sync.WaitGroup
-	var cursor atomic.Int64
-	wg.Add(workers)
+	s.startWorkers.Do(s.spawnWorkers)
+	sc.wg.Add(workers)
 	for k := 0; k < workers; k++ {
-		go func(workerID int) {
-			defer wg.Done()
-			for {
-				i := int(cursor.Add(1)) - 1
-				if i >= len(s.shards) {
-					return
-				}
-				cmps := s.shards[i].scan(sqs, &sc.workers[workerID], sc.heaps[i*nq:(i+1)*nq])
-				s.Costs.BinaryComparisons.Add(cmps)
-			}
-		}(k)
+		s.jobs[k] <- scanJob{sqs: sqs, heaps: sc.heaps, nq: nq, ws: &sc.workers[k], wg: &sc.wg}
 	}
-	wg.Wait()
+	sc.wg.Wait()
+	var cmps int64
+	for k := 0; k < workers; k++ {
+		cmps += sc.workers[k].cmps
+	}
+	s.Costs.BinaryComparisons.Add(cmps)
+}
+
+// spawnWorkers starts the persistent scan workers. Worker k owns shards
+// k, k+W, k+2W, … — a fixed assignment, so every rescan of a shard touches
+// memory the same goroutine last walked. The workers hold no reference to
+// the Server (only their job channel and shard subset), letting the
+// attached cleanup close the channels — and end the goroutines — once the
+// Server itself is unreachable.
+func (s *Server) spawnWorkers() {
+	s.jobs = make([]chan scanJob, s.workers)
+	for k := range s.jobs {
+		jobs := make(chan scanJob, 1)
+		s.jobs[k] = jobs
+		var owned []*shard
+		var idx []int
+		for i := k; i < len(s.shards); i += s.workers {
+			owned = append(owned, s.shards[i])
+			idx = append(idx, i)
+		}
+		go scanWorker(jobs, owned, idx)
+	}
+	runtime.AddCleanup(s, stopWorkers, s.jobs)
+}
+
+// stopWorkers closes every job channel, ending the persistent workers. It
+// runs as the Server's cleanup; by then no search can be in flight (a
+// search holds the Server reachable), so no send can race the close.
+func stopWorkers(jobs []chan scanJob) {
+	for _, ch := range jobs {
+		close(ch)
+	}
+}
+
+// scanWorker is the persistent scan loop: one job per search, covering the
+// worker's fixed shard subset. idx[i] is owned[i]'s global shard number,
+// used to address the job's flat shard × query heap grid.
+func scanWorker(jobs <-chan scanJob, owned []*shard, idx []int) {
+	for j := range jobs {
+		var cmps int64
+		for i, sh := range owned {
+			si := idx[i]
+			cmps += sh.scan(j.sqs, j.ws, j.heaps[si*j.nq:(si+1)*j.nq])
+		}
+		j.ws.cmps = cmps
+		j.wg.Done()
+	}
 }
 
 func (s *Server) validateQuery(q *bitindex.Vector) error {

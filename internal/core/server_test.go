@@ -406,6 +406,28 @@ func TestSearchScanPathAllocationFree(t *testing.T) {
 	}); got > budget {
 		t.Errorf("SearchTop with %d matches allocates %.0f times per query, want <= %.0f", len(res), got, budget)
 	}
+
+	// The multi-worker path must be equally clean: job dispatch to the
+	// persistent shard-affine workers is by-value channel sends, and every
+	// worker's scratch (row buffers, block bitmaps) is warm after the
+	// first search.
+	multi, err := NewServerSharded(o.Params(), 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uploadCorpus(t, o, 200, 37, multi)
+	for i := 0; i < 3; i++ { // spawn workers, warm every worker's scratch
+		if _, err := multi.SearchTop(miss, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := testing.AllocsPerRun(100, func() {
+		if _, err := multi.SearchTop(miss, 5); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 0 {
+		t.Errorf("no-match multi-worker SearchTop allocates %.0f times per query, want 0", got)
+	}
 }
 
 // Every applied mutation — insert, in-place replacement, delete — must bump

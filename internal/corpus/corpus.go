@@ -69,14 +69,34 @@ type Config struct {
 // dictionary words are proportionally more popular (s = 1.1), modelling
 // natural keyword skew; otherwise keywords are uniform.
 func Generate(cfg Config) ([]*Document, error) {
+	var docs []*Document
+	if cfg.NumDocs > 0 {
+		docs = make([]*Document, 0, cfg.NumDocs)
+	}
+	if err := GenerateStream(cfg, func(d *Document) error {
+		docs = append(docs, d)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return docs, nil
+}
+
+// GenerateStream is Generate without the accumulated slice: each document is
+// handed to fn as soon as it is built and never retained by the generator,
+// so a million-document corpus can be indexed and discarded in O(1) memory.
+// The stream is identical to Generate's output for the same Config, document
+// for document. If fn returns an error, generation stops and the error is
+// returned.
+func GenerateStream(cfg Config, fn func(*Document) error) error {
 	if cfg.NumDocs <= 0 {
-		return nil, fmt.Errorf("corpus: NumDocs must be positive, got %d", cfg.NumDocs)
+		return fmt.Errorf("corpus: NumDocs must be positive, got %d", cfg.NumDocs)
 	}
 	if cfg.KeywordsPerDoc <= 0 {
-		return nil, fmt.Errorf("corpus: KeywordsPerDoc must be positive, got %d", cfg.KeywordsPerDoc)
+		return fmt.Errorf("corpus: KeywordsPerDoc must be positive, got %d", cfg.KeywordsPerDoc)
 	}
 	if len(cfg.Dictionary) < cfg.KeywordsPerDoc {
-		return nil, fmt.Errorf("corpus: dictionary of %d words cannot fill %d keywords per document",
+		return fmt.Errorf("corpus: dictionary of %d words cannot fill %d keywords per document",
 			len(cfg.Dictionary), cfg.KeywordsPerDoc)
 	}
 	if cfg.MaxTermFreq <= 0 {
@@ -87,8 +107,7 @@ func Generate(cfg Config) ([]*Document, error) {
 	if cfg.Zipf {
 		zipf = rand.NewZipf(rng, 1.1, 1, uint64(len(cfg.Dictionary)-1))
 	}
-	docs := make([]*Document, cfg.NumDocs)
-	for i := range docs {
+	for i := 0; i < cfg.NumDocs; i++ {
 		tf := make(map[string]int, cfg.KeywordsPerDoc)
 		for len(tf) < cfg.KeywordsPerDoc {
 			var w string
@@ -105,17 +124,27 @@ func Generate(cfg Config) ([]*Document, error) {
 		if cfg.ContentWords > 0 {
 			doc.Content = synthesizeContent(rng, tf, cfg.ContentWords)
 		}
-		docs[i] = doc
+		if err := fn(doc); err != nil {
+			return err
+		}
 	}
-	return docs, nil
+	return nil
 }
 
 // synthesizeContent produces document text that actually realizes the term
 // frequencies: each keyword appears exactly tf times, padded with filler.
+// Keywords are laid out in sorted order before the shuffle so the bytes are
+// a pure function of the RNG state, not of map iteration order — the same
+// seed must yield the same corpus, content included.
 func synthesizeContent(rng *rand.Rand, tf map[string]int, fillerWords int) []byte {
 	words := make([]string, 0, fillerWords+len(tf)*4)
-	for w, f := range tf {
-		for i := 0; i < f; i++ {
+	kws := make([]string, 0, len(tf))
+	for w := range tf {
+		kws = append(kws, w)
+	}
+	sort.Strings(kws)
+	for _, w := range kws {
+		for i := 0; i < tf[w]; i++ {
 			words = append(words, w)
 		}
 	}

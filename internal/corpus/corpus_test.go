@@ -1,6 +1,7 @@
 package corpus
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -92,6 +93,68 @@ func TestGenerateValidation(t *testing.T) {
 		if _, err := Generate(cfg); err == nil {
 			t.Errorf("case %d: invalid config accepted", i)
 		}
+		if err := GenerateStream(cfg, func(*Document) error { return nil }); err == nil {
+			t.Errorf("case %d: GenerateStream accepted invalid config", i)
+		}
+	}
+}
+
+// The stream must be the batch corpus document for document — the million-doc
+// sweep relies on streamed indexing being the same corpus Generate would
+// materialize, Zipf and content synthesis included.
+func TestGenerateStreamMatchesGenerate(t *testing.T) {
+	for _, cfg := range []Config{
+		{NumDocs: 40, KeywordsPerDoc: 6, Dictionary: Dictionary(200), Seed: 11},
+		{NumDocs: 40, KeywordsPerDoc: 6, Dictionary: Dictionary(200), Zipf: true, Seed: 11},
+		{NumDocs: 15, KeywordsPerDoc: 4, Dictionary: Dictionary(50), ContentWords: 30, Seed: 3},
+	} {
+		batch, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := 0
+		err = GenerateStream(cfg, func(d *Document) error {
+			want := batch[i]
+			if d.ID != want.ID || len(d.TermFreqs) != len(want.TermFreqs) {
+				t.Fatalf("doc %d: stream %q/%d keywords, batch %q/%d", i, d.ID, len(d.TermFreqs), want.ID, len(want.TermFreqs))
+			}
+			for w, f := range want.TermFreqs {
+				if d.TermFreqs[w] != f {
+					t.Fatalf("doc %d keyword %q: stream tf %d, batch tf %d", i, w, d.TermFreqs[w], f)
+				}
+			}
+			if string(d.Content) != string(want.Content) {
+				t.Fatalf("doc %d: streamed content differs from batch", i)
+			}
+			i++
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i != len(batch) {
+			t.Fatalf("stream produced %d documents, batch %d", i, len(batch))
+		}
+	}
+}
+
+// A callback error must stop the stream immediately and surface unchanged.
+func TestGenerateStreamStopsOnError(t *testing.T) {
+	sentinel := fmt.Errorf("stop here")
+	calls := 0
+	err := GenerateStream(Config{NumDocs: 100, KeywordsPerDoc: 2, Dictionary: Dictionary(20), Seed: 1},
+		func(*Document) error {
+			calls++
+			if calls == 3 {
+				return sentinel
+			}
+			return nil
+		})
+	if err != sentinel {
+		t.Fatalf("got error %v, want the callback's", err)
+	}
+	if calls != 3 {
+		t.Fatalf("callback ran %d times after erroring on call 3", calls)
 	}
 }
 

@@ -389,6 +389,38 @@ func TestKernelSweepKernelsAgree(t *testing.T) {
 	}
 }
 
+// A small-scale run of the million-document sweep (the full scale lives in
+// mkse-bench -exp million): streamed build must account every document,
+// queries must be sampled and timed, and the quantiles must be ordered.
+func TestMillionSweepSmoke(t *testing.T) {
+	res, err := MillionSweep(1500, 3, 2, 8, true, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Docs != 1500 || res.Shards != 3 || res.Workers != 2 {
+		t.Fatalf("geometry %d docs / %d shards / %d workers, want 1500/3/2", res.Docs, res.Shards, res.Workers)
+	}
+	if res.Queries != 8 {
+		t.Fatalf("%d queries sampled, want 8", res.Queries)
+	}
+	if res.BuildPerDoc <= 0 || res.NsPerDoc <= 0 {
+		t.Errorf("non-positive cost: build/doc %v, search ns/doc %v", res.BuildPerDoc, res.NsPerDoc)
+	}
+	if res.SearchP99 < res.SearchP50 {
+		t.Errorf("p99 %v below p50 %v", res.SearchP99, res.SearchP50)
+	}
+	// The level-1 screen alone costs one comparison per stored document.
+	if res.Comparisons < float64(res.Docs) {
+		t.Errorf("%.0f comparisons/query over %d docs", res.Comparisons, res.Docs)
+	}
+	out := res.Format()
+	for _, want := range []string{"ns/doc", "p50", "p99", "RSS", "Zipf"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // The shard sweep must carry the per-document and comparison columns the
 // kernel work is judged by.
 func TestShardSweepReportsPerDocCosts(t *testing.T) {

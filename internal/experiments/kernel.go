@@ -14,7 +14,7 @@ import (
 // ---------------------------------------------------------------------------
 
 // KernelPoint measures the Equation-3 scan over one corpus with one query
-// zero-count, under the three storage/kernel combinations the server has
+// zero-count, under the four storage/kernel combinations the server has
 // used across revisions.
 type KernelPoint struct {
 	ZeroBits    int     // zero bits in the query (the x of Section 6's F(x))
@@ -23,8 +23,11 @@ type KernelPoint struct {
 	Boxed       float64 // ns per document: boxed []*Vector scan, Matches per doc
 	Arena       float64 // ns per document: flat columnar arena, dense word sweep
 	Skip        float64 // ns per document: arena + zero-word-skipping kernel
+	Cols        float64 // ns per document: word-major arena, blocked bitmap kernel
 	ArenaX      float64 // Boxed / Arena
 	SkipX       float64 // Boxed / Skip
+	ColsX       float64 // Boxed / Cols
+	ColsVsSkip  float64 // Skip / Cols — the word-major win over the row-major skip kernel
 }
 
 // KernelSweepResult is the layout/kernel comparison across query densities.
@@ -45,7 +48,11 @@ type KernelSweepResult struct {
 // layout: one heap-allocated Vector per document, pointer-chased per test.
 // Arena lays every index back-to-back in one []uint64 and sweeps it
 // linearly. Skip adds the Sparse preprocessing so only active words are
-// touched. All three must agree on the match set (verified per point).
+// touched. Cols stores the same indices word-major (one contiguous column
+// per word offset) and runs the blocked bitmap-refinement kernel, the layout
+// the server scans level 0 with. All four must agree on the match set
+// (verified per point; Cols is additionally checked row list against row
+// list with Skip).
 func KernelSweep(docs, r int, zeros []int, queries int, seed int64) (*KernelSweepResult, error) {
 	if docs <= 0 {
 		docs = 10000
@@ -71,6 +78,10 @@ func KernelSweep(docs, r int, zeros []int, queries int, seed int64) (*KernelSwee
 	}
 	boxed := make([]*bitindex.Vector, docs)
 	arena := make([]uint64, 0, docs*stride)
+	cols := make([][]uint64, stride)
+	for w := range cols {
+		cols[w] = make([]uint64, docs)
+	}
 	for i := range boxed {
 		v := bitindex.New(r)
 		for j := 0; j < r; j++ {
@@ -80,11 +91,14 @@ func KernelSweep(docs, r int, zeros []int, queries int, seed int64) (*KernelSwee
 		}
 		boxed[i] = v
 		arena = v.AppendTo(arena)
+		for w, word := range v.Words() {
+			cols[w][i] = word
+		}
 	}
 
 	res := &KernelSweepResult{Docs: docs, R: r, Stride: stride, Queries: queries}
-	matched := make([]bool, docs)
-	var rows []int32
+	var bs bitindex.BlockScratch
+	var rows, colRows []int32
 	for _, z := range zeros {
 		if z > r {
 			continue
@@ -140,17 +154,33 @@ func KernelSweep(docs, r int, zeros []int, queries int, seed int64) (*KernelSwee
 			}
 			return m
 		}
-
-		boxedMatches, arenaMatches, skipMatches := boxedPass(), arenaPass(), skipPass()
-		if boxedMatches != arenaMatches || boxedMatches != skipMatches {
-			return nil, fmt.Errorf("kernel disagreement at %d zeros: boxed %d, arena %d, skip %d",
-				z, boxedMatches, arenaMatches, skipMatches)
+		colsPass := func() int {
+			m := 0
+			for _, s := range sqs {
+				colRows = s.AppendMatchingRowsColumns(cols, docs, &bs, colRows[:0])
+				m += len(colRows)
+			}
+			return m
 		}
-		// The whole-arena kernel must agree with the boxed scan row by row.
-		sqs[0].MatchArena(arena, stride, matched)
-		for i, v := range boxed {
-			if matched[i] != v.Matches(qs[0]) {
-				return nil, fmt.Errorf("MatchArena disagreement at %d zeros, row %d", z, i)
+
+		boxedMatches, arenaMatches, skipMatches, colsMatches := boxedPass(), arenaPass(), skipPass(), colsPass()
+		if boxedMatches != arenaMatches || boxedMatches != skipMatches || boxedMatches != colsMatches {
+			return nil, fmt.Errorf("kernel disagreement at %d zeros: boxed %d, arena %d, skip %d, cols %d",
+				z, boxedMatches, arenaMatches, skipMatches, colsMatches)
+		}
+		// The blocked word-major kernel must agree with the row-major skip
+		// kernel row list against row list, for every query.
+		for _, s := range sqs {
+			rows = s.AppendMatchingRows(arena, stride, rows[:0])
+			colRows = s.AppendMatchingRowsColumns(cols, docs, &bs, colRows[:0])
+			if len(rows) != len(colRows) {
+				return nil, fmt.Errorf("cols kernel disagreement at %d zeros: %d rows vs %d", z, len(colRows), len(rows))
+			}
+			for i := range rows {
+				if rows[i] != colRows[i] {
+					return nil, fmt.Errorf("cols kernel disagreement at %d zeros, position %d: row %d vs %d",
+						z, i, colRows[i], rows[i])
+				}
 			}
 		}
 		pt.Matches = boxedMatches / queries
@@ -158,11 +188,16 @@ func KernelSweep(docs, r int, zeros []int, queries int, seed int64) (*KernelSwee
 		pt.Boxed = float64(timeKernel(boxedPass)) / tests
 		pt.Arena = float64(timeKernel(arenaPass)) / tests
 		pt.Skip = float64(timeKernel(skipPass)) / tests
+		pt.Cols = float64(timeKernel(colsPass)) / tests
 		if pt.Arena > 0 {
 			pt.ArenaX = pt.Boxed / pt.Arena
 		}
 		if pt.Skip > 0 {
 			pt.SkipX = pt.Boxed / pt.Skip
+		}
+		if pt.Cols > 0 {
+			pt.ColsX = pt.Boxed / pt.Cols
+			pt.ColsVsSkip = pt.Skip / pt.Cols
 		}
 		res.Points = append(res.Points, pt)
 	}
@@ -191,12 +226,12 @@ func timeKernel(pass func() int) time.Duration {
 func (r *KernelSweepResult) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Match kernel — %d docs, r=%d (%d words/row), %d queries per point\n", r.Docs, r.R, r.Stride, r.Queries)
-	b.WriteString("zeros  active-words  matches   boxed ns/doc   arena ns/doc    skip ns/doc   arena×    skip×\n")
+	b.WriteString("zeros  active-words  matches   boxed ns/doc   arena ns/doc    skip ns/doc    cols ns/doc   arena×    skip×    cols×  vs-skip\n")
 	for _, p := range r.Points {
-		fmt.Fprintf(&b, "%5d %13d %8d %14.2f %14.2f %14.2f %8.2f %8.2f\n",
+		fmt.Fprintf(&b, "%5d %13d %8d %14.2f %14.2f %14.2f %14.2f %8.2f %8.2f %8.2f %8.2f\n",
 			p.ZeroBits, p.ActiveWords, p.Matches,
-			p.Boxed, p.Arena, p.Skip,
-			p.ArenaX, p.SkipX)
+			p.Boxed, p.Arena, p.Skip, p.Cols,
+			p.ArenaX, p.SkipX, p.ColsX, p.ColsVsSkip)
 	}
 	return b.String()
 }

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"mkse/internal/bitindex"
+	"mkse/internal/core"
+	"mkse/internal/corpus"
+	"mkse/internal/histogram"
+	"mkse/internal/rank"
+)
+
+// ---------------------------------------------------------------------------
+// Million-document sweep — the scale story (beyond the paper's 10k corpora)
+// ---------------------------------------------------------------------------
+
+// MillionResult is one end-to-end run of the streaming build + ranked-search
+// measurement at large corpus scale.
+type MillionResult struct {
+	Docs    int
+	Shards  int
+	Workers int
+	Eta     int
+	R       int
+	Zipf    bool
+
+	BuildTime   time.Duration // index construction + upload, wall clock
+	BuildPerDoc time.Duration
+
+	Queries     int
+	SearchMean  time.Duration // per ranked SearchTop(τ=10) query
+	SearchP50   time.Duration
+	SearchP99   time.Duration
+	NsPerDoc    float64 // mean search ns per stored document
+	Comparisons float64 // r-bit comparisons per query (Table 2 accounting)
+	Matches     float64 // mean Equation-3 survivors per query
+
+	RSSMB float64 // resident set after the search phase (0 if unreadable)
+}
+
+// MillionSweep streams a synthetic corpus of the given size through index
+// construction straight into a sharded server — documents are built,
+// indexed, uploaded and dropped one at a time, so corpus size is bounded by
+// the server's arenas, not by a materialized []*Document — then measures
+// ranked-search latency with per-query resolution. Keyword popularity is
+// Zipf-skewed when zipf is set (natural corpora are not uniform; skew makes
+// popular-keyword queries match large row sets and exercises the rank walk).
+// Queries are built from keyword pairs of sampled documents, deterministic
+// in seed. shards/workers <= 0 pick the server defaults.
+func MillionSweep(numDocs, shards, workers, queries int, zipf bool, seed int64) (*MillionResult, error) {
+	if numDocs <= 0 {
+		numDocs = 1_000_000
+	}
+	if queries <= 0 {
+		queries = 64
+	}
+	owner, err := newExperimentOwner(rank.DefaultLevels(3, 15), seed)
+	if err != nil {
+		return nil, err
+	}
+	server, err := core.NewServerSharded(owner.Params(), shards, workers)
+	if err != nil {
+		return nil, err
+	}
+	f := newQueryFactory(owner, seed+47)
+
+	// Sample the keyword sets the queries will be built from while the
+	// corpus streams past: every sampleEvery-th document contributes one
+	// future query (two of its keywords, chosen by the deterministic rng).
+	sampleEvery := numDocs / queries
+	if sampleEvery == 0 {
+		sampleEvery = 1
+	}
+	queryWords := make([][]string, 0, queries)
+
+	cfg := corpus.Config{
+		NumDocs:        numDocs,
+		KeywordsPerDoc: 20,
+		Dictionary:     corpus.Dictionary(25000), // the paper's dictionary scale
+		MaxTermFreq:    15,
+		Zipf:           zipf,
+		Seed:           seed,
+	}
+	buildStart := time.Now()
+	uploaded := 0
+	err = corpus.GenerateStream(cfg, func(d *corpus.Document) error {
+		si, err := owner.BuildIndex(d)
+		if err != nil {
+			return err
+		}
+		if err := server.Upload(si, &core.EncryptedDocument{ID: d.ID, Ciphertext: []byte{0}, EncKey: []byte{0}}); err != nil {
+			return err
+		}
+		if uploaded%sampleEvery == 0 && len(queryWords) < queries {
+			kws := d.Keywords()
+			i := f.rng.Intn(len(kws))
+			j := f.rng.Intn(len(kws) - 1)
+			if j >= i {
+				j++
+			}
+			queryWords = append(queryWords, []string{kws[i], kws[j]})
+		}
+		uploaded++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &MillionResult{
+		Docs:    numDocs,
+		Shards:  server.NumShards(),
+		Workers: server.NumWorkers(),
+		Eta:     owner.Params().Eta(),
+		R:       owner.Params().R,
+		Zipf:    zipf,
+	}
+	res.BuildTime = time.Since(buildStart)
+	res.BuildPerDoc = res.BuildTime / time.Duration(numDocs)
+
+	qs := make([]*bitindex.Vector, 0, len(queryWords))
+	for _, words := range queryWords {
+		qs = append(qs, f.build(words))
+	}
+	res.Queries = len(qs)
+
+	// Warm the pooled scratch and page the arenas in, outside the timing.
+	if _, err := server.SearchTop(qs[0], 10); err != nil {
+		return nil, err
+	}
+
+	lat := latencyHist()
+	matches := 0
+	cmpsBefore := server.Costs.Snapshot().BinaryComparisons
+	searchStart := time.Now()
+	for _, q := range qs {
+		qStart := time.Now()
+		ms, err := server.SearchTop(q, 10)
+		if err != nil {
+			return nil, err
+		}
+		lat.Add(int(time.Since(qStart) / time.Microsecond))
+		matches += len(ms)
+	}
+	total := time.Since(searchStart)
+	res.SearchMean = total / time.Duration(len(qs))
+	res.SearchP50 = histQuantile(lat, 0.50)
+	res.SearchP99 = histQuantile(lat, 0.99)
+	res.NsPerDoc = float64(res.SearchMean) / float64(numDocs)
+	res.Comparisons = float64(server.Costs.Snapshot().BinaryComparisons-cmpsBefore) / float64(len(qs))
+	res.Matches = float64(matches) / float64(len(qs))
+	res.RSSMB = readRSSMB()
+	return res, nil
+}
+
+// latencyHist buckets per-query latencies at 10 µs resolution up to 1 s —
+// wide enough that a million-document Zipf tail query (tens to hundreds of
+// milliseconds) lands in a real bucket instead of saturating the top one.
+func latencyHist() *histogram.Histogram { return histogram.New(0, 1_000_000, 10) }
+
+// histQuantile converts a microsecond-bucketed quantile to a Duration.
+func histQuantile(h *histogram.Histogram, q float64) time.Duration {
+	return time.Duration(h.Quantile(q) * float64(time.Microsecond))
+}
+
+// readRSSMB returns the process's resident set size in MiB from
+// /proc/self/status, falling back to the Go heap footprint where procfs is
+// unavailable (macOS), and 0 if neither can be read.
+func readRSSMB() float64 {
+	if data, err := os.ReadFile("/proc/self/status"); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if !strings.HasPrefix(line, "VmRSS:") {
+				continue
+			}
+			fields := strings.Fields(line)
+			if len(fields) >= 2 {
+				if kb, err := strconv.ParseFloat(fields[1], 64); err == nil {
+					return kb / 1024
+				}
+			}
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.HeapSys) / (1 << 20)
+}
+
+// Format renders the sweep. The "search:" line is stable machine-readable
+// output (CI extracts ns/doc from it).
+func (r *MillionResult) Format() string {
+	var b strings.Builder
+	dist := "uniform"
+	if r.Zipf {
+		dist = "Zipf"
+	}
+	fmt.Fprintf(&b, "Million-document sweep — %d docs, %d shards / %d workers, η=%d, r=%d, %s keywords\n",
+		r.Docs, r.Shards, r.Workers, r.Eta, r.R, dist)
+	fmt.Fprintf(&b, "build:  %d docs in %.1fs (%.1f µs/doc)\n",
+		r.Docs, r.BuildTime.Seconds(), float64(r.BuildPerDoc)/float64(time.Microsecond))
+	fmt.Fprintf(&b, "search: tau=10 queries=%d mean %.3fms p50 %.3fms p99 %.3fms ns/doc %.2f cmps/query %.0f matches/query %.1f\n",
+		r.Queries,
+		float64(r.SearchMean)/float64(time.Millisecond),
+		float64(r.SearchP50)/float64(time.Millisecond),
+		float64(r.SearchP99)/float64(time.Millisecond),
+		r.NsPerDoc, r.Comparisons, r.Matches)
+	fmt.Fprintf(&b, "memory: %.1f MB RSS\n", r.RSSMB)
+	return b.String()
+}

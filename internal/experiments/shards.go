@@ -20,6 +20,8 @@ type ShardPoint struct {
 	NumDocs      int
 	SingleShard  time.Duration // per query, 1 shard / 1 worker
 	Sharded      time.Duration // per query, the configured shard layout
+	ShardedP50   time.Duration // per-query latency median, sharded layout
+	ShardedP99   time.Duration // per-query latency 99th percentile, sharded layout
 	PerDoc       float64       // sharded ns per query per stored document
 	Comparisons  float64       // r-bit binary comparisons per query (Table 2 accounting)
 	Sequential   time.Duration // batch of queries issued one Search at a time
@@ -103,13 +105,18 @@ func ShardSweep(sizes []int, shards, workers, queries, batch int, seed int64) (*
 		pt.SingleShard = time.Since(start) / time.Duration(queries)
 
 		cmpsBefore := sharded.Costs.Snapshot().BinaryComparisons
+		lat := latencyHist()
 		start = time.Now()
 		for i := 0; i < queries; i++ {
+			qStart := time.Now()
 			if _, err := sharded.SearchTop(qs[i%batch], 10); err != nil {
 				return nil, err
 			}
+			lat.Add(int(time.Since(qStart) / time.Microsecond))
 		}
 		pt.Sharded = time.Since(start) / time.Duration(queries)
+		pt.ShardedP50 = histQuantile(lat, 0.50)
+		pt.ShardedP99 = histQuantile(lat, 0.99)
 		pt.PerDoc = float64(pt.Sharded) / float64(n)
 		pt.Comparisons = float64(sharded.Costs.Snapshot().BinaryComparisons-cmpsBefore) / float64(queries)
 
@@ -158,12 +165,14 @@ func experimentCorpus(owner *core.Owner, maxN int, seed int64) ([]*corpus.Docume
 func (r *ShardSweepResult) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Sharded search engine — %d shards / %d workers, batch of %d queries (τ=10)\n", r.Shards, r.Workers, r.Batch)
-	b.WriteString("#docs   1-shard/query  sharded/query  speedup   ns/doc  cmps/query   sequential batch  SearchBatch   speedup\n")
+	b.WriteString("#docs   1-shard/query  sharded/query        p50        p99  speedup   ns/doc  cmps/query   sequential batch  SearchBatch   speedup\n")
 	for _, p := range r.Points {
-		fmt.Fprintf(&b, "%6d %11.4fms %13.4fms %8.2fx %8.1f %11.0f %14.4fms %11.4fms %8.2fx\n",
+		fmt.Fprintf(&b, "%6d %11.4fms %13.4fms %8.3fms %8.3fms %8.2fx %8.1f %11.0f %14.4fms %11.4fms %8.2fx\n",
 			p.NumDocs,
 			float64(p.SingleShard)/float64(time.Millisecond),
 			float64(p.Sharded)/float64(time.Millisecond),
+			float64(p.ShardedP50)/float64(time.Millisecond),
+			float64(p.ShardedP99)/float64(time.Millisecond),
 			p.ShardSpeedup,
 			p.PerDoc,
 			p.Comparisons,
