@@ -32,8 +32,10 @@ func main() {
 		cloudAddr = flag.String("cloud", "localhost:7002", "cloud daemon address")
 		user      = flag.String("user", "cli-user", "user identity to enroll as")
 		topK      = flag.Int("top", 10, "maximum matches to request (τ)")
+		dialTO    = flag.Duration("dial-timeout", service.DialTimeout, "per-connection dial budget")
 	)
 	flag.Parse()
+	service.DialTimeout = *dialTO
 	args := flag.Args()
 	if len(args) >= 1 && args[0] == "stats" {
 		// Operator introspection: a raw dial to the cloud daemon, no owner
@@ -109,6 +111,7 @@ func printStats(cloudAddr string) {
 	fmt.Printf("epoch          %d\n", st.Epoch)
 	if st.Durable {
 		fmt.Printf("wal-position   %d\n", st.WALPosition)
+		fmt.Printf("term           %d\n", st.Term)
 	} else {
 		fmt.Printf("wal-position   - (memory-only)\n")
 	}

@@ -1,0 +1,97 @@
+// Command mkse-observer watches a replicated mkse-server cluster and fails
+// it over automatically: it health-probes the primary on a fixed cadence,
+// and when the primary stays unreachable for -fail-after consecutive
+// probes, it elects the reachable follower with the highest replicated
+// position, promotes it under a freshly raised fencing term, and repoints
+// the surviving followers at it. An old primary that later resurrects is
+// reconfigured into a follower; the fencing term guarantees its
+// unreplicated log tail is discarded rather than forked into the history.
+//
+// Usage:
+//
+//	mkse-observer -primary host:7002 -replicas host:7003,host:7004
+//	              [-probe-every 1s] [-probe-timeout 1s] [-fail-after 3]
+//	              [-oneshot]
+//
+// -oneshot runs a single probe cycle and exits: status 0 if the primary is
+// healthy, 1 if it is not — usable as a liveness check from cron or CI
+// without leaving a daemon running. (A single cycle never fails over unless
+// -fail-after is 1.)
+//
+// The observer keeps no state on disk. Restart it freely: roles, terms and
+// positions are re-learned by probing, and a follower that was already
+// promoted by a previous incarnation is adopted, not promoted again.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mkse/internal/observer"
+)
+
+func main() {
+	var (
+		primary      = flag.String("primary", "", "address of the current primary (required)")
+		replicas     = flag.String("replicas", "", "comma-separated follower addresses eligible for promotion (required)")
+		probeEvery   = flag.Duration("probe-every", time.Second, "health-probe interval")
+		probeTimeout = flag.Duration("probe-timeout", time.Second, "per-probe dial+roundtrip budget")
+		failAfter    = flag.Int("fail-after", 3, "consecutive failed probes before failing over")
+		oneshot      = flag.Bool("oneshot", false, "run one probe cycle and exit (0 = primary healthy)")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "mkse-observer ", log.LstdFlags)
+
+	var followers []string
+	for _, a := range strings.Split(*replicas, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			followers = append(followers, a)
+		}
+	}
+	if *primary == "" || len(followers) == 0 {
+		fmt.Fprintln(os.Stderr, "mkse-observer: -primary and -replicas are required")
+		os.Exit(2)
+	}
+
+	obs := observer.New(observer.Config{
+		Primary:      *primary,
+		Followers:    followers,
+		ProbeEvery:   *probeEvery,
+		ProbeTimeout: *probeTimeout,
+		FailAfter:    *failAfter,
+		Logger:       logger,
+		OnFailover: func(oldPrimary, newPrimary string, term uint64) {
+			logger.Printf("failover complete: %s -> %s at term %d", oldPrimary, newPrimary, term)
+		},
+	})
+
+	if *oneshot {
+		obs.Tick()
+		st := obs.Status()
+		if st.ConsecFails > 0 && st.Failovers == 0 {
+			os.Exit(1)
+		}
+		logger.Printf("primary %s healthy (term %d)", st.Primary, st.Term)
+		return
+	}
+
+	obs.Start()
+	logger.Printf("watching primary %s with %d follower(s), probing every %v (failover after %d misses)",
+		*primary, len(followers), *probeEvery, *failAfter)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	logger.Printf("received %v, shutting down", s)
+	obs.Close()
+	st := obs.Status()
+	logger.Printf("final topology: primary %s, followers %v, %d failover(s), term %d",
+		st.Primary, st.Followers, st.Failovers, st.Term)
+}

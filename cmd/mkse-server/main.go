@@ -10,6 +10,7 @@
 //	            [-data /var/lib/mkse] [-checkpoint-every 4096]
 //	            [-fsync always|interval|never]
 //	            [-replica-of primary:7002]
+//	            [-drain 5s] [-idle-timeout 0]
 //	            [-snapshot cloud.db]
 //
 // -shards splits the document store into independently locked shards
@@ -47,7 +48,18 @@
 // the replica-status verb. It requires -data and the primary's scheme
 // parameters (-levels). A follower killed mid-catch-up resumes from its
 // recovered position on restart; restarting it without -replica-of promotes
-// it to a standalone primary over the same directory.
+// it to a standalone primary over the same directory. A durably backed
+// daemon also participates in automatic failover: the promote verb (issued
+// by mkse-observer, or manually) flips a live follower to primary in place
+// under a higher fencing term, and the reconfigure verb repoints it at a
+// new primary; see internal/observer.
+//
+// -drain bounds the graceful-shutdown window: on SIGINT/SIGTERM the daemon
+// stops accepting connections, waits up to the window for in-flight
+// requests to finish, then force-closes stragglers before persisting.
+// -idle-timeout, when non-zero, disconnects clients that sit idle between
+// requests longer than the window (replication streams are exempt), so
+// leaked connections cannot pin a drain to its deadline.
 //
 // -snapshot is the legacy single-file mode, superseded by -data: the
 // database is restored from the file at startup (first boot starts empty)
@@ -67,6 +79,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"mkse/internal/cliutil"
 	"mkse/internal/core"
@@ -87,6 +100,8 @@ func main() {
 		shards    = flag.Int("shards", 0, "document store shards (0 = one per core)")
 		workers   = flag.Int("workers", 0, "concurrent shard scans per query (0 = auto)")
 		cacheMB   = flag.Int("cache-mb", 0, "query-result cache budget in MiB (0 = disabled)")
+		drain     = flag.Duration("drain", 5*time.Second, "graceful-shutdown window for in-flight requests")
+		idle      = flag.Duration("idle-timeout", 0, "disconnect clients idle between requests this long (0 = never)")
 	)
 	flag.Parse()
 
@@ -109,7 +124,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	svc := &service.CloudService{Logger: logger}
+	svc := &service.CloudService{Logger: logger, IdleTimeout: *idle}
 	if *cacheMB > 0 {
 		// Works on primaries and followers alike: entries are validated
 		// against this server's own mutation epoch, so local mutations and
@@ -136,19 +151,20 @@ func main() {
 			log.Fatalf("mkse-server: opening %s: %v", *dataDir, err)
 		}
 		st := eng.Stats()
-		logger.Printf("durable engine at %s: %d documents (checkpoint LSN %d, %d ops replayed), fsync=%s",
-			*dataDir, eng.Server().NumDocuments(), st.CheckpointLSN, st.ReplayedOps, fsync)
+		logger.Printf("durable engine at %s: %d documents (checkpoint LSN %d, %d ops replayed), term %d, fsync=%s",
+			*dataDir, eng.Server().NumDocuments(), st.CheckpointLSN, st.ReplayedOps, st.Term, fsync)
 		svc.Server = eng.Server()
 		svc.Store = eng
 		svc.WAL = eng // any durable server can feed followers
-		var rep *service.Replica
+		svc.Eng = eng // enables the promote and reconfigure verbs
 		if *replicaOf != "" {
-			rep = service.StartReplica(eng, *replicaOf, logger)
-			svc.Replica = rep
+			svc.Replica = service.StartReplica(eng, *replicaOf, logger)
 			logger.Printf("following primary %s from position %d (read-only)", *replicaOf, eng.Position())
 		}
 		persist = func() {
-			if rep != nil {
+			// The replica may have been swapped or cleared at runtime by the
+			// promote and reconfigure verbs; close whichever one is live now.
+			if rep := svc.CurrentReplica(); rep != nil {
 				rep.Close()
 			}
 			if err := eng.Close(); err != nil {
@@ -211,6 +227,10 @@ func main() {
 	if err := svc.Serve(l); err != nil {
 		log.Fatalf("mkse-server: %v", err)
 	}
+	// The listener is closed; give in-flight requests the drain window
+	// before persisting, so the final checkpoint reflects every write the
+	// daemon acknowledged.
+	svc.Drain(*drain)
 	if persist != nil {
 		persist()
 	}

@@ -67,8 +67,8 @@
 // mutations arrive and heartbeats when idle. The follower replays every
 // record through its own durable engine — logging before applying, the
 // same invariant as a primary-side mutation — so a follower killed at any
-// point recovers and resumes from its acknowledged position, and is
-// promoted by restarting it without -replica-of. Followers reject writes,
+// point recovers and resumes from its acknowledged position, and can be
+// promoted to primary in place (see below). Followers reject writes,
 // answer searches and fetches, and report their lag (own position vs the
 // primary's, as heard on the stream) through a status verb. service.Client
 // fans Search/SearchBatch across a registered replica set with rotating
@@ -77,6 +77,24 @@
 // mutations and retrievals always go to the primary. See EXPERIMENTS.md
 // ("WAL-shipping replication") for catch-up throughput and fan-out
 // numbers, and examples/replication for a runnable deployment.
+//
+// # Automatic failover
+//
+// Every durable engine carries a monotonic fencing term, persisted in the
+// write-ahead log (a control record, always fsynced, replicated in-stream)
+// and in every checkpoint header. A Promote protocol verb flips a live
+// follower to primary in place: stop the stream, raise and persist the
+// term, accept writes. A deposed primary is fenced read-only by the first
+// peer that presents a higher term, and a rejoining node whose log
+// diverged past the new term's start is wiped by a checkpoint bootstrap
+// instead of forking the history. The mkse-observer daemon
+// (internal/observer) automates the loop: it health-probes the primary,
+// elects the lowest-lag reachable follower after a threshold of
+// consecutive failures, promotes it, and repoints the survivors via a
+// Reconfigure verb; service.Client follows the topology by re-probing its
+// replica set on a primary failure. internal/faultnet injects partitions
+// and stalls for the failure-mode tests. See ARCHITECTURE.md ("Fail over")
+// and examples/failover for a runnable kill-and-promote walkthrough.
 //
 // # Query-result caching
 //

@@ -116,6 +116,7 @@ type Stats struct {
 	LSN           uint64 // mutations logged over the directory's lifetime
 	CheckpointLSN uint64 // LSN covered by the newest durable checkpoint
 	Checkpoints   int    // checkpoints taken by this engine instance
+	Term          uint64 // promotion (fencing) term; see SetTerm
 
 	// LastCheckpointPause is how long the last checkpoint blocked the
 	// mutation stream (state materialization + segment rotation); searches
@@ -149,6 +150,8 @@ type Engine struct {
 	mu           sync.Mutex
 	f            *os.File // live segment
 	lsn          uint64
+	term         uint64 // promotion (fencing) term; raised by SetTerm / replicated term records
+	termStart    uint64 // log position where term began (the term record's position)
 	segStart     uint64
 	segSize      int64 // bytes of complete records in the live segment
 	opsSinceCkpt int
@@ -198,15 +201,16 @@ func Open(dir string, p core.Params, opts Options) (*Engine, error) {
 	// Newest readable checkpoint wins; fall back past corrupt ones (a crash
 	// cannot produce them — the rename is atomic — but bit rot can).
 	for i := len(ckpts) - 1; i >= 0; i-- {
-		srv, lsn, err := store.LoadCheckpointFile(filepath.Join(dir, ckptName(ckpts[i])), mk)
+		srv, meta, err := store.LoadCheckpointFile(filepath.Join(dir, ckptName(ckpts[i])), mk)
 		if err != nil {
 			logf(opts.Logger, "durable: checkpoint %s unreadable, trying older: %v", ckptName(ckpts[i]), err)
 			continue
 		}
-		if lsn != ckpts[i] {
-			return nil, fmt.Errorf("durable: checkpoint %s covers LSN %d", ckptName(ckpts[i]), lsn)
+		if meta.LSN != ckpts[i] {
+			return nil, fmt.Errorf("durable: checkpoint %s covers LSN %d", ckptName(ckpts[i]), meta.LSN)
 		}
-		e.srv, e.lsn = srv, lsn
+		e.srv, e.lsn = srv, meta.LSN
+		e.term, e.termStart = meta.Term, meta.TermStart
 		break
 	}
 	if e.srv == nil {
@@ -247,7 +251,67 @@ func (e *Engine) Dir() string { return e.dir }
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.stats
+	st := e.stats
+	st.Term = e.term
+	return st
+}
+
+// Term returns the engine's promotion (fencing) term: a monotonically
+// increasing epoch raised by SetTerm on a promotion and learned by followers
+// through replicated term records and checkpoints. Replication streams from
+// a lower term are stale — they come from a primary that was failed over —
+// and are rejected rather than applied.
+func (e *Engine) Term() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.term
+}
+
+// TermStart returns the log position where the current term began: the
+// position of the term-bump control record, or 0 for the initial term. A
+// node whose position exceeds another history's TermStart holds records that
+// history does not share, and must bootstrap from a checkpoint to rejoin it.
+func (e *Engine) TermStart() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.termStart
+}
+
+// ErrStaleTerm reports an attempt to move the engine to a term at or below
+// one it has already seen — the signature of a failed-over primary trying to
+// act on an old claim to leadership.
+var ErrStaleTerm = errors.New("durable: stale promotion term")
+
+// SetTerm raises the engine's promotion term, durably: the bump is logged as
+// a control record (occupying one log position, so it replicates to
+// followers like any mutation) before the in-memory term changes. Raising to
+// the current term is a no-op — promote retries must be idempotent — and a
+// lower term returns ErrStaleTerm.
+func (e *Engine) SetTerm(term uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closing {
+		return ErrClosed
+	}
+	if term < e.term {
+		return fmt.Errorf("%w: have term %d, refused %d", ErrStaleTerm, e.term, term)
+	}
+	if term == e.term {
+		return nil
+	}
+	pos := e.lsn // the control record's position
+	e.buf = appendTermOp(e.buf[:0], term)
+	if err := e.logLocked(e.buf); err != nil {
+		return err
+	}
+	// A term claim must survive a crash whatever the fsync policy: a
+	// promoted primary that forgot its term would resurrect as fenceable.
+	if err := e.syncLocked(); err != nil {
+		return err
+	}
+	e.term, e.termStart = term, pos
+	e.noteOpLocked()
+	return nil
 }
 
 // Upload durably stores one document: the mutation is logged (and synced,
@@ -413,14 +477,20 @@ func (s *memSnapshot) Export(fn func(*core.SearchIndex, *core.EncryptedDocument)
 // during materialization and rotation (the reported pause); searches and
 // fetches are never blocked, and the serialization overlaps normal service.
 // Checkpointing an unchanged engine is a no-op.
-func (e *Engine) Checkpoint() error {
+func (e *Engine) Checkpoint() error { return e.checkpoint(false) }
+
+// checkpoint implements Checkpoint; force writes a snapshot even when the
+// engine is unchanged since the last one (the bootstrap path needs a
+// checkpoint file to ship even from a fresh, empty directory).
+func (e *Engine) checkpoint(force bool) error {
 	e.ckptMu.Lock()
 	defer e.ckptMu.Unlock()
 
 	start := time.Now()
 	e.mu.Lock()
 	lsn := e.lsn
-	if lsn == e.stats.CheckpointLSN {
+	meta := store.CheckpointMeta{LSN: lsn, Term: e.term, TermStart: e.termStart}
+	if lsn == e.stats.CheckpointLSN && !force {
 		e.mu.Unlock()
 		return nil
 	}
@@ -431,7 +501,10 @@ func (e *Engine) Checkpoint() error {
 		snap.items = append(snap.items, snapItem{si: si, doc: doc})
 		return nil
 	})
-	if err == nil {
+	if err == nil && e.segStart != lsn {
+		// Skip rotation when the live segment already starts at the cut: a
+		// forced re-checkpoint of an unchanged engine would otherwise try to
+		// recreate the segment it is writing to.
 		err = e.rotateLocked(lsn)
 	}
 	pause := time.Since(start)
@@ -443,7 +516,7 @@ func (e *Engine) Checkpoint() error {
 
 	wstart := time.Now()
 	path := filepath.Join(e.dir, ckptName(lsn))
-	if err := store.SaveCheckpointFile(path, snap, lsn); err != nil {
+	if err := store.SaveCheckpointFile(path, snap, meta); err != nil {
 		return fmt.Errorf("durable: writing checkpoint: %w", err)
 	}
 	if err := syncDir(e.dir); err != nil {
@@ -614,7 +687,7 @@ func (e *Engine) replaySegment(path string, last bool) (stop bool, err error) {
 			}
 			return true, nil
 		}
-		if aerr := e.applyPayload(payload); aerr != nil {
+		if aerr := e.applyPayload(payload, e.lsn); aerr != nil {
 			return false, fmt.Errorf("durable: %s: applying record %d: %w", filepath.Base(path), e.lsn, aerr)
 		}
 		off += n
@@ -625,17 +698,18 @@ func (e *Engine) replaySegment(path string, last bool) (stop bool, err error) {
 	return false, nil
 }
 
-// applyPayload re-applies one logged mutation.
-func (e *Engine) applyPayload(payload []byte) error {
+// applyPayload re-applies one logged mutation. pos is the record's log
+// position (needed by term records, whose position becomes the term start).
+func (e *Engine) applyPayload(payload []byte, pos uint64) error {
 	op, err := decodeOp(payload)
 	if err != nil {
 		return err
 	}
-	return e.applyOp(op)
+	return e.applyOp(op, pos)
 }
 
 // applyOp applies one decoded mutation to the in-memory server.
-func (e *Engine) applyOp(op *walOp) error {
+func (e *Engine) applyOp(op *walOp, pos uint64) error {
 	switch op.kind {
 	case opDelete:
 		if err := e.srv.Delete(string(op.docID)); err != nil && !errors.Is(err, core.ErrNotFound) {
@@ -648,6 +722,15 @@ func (e *Engine) applyOp(op *walOp) error {
 			return err
 		}
 		return e.srv.Upload(si, doc)
+	case opTerm:
+		// Replaying (or receiving, via ApplyReplicated) a term bump adopts it.
+		// An equal-or-lower carried term is a no-op, not an error: checkpoints
+		// persist the term, so a replayed segment can legitimately carry bumps
+		// the checkpoint already covers.
+		if op.term > e.term {
+			e.term, e.termStart = op.term, pos
+		}
+		return nil
 	}
 	return fmt.Errorf("%w: unknown operation kind %d", ErrCorruptRecord, op.kind)
 }

@@ -220,6 +220,7 @@ func (e *Engine) ApplyReplicated(payload []byte) error {
 	if e.closing {
 		return ErrClosed
 	}
+	pos := e.lsn // this record's position
 	if err := e.logLocked(payload); err != nil {
 		return err
 	}
@@ -232,9 +233,33 @@ func (e *Engine) ApplyReplicated(payload []byte) error {
 		if err := e.srv.Upload(si, doc); err != nil {
 			return err // unreachable given the validation above
 		}
+	case opTerm:
+		// A replicated term bump is how a follower durably learns its
+		// primary's new term. Like SetTerm, it must survive a crash whatever
+		// the fsync policy — a follower that forgot the term would accept a
+		// zombie's stream after restarting.
+		if op.term > e.term {
+			if err := e.syncLocked(); err != nil {
+				return err
+			}
+			e.term, e.termStart = op.term, pos
+		}
 	}
 	e.noteOpLocked()
 	return nil
+}
+
+// BootstrapCheckpoint cuts a fresh checkpoint — even when the engine is
+// unchanged since the last one — and returns its raw bytes and covered
+// position. It is the primary's answer to a rejoining follower whose history
+// has diverged (its position exceeds the primary's term start): such a
+// follower cannot replay records and must be replaced wholesale via
+// ResetToCheckpoint.
+func (e *Engine) BootstrapCheckpoint() ([]byte, uint64, error) {
+	if err := e.checkpoint(true); err != nil {
+		return nil, 0, err
+	}
+	return e.ReadCheckpoint()
 }
 
 // ResetToCheckpoint replaces the engine's entire state — in memory and on
@@ -250,7 +275,7 @@ func (e *Engine) ResetToCheckpoint(data []byte, lsn uint64) error {
 	// Parse into a scratch server first: a malformed or mismatched snapshot
 	// must not destroy the local state it was meant to replace.
 	params := e.srv.Params()
-	loaded, gotLSN, err := store.LoadCheckpointBytes(data, func(p core.Params) (*core.Server, error) {
+	loaded, meta, err := store.LoadCheckpointBytes(data, func(p core.Params) (*core.Server, error) {
 		if !p.Equal(params) {
 			return nil, fmt.Errorf("durable: checkpoint parameters differ from this engine's (follower must be started with the primary's scheme parameters)")
 		}
@@ -259,8 +284,8 @@ func (e *Engine) ResetToCheckpoint(data []byte, lsn uint64) error {
 	if err != nil {
 		return fmt.Errorf("durable: bootstrap checkpoint: %w", err)
 	}
-	if gotLSN != lsn {
-		return fmt.Errorf("durable: bootstrap checkpoint covers position %d, primary announced %d", gotLSN, lsn)
+	if meta.LSN != lsn {
+		return fmt.Errorf("durable: bootstrap checkpoint covers position %d, primary announced %d", meta.LSN, lsn)
 	}
 
 	e.ckptMu.Lock()
@@ -311,6 +336,9 @@ func (e *Engine) ResetToCheckpoint(data []byte, lsn uint64) error {
 	e.segStart = lsn
 	e.segSize = 0
 	e.lsn = lsn
+	// The checkpoint replaces the whole local history, term included — the
+	// shipped snapshot is now this engine's only provenance.
+	e.term, e.termStart = meta.Term, meta.TermStart
 	e.opsSinceCkpt = 0
 	e.dirty = false
 	e.broken = false

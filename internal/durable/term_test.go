@@ -1,0 +1,186 @@
+package durable
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// A term raised by SetTerm must survive a crash — via WAL replay of the term
+// control record — whatever the fsync policy, and the engine must refuse to
+// move backwards.
+func TestSetTermSurvivesCrash(t *testing.T) {
+	p := testParams()
+	rng := rand.New(rand.NewSource(71))
+	dir := t.TempDir()
+	e, err := Open(dir, p, Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := genOps(rng, p, 6)
+	applyOps(t, e, ops[:4])
+	wantStart := e.Position()
+	if err := e.SetTerm(3); err != nil {
+		t.Fatalf("SetTerm(3): %v", err)
+	}
+	applyOps(t, e, ops[4:])
+
+	// Idempotent retry and stale refusal.
+	if err := e.SetTerm(3); err != nil {
+		t.Fatalf("SetTerm(3) retry: %v", err)
+	}
+	if err := e.SetTerm(2); !errors.Is(err, ErrStaleTerm) {
+		t.Fatalf("SetTerm(2) = %v, want ErrStaleTerm", err)
+	}
+	if got := e.Term(); got != 3 {
+		t.Fatalf("Term = %d, want 3", got)
+	}
+	if got := e.TermStart(); got != wantStart {
+		t.Fatalf("TermStart = %d, want %d", got, wantStart)
+	}
+
+	e.Crash()
+	re, err := Open(dir, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Term(); got != 3 {
+		t.Fatalf("recovered Term = %d, want 3 (term record not replayed?)", got)
+	}
+	if got := re.TermStart(); got != wantStart {
+		t.Fatalf("recovered TermStart = %d, want %d", got, wantStart)
+	}
+	// The control record occupies a position: 6 mutations + 1 term record.
+	if got := re.Position(); got != uint64(len(ops))+1 {
+		t.Fatalf("recovered position = %d, want %d", got, len(ops)+1)
+	}
+	if got := re.Stats().Term; got != 3 {
+		t.Fatalf("Stats().Term = %d, want 3", got)
+	}
+}
+
+// A term must also survive through a checkpoint alone: Close checkpoints and
+// prunes the log, so the only surviving copy is the checkpoint metadata.
+func TestTermSurvivesCheckpointedClose(t *testing.T) {
+	p := testParams()
+	rng := rand.New(rand.NewSource(72))
+	dir := t.TempDir()
+	e, err := Open(dir, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyOps(t, e, genOps(rng, p, 5))
+	wantStart := e.Position()
+	if err := e.SetTerm(9); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Stats().ReplayedOps != 0 {
+		t.Fatalf("replayed %d ops after a clean close", re.Stats().ReplayedOps)
+	}
+	if got := re.Term(); got != 9 {
+		t.Fatalf("Term = %d, want 9 (checkpoint metadata lost it)", got)
+	}
+	if got := re.TermStart(); got != wantStart {
+		t.Fatalf("TermStart = %d, want %d", got, wantStart)
+	}
+}
+
+// The term record ships to followers like any mutation and raises their term
+// when applied.
+func TestApplyReplicatedTermRecord(t *testing.T) {
+	p := testParams()
+	rng := rand.New(rand.NewSource(73))
+	primary, err := Open(t.TempDir(), p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	follower, err := Open(t.TempDir(), p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+
+	applyOps(t, primary, genOps(rng, p, 4))
+	if err := primary.SetTerm(5); err != nil {
+		t.Fatal(err)
+	}
+	records, next, err := primary.ReadWAL(0, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != primary.Position() {
+		t.Fatalf("ReadWAL next = %d, want %d", next, primary.Position())
+	}
+	for i, rec := range records {
+		if err := follower.ApplyReplicated(rec); err != nil {
+			t.Fatalf("ApplyReplicated record %d: %v", i, err)
+		}
+	}
+	if got := follower.Term(); got != 5 {
+		t.Fatalf("follower Term = %d, want 5", got)
+	}
+	if got, want := follower.TermStart(), primary.TermStart(); got != want {
+		t.Fatalf("follower TermStart = %d, want %d", got, want)
+	}
+	if got, want := follower.Position(), primary.Position(); got != want {
+		t.Fatalf("follower position = %d, want %d", got, want)
+	}
+}
+
+// BootstrapCheckpoint forces a cut even on an unchanged engine, and a
+// follower resetting to it adopts the checkpoint's term wholesale.
+func TestBootstrapCheckpointCarriesTerm(t *testing.T) {
+	p := testParams()
+	rng := rand.New(rand.NewSource(74))
+	primary, err := Open(t.TempDir(), p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	applyOps(t, primary, genOps(rng, p, 4))
+	if err := primary.SetTerm(7); err != nil {
+		t.Fatal(err)
+	}
+	// First cut covers everything; a second forced cut must still produce a
+	// checkpoint (the no-op path would starve a bootstrapping follower).
+	if err := primary.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	data, lsn, err := primary.BootstrapCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != primary.Position() {
+		t.Fatalf("bootstrap checkpoint at %d, want %d", lsn, primary.Position())
+	}
+
+	follower, err := Open(t.TempDir(), p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	// Give the follower a diverged history the reset must wipe, term included.
+	applyOps(t, follower, genOps(rng, p, 2))
+	if err := follower.ResetToCheckpoint(data, lsn); err != nil {
+		t.Fatal(err)
+	}
+	if got := follower.Term(); got != 7 {
+		t.Fatalf("follower Term after reset = %d, want 7", got)
+	}
+	if got, want := follower.TermStart(), primary.TermStart(); got != want {
+		t.Fatalf("follower TermStart after reset = %d, want %d", got, want)
+	}
+	if got, want := follower.Server().NumDocuments(), primary.Server().NumDocuments(); got != want {
+		t.Fatalf("follower holds %d documents after reset, want %d", got, want)
+	}
+}

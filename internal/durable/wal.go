@@ -81,6 +81,12 @@ func DecodeRecord(b []byte) (payload []byte, n int, err error) {
 const (
 	opUpload byte = 1
 	opDelete byte = 2
+	// opTerm is a control record: the engine's promotion (fencing) term was
+	// raised to the carried value at this log position. It mutates no
+	// documents, but it occupies a position like any record, so it ships to
+	// followers through the ordinary replication stream — which is how a
+	// follower durably learns the new term after a promotion.
+	opTerm byte = 3
 )
 
 // walOp is one decoded mutation. Byte fields alias the decode buffer.
@@ -90,6 +96,7 @@ type walOp struct {
 	levels     [][]byte // marshaled bitindex vectors, one per ranking level
 	ciphertext []byte
 	encKey     []byte
+	term       uint64 // opTerm only
 }
 
 // appendUploadOp encodes an upload mutation onto dst.
@@ -110,6 +117,12 @@ func appendDeleteOp(dst []byte, docID string) []byte {
 	return appendField(dst, []byte(docID))
 }
 
+// appendTermOp encodes a term-bump control record onto dst.
+func appendTermOp(dst []byte, term uint64) []byte {
+	dst = append(dst, opTerm)
+	return binary.LittleEndian.AppendUint64(dst, term)
+}
+
 func appendField(dst, b []byte) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b)))
 	return append(dst, b...)
@@ -122,6 +135,13 @@ func decodeOp(b []byte) (*walOp, error) {
 	}
 	op := &walOp{kind: b[0]}
 	rest := b[1:]
+	if op.kind == opTerm {
+		if len(rest) != 8 {
+			return nil, fmt.Errorf("%w: term record of %d payload bytes", ErrCorruptRecord, len(rest))
+		}
+		op.term = binary.LittleEndian.Uint64(rest)
+		return op, nil
+	}
 	var err error
 	if op.docID, rest, err = cutField(rest); err != nil {
 		return nil, err

@@ -1,0 +1,181 @@
+// Package faultnet is a fault-injecting TCP proxy for failure-mode tests: it
+// forwards bytes between clients and a target address until told to stall
+// (hold every byte without closing anything — a network partition with
+// half-open connections) or sever (cut every connection and refuse new
+// ones — a crashed host). Faults apply to live connections, not just new
+// ones, which is what lets a test freeze an established replication stream
+// mid-flight.
+package faultnet
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Proxy forwards TCP connections to a target, injecting faults on command.
+type Proxy struct {
+	target string
+	l      net.Listener
+
+	mu      sync.Mutex
+	cond    *sync.Cond // broadcast on every state change
+	stalled bool
+	severed bool
+	closed  bool
+	conns   map[net.Conn]struct{} // both legs of every live connection
+
+	wg sync.WaitGroup
+}
+
+// Listen starts a proxy on an ephemeral localhost port forwarding to target.
+func Listen(target string) (*Proxy, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("faultnet: %w", err)
+	}
+	p := &Proxy{target: target, l: l, conns: make(map[net.Conn]struct{})}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address — the address to hand to the
+// component whose link is under test.
+func (p *Proxy) Addr() string { return p.l.Addr().String() }
+
+// Target returns the address the proxy forwards to.
+func (p *Proxy) Target() string { return p.target }
+
+// Stall freezes the proxy: established connections stay open but no byte
+// moves in either direction until Resume. New connections are accepted and
+// immediately freeze too — the half-open-network failure mode.
+func (p *Proxy) Stall() {
+	p.mu.Lock()
+	p.stalled = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// Sever cuts the proxy: every live connection is closed and new ones are
+// accepted and dropped until Resume — the crashed-host failure mode.
+func (p *Proxy) Sever() {
+	p.mu.Lock()
+	p.severed = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// Resume lifts any stall or sever: stalled bytes flow again, new
+// connections forward normally. Connections cut by Sever stay cut — their
+// owners must reconnect.
+func (p *Proxy) Resume() {
+	p.mu.Lock()
+	p.stalled = false
+	p.severed = false
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// Close shuts the proxy down, cutting every connection.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.l.Close()
+	p.wg.Wait()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.l.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.closed || p.severed {
+			p.mu.Unlock()
+			client.Close()
+			continue
+		}
+		p.mu.Unlock()
+		upstream, err := net.Dial("tcp", p.target)
+		if err != nil {
+			client.Close()
+			continue
+		}
+		p.track(client)
+		p.track(upstream)
+		p.wg.Add(2)
+		go p.pump(upstream, client)
+		go p.pump(client, upstream)
+	}
+}
+
+func (p *Proxy) track(c net.Conn) {
+	p.mu.Lock()
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+	c.Close()
+}
+
+// pump copies src→dst one read at a time, consulting the fault gate before
+// every write so a Stall freezes data already in flight.
+func (p *Proxy) pump(dst, src net.Conn) {
+	defer p.wg.Done()
+	defer p.untrack(src)
+	defer p.untrack(dst)
+	buf := make([]byte, 32<<10)
+	for {
+		n, rerr := src.Read(buf)
+		if n > 0 {
+			if !p.gate() {
+				return
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if rerr != nil {
+			if rerr != io.EOF {
+				return
+			}
+			// Half-close: let the other pump finish independently.
+			if tc, ok := dst.(*net.TCPConn); ok {
+				tc.CloseWrite()
+			}
+			return
+		}
+	}
+}
+
+// gate blocks while the proxy is stalled and reports whether forwarding may
+// proceed (false: severed or closed — drop the connection).
+func (p *Proxy) gate() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.stalled && !p.severed && !p.closed {
+		p.cond.Wait()
+	}
+	return !p.severed && !p.closed
+}

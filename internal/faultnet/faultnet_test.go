@@ -1,0 +1,112 @@
+package faultnet
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// startEcho runs a TCP echo server and returns its address.
+func startEcho(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				buf := make([]byte, 1024)
+				for {
+					n, err := c.Read(buf)
+					if n > 0 {
+						if _, werr := c.Write(buf[:n]); werr != nil {
+							return
+						}
+					}
+					if err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return l.Addr().String()
+}
+
+func echoOnce(t *testing.T, conn net.Conn, msg string) error {
+	t.Helper()
+	if _, err := conn.Write([]byte(msg)); err != nil {
+		return err
+	}
+	conn.SetReadDeadline(time.Now().Add(500 * time.Millisecond))
+	buf := make([]byte, len(msg))
+	_, err := conn.Read(buf)
+	return err
+}
+
+func TestProxyForwardsStallsAndSevers(t *testing.T) {
+	p, err := Listen(startEcho(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := echoOnce(t, conn, "hello"); err != nil {
+		t.Fatalf("echo through healthy proxy: %v", err)
+	}
+
+	// Stall: the connection stays open but bytes freeze...
+	p.Stall()
+	if err := echoOnce(t, conn, "frozen"); err == nil {
+		t.Fatal("bytes flowed through a stalled proxy")
+	}
+	// ...and Resume releases the bytes held in flight.
+	p.Resume()
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 6)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatalf("stalled bytes were not delivered after Resume: %v", err)
+	}
+
+	// Sever: live connections are cut and new ones refused.
+	p.Sever()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := echoOnce(t, conn, "dead"); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("severed connection kept echoing")
+		}
+	}
+	c2, err := net.Dial("tcp", p.Addr())
+	if err == nil {
+		if err := echoOnce(t, c2, "nope"); err == nil {
+			t.Fatal("new connection echoed through a severed proxy")
+		}
+		c2.Close()
+	}
+
+	// Resume restores service for fresh connections.
+	p.Resume()
+	c3, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	if err := echoOnce(t, c3, "again"); err != nil {
+		t.Fatalf("echo after Resume: %v", err)
+	}
+}

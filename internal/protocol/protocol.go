@@ -103,13 +103,39 @@ type Message struct {
 	ReplicaStatusReq  *ReplicaStatusRequest
 	ReplicaStatusResp *ReplicaStatusResponse
 
+	PromoteReq  *PromoteRequest
+	PromoteResp *PromoteResponse
+
+	ReconfigureReq  *ReconfigureRequest
+	ReconfigureResp *ReconfigureResponse
+
 	StatsReq  *StatsRequest
 	StatsResp *StatsResponse
 }
 
-// ErrorMsg reports a request failure.
+// Error codes carried in ErrorMsg.Code, for rejections a caller must react
+// to mechanically rather than display. Absent (empty) on ordinary failures.
+const (
+	// CodeStaleTerm rejects a request or stream authenticated by a promotion
+	// term older than the receiver's — the sender was failed over and must
+	// demote itself.
+	CodeStaleTerm = "stale-term"
+	// CodeDiverged rejects a replication subscribe whose position lies past
+	// the primary's current term start: the follower holds records this
+	// history does not share and must bootstrap from a checkpoint.
+	CodeDiverged = "diverged"
+	// CodeReadOnly rejects a mutation sent to a demoted (fenced) daemon. A
+	// failover-aware client treats it like a transport failure: re-probe the
+	// replica set for the new primary.
+	CodeReadOnly = "read-only"
+)
+
+// ErrorMsg reports a request failure. Code, when set, is one of the Code*
+// constants and tells a failover-aware peer how to react; Text is for
+// humans.
 type ErrorMsg struct {
 	Text string
+	Code string
 }
 
 // PublicKeyWire carries an RSA public key.
@@ -286,6 +312,16 @@ type SearchBatchResponse struct {
 // follower sends ReplicaAckMsg back on the same connection.
 type ReplicaSubscribeRequest struct {
 	From uint64
+	// Term is the follower's promotion term. A primary whose own term is
+	// lower has been failed over: it refuses the stream with CodeStaleTerm
+	// and demotes itself. (Zero-valued on pre-failover followers, which any
+	// term accepts.)
+	Term uint64
+	// Bootstrap asks the primary to ship a full checkpoint instead of log
+	// records, wiping the follower's history. A follower sets it after a
+	// CodeDiverged rejection told it its log is not a prefix of the
+	// primary's.
+	Bootstrap bool
 }
 
 // ReplicaSubscribeResponse opens the primary's side of the stream. If the
@@ -298,6 +334,8 @@ type ReplicaSubscribeResponse struct {
 	SnapshotLSN  uint64
 	SnapshotSize int    // total checkpoint bytes to follow; 0 = no bootstrap
 	Position     uint64 // primary position at subscribe time
+	Term         uint64 // primary promotion term; followers reject lower-term streams
+	TermStart    uint64 // position where the primary's term began (divergence boundary)
 }
 
 // ReplicaSnapshotChunk carries one slice of the bootstrap checkpoint, in
@@ -317,13 +355,17 @@ type ReplicaRecordBatch struct {
 	From     uint64
 	Records  [][]byte
 	Position uint64
+	Term     uint64 // sender's promotion term; a follower on a higher term stops applying
 }
 
 // ReplicaAckMsg reports the follower's durably applied position back to the
 // primary, which exposes it as that follower's acknowledged position (the
 // basis of lag reporting). Sent after each applied batch and heartbeat.
+// Term is the follower's promotion term: a primary that hears a higher term
+// in an ack has been failed over behind its back and demotes itself.
 type ReplicaAckMsg struct {
 	Position uint64
+	Term     uint64
 }
 
 // ReplicaStatusRequest asks any cloud daemon where it stands in the
@@ -350,7 +392,42 @@ type ReplicaStatusResponse struct {
 	Connected       bool
 	Position        uint64
 	PrimaryPosition uint64
+	Term            uint64 // the daemon's promotion (fencing) term
 	Followers       []FollowerWire
+}
+
+// PromoteRequest flips a live follower to primary in place: stop following,
+// raise the promotion term to Term, start accepting writes. Term is the
+// caller's (the observer's) claim — it must exceed the daemon's current
+// term, or the promote is rejected with CodeStaleTerm. Re-sending the same
+// term is idempotent, so a promote interrupted by a crash can be retried.
+type PromoteRequest struct {
+	Term uint64
+}
+
+// PromoteResponse acknowledges a promotion with the daemon's resulting term
+// and log position (the new term's start — the divergence boundary for
+// rejoining nodes).
+type PromoteResponse struct {
+	Term     uint64
+	Position uint64
+}
+
+// ReconfigureRequest repoints a daemon at a new primary. Term authenticates
+// the instruction: a daemon whose own term exceeds it rejects with
+// CodeStaleTerm (the instruction is from a stale observer view). A follower
+// drops its stream and re-subscribes to Primary; an old primary receiving
+// this learns it was failed over, demotes itself to read-only, and rejoins
+// as a follower of Primary. An empty Primary detaches the daemon into
+// standalone (no-replication) mode.
+type ReconfigureRequest struct {
+	Primary string
+	Term    uint64
+}
+
+// ReconfigureResponse acknowledges a reconfiguration.
+type ReconfigureResponse struct {
+	Term uint64 // the daemon's term after applying the instruction
 }
 
 // StatsRequest asks a cloud daemon for its operational counters: one
@@ -388,6 +465,7 @@ type StatsResponse struct {
 	Replica          bool
 	ReplicaConnected bool
 	PrimaryPosition  uint64
+	Term             uint64 // promotion (fencing) term; bumps on every failover
 
 	Cache CacheStatsWire
 }
@@ -442,6 +520,7 @@ func (c *Conn) Recv() (*Message, error) {
 // is.
 type RemoteError struct {
 	Text string
+	Code string // machine-readable rejection class (Code* constants), if any
 }
 
 // Error renders the rejection with the same text errors.Is-style callers
@@ -461,7 +540,7 @@ func (c *Conn) Roundtrip(m *Message) (*Message, error) {
 		return nil, err
 	}
 	if resp.Error != nil {
-		return nil, &RemoteError{Text: resp.Error.Text}
+		return nil, &RemoteError{Text: resp.Error.Text, Code: resp.Error.Code}
 	}
 	return resp, nil
 }

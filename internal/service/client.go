@@ -17,6 +17,12 @@ import (
 // primary before the client routes its reads back to the primary.
 const DefaultMaxReplicaLag = 1024
 
+// DialTimeout bounds every owner/cloud connection attempt this package
+// makes (Dial, the raw owner-side helpers, replication streams, and the
+// failover verbs), so a black-holed address fails fast instead of hanging
+// for the kernel's connect timeout. Override before dialing.
+var DialTimeout = 5 * time.Second
+
 // replicaDialTimeout bounds connection attempts to read replicas. It is
 // deliberately short — the dial happens on the read path, and the primary
 // is always there to fall back to.
@@ -59,6 +65,7 @@ type Client struct {
 	cloudConn *protocol.Conn
 	ownerRaw  net.Conn
 	cloudRaw  net.Conn
+	cloudAddr string
 	user      *core.User
 
 	replicas []*readReplica
@@ -81,11 +88,11 @@ type readReplica struct {
 // data owner, receiving the scheme parameters, the owner's public key and
 // the random-keyword trapdoors.
 func Dial(userID, ownerAddr, cloudAddr string) (*Client, error) {
-	oc, err := net.Dial("tcp", ownerAddr)
+	oc, err := net.DialTimeout("tcp", ownerAddr, DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("service: dialing owner: %w", err)
 	}
-	cc, err := net.Dial("tcp", cloudAddr)
+	cc, err := net.DialTimeout("tcp", cloudAddr, DialTimeout)
 	if err != nil {
 		oc.Close()
 		return nil, fmt.Errorf("service: dialing cloud: %w", err)
@@ -96,6 +103,7 @@ func Dial(userID, ownerAddr, cloudAddr string) (*Client, error) {
 		cloudConn: protocol.NewConn(cc),
 		ownerRaw:  oc,
 		cloudRaw:  cc,
+		cloudAddr: cloudAddr,
 	}
 	if err := c.enroll(); err != nil {
 		c.Close()
@@ -222,11 +230,69 @@ func (c *Client) readRoundtrip(m *protocol.Message) (*protocol.Message, error) {
 		}
 		c.dropReplicaLocked(r)
 	}
-	resp, err := c.cloudConn.Roundtrip(m)
+	resp, err := c.primaryRoundtripLocked(m)
 	if err == nil {
 		c.countReadLocked("primary")
 	}
 	return resp, err
+}
+
+// primaryRoundtripLocked sends a request on the primary connection,
+// following the topology when the primary is gone: a transport failure, or
+// a read-only rejection from a daemon that was fenced out of the primary
+// role, triggers one probe of the replica set for the promoted survivor and
+// one retry against it. Ordinary remote rejections pass through untouched —
+// any server would reject those. Caller holds c.mu.
+func (c *Client) primaryRoundtripLocked(m *protocol.Message) (*protocol.Message, error) {
+	resp, err := c.cloudConn.Roundtrip(m)
+	if err == nil {
+		return resp, nil
+	}
+	var remote *protocol.RemoteError
+	if errors.As(err, &remote) && remote.Code != protocol.CodeReadOnly {
+		return nil, err
+	}
+	if ferr := c.followPrimaryLocked(); ferr != nil {
+		return nil, err // the original failure describes the outage best
+	}
+	return c.cloudConn.Roundtrip(m)
+}
+
+// followPrimaryLocked re-discovers the primary after losing it: it probes
+// every known replica address for a durable daemon that no longer calls
+// itself a replica — the promoted survivor — preferring the highest
+// promotion term, and repoints the primary connection there. Caller holds
+// c.mu.
+func (c *Client) followPrimaryLocked() error {
+	var bestAddr string
+	var bestTerm uint64
+	found := false
+	for _, r := range c.replicas {
+		if r.addr == c.cloudAddr {
+			continue
+		}
+		st, err := FetchReplicaStatus(r.addr)
+		if err != nil || !st.Durable || st.Replica {
+			continue
+		}
+		if !found || st.Term > bestTerm {
+			found, bestAddr, bestTerm = true, r.addr, st.Term
+		}
+	}
+	if !found {
+		return errors.New("service: no promoted primary found among the replica set")
+	}
+	raw, err := net.DialTimeout("tcp", bestAddr, DialTimeout)
+	if err != nil {
+		return err
+	}
+	if c.cloudRaw != nil {
+		c.cloudRaw.Close()
+	}
+	c.cloudRaw = raw
+	c.cloudConn = protocol.NewConn(raw)
+	c.cloudAddr = bestAddr
+	return nil
 }
 
 // pickReplicaLocked rotates over the replica set and returns the first one
@@ -499,7 +565,7 @@ func KeywordUnion(queries [][]string) []string {
 func (c *Client) Retrieve(docID string) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	resp, err := c.cloudConn.Roundtrip(&protocol.Message{FetchReq: &protocol.FetchRequest{DocID: docID}})
+	resp, err := c.primaryRoundtripLocked(&protocol.Message{FetchReq: &protocol.FetchRequest{DocID: docID}})
 	if err != nil {
 		return nil, fmt.Errorf("service: fetch: %w", err)
 	}
@@ -539,7 +605,7 @@ func (c *Client) Retrieve(docID string) ([]byte, error) {
 func (c *Client) Stats() (*protocol.StatsResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	resp, err := c.cloudConn.Roundtrip(&protocol.Message{StatsReq: &protocol.StatsRequest{}})
+	resp, err := c.primaryRoundtripLocked(&protocol.Message{StatsReq: &protocol.StatsRequest{}})
 	if err != nil {
 		return nil, fmt.Errorf("service: stats: %w", err)
 	}
@@ -553,7 +619,7 @@ func (c *Client) Stats() (*protocol.StatsResponse, error) {
 // operational counters without enrolling a user — the operator's one-shot
 // introspection path, mirroring UploadAll/DeleteAll's raw dials.
 func FetchStats(cloudAddr string) (*protocol.StatsResponse, error) {
-	conn, err := net.Dial("tcp", cloudAddr)
+	conn, err := net.DialTimeout("tcp", cloudAddr, DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("service: dialing cloud: %w", err)
 	}
@@ -574,7 +640,7 @@ func FetchStats(cloudAddr string) (*protocol.StatsResponse, error) {
 func (c *Client) Delete(docID string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	resp, err := c.cloudConn.Roundtrip(&protocol.Message{DeleteReq: &protocol.DeleteRequest{DocID: docID}})
+	resp, err := c.primaryRoundtripLocked(&protocol.Message{DeleteReq: &protocol.DeleteRequest{DocID: docID}})
 	if err != nil {
 		return fmt.Errorf("service: delete: %w", err)
 	}
@@ -587,7 +653,7 @@ func (c *Client) Delete(docID string) error {
 // DeleteAll removes documents from the cloud daemon by ID — the owner-side
 // retraction mirroring UploadAll.
 func DeleteAll(cloudAddr string, docIDs []string) error {
-	conn, err := net.Dial("tcp", cloudAddr)
+	conn, err := net.DialTimeout("tcp", cloudAddr, DialTimeout)
 	if err != nil {
 		return fmt.Errorf("service: dialing cloud: %w", err)
 	}
@@ -608,7 +674,7 @@ func DeleteAll(cloudAddr string, docIDs []string) error {
 // UploadAll pushes prepared documents from the owner to the cloud daemon —
 // the owner-side upload of Figure 1's offline stage.
 func UploadAll(cloudAddr string, items []UploadItem) error {
-	conn, err := net.Dial("tcp", cloudAddr)
+	conn, err := net.DialTimeout("tcp", cloudAddr, DialTimeout)
 	if err != nil {
 		return fmt.Errorf("service: dialing cloud: %w", err)
 	}
@@ -639,4 +705,61 @@ func UploadAll(cloudAddr string, items []UploadItem) error {
 type UploadItem struct {
 	Index *core.SearchIndex
 	Doc   *core.EncryptedDocument
+}
+
+// FetchReplicaStatus asks any cloud daemon where it stands in the
+// replicated log — position, term, role, and connected followers — in one
+// raw round trip.
+func FetchReplicaStatus(cloudAddr string) (*protocol.ReplicaStatusResponse, error) {
+	conn, err := net.DialTimeout("tcp", cloudAddr, DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("service: dialing cloud: %w", err)
+	}
+	defer conn.Close()
+	resp, err := protocol.NewConn(conn).Roundtrip(&protocol.Message{ReplicaStatusReq: &protocol.ReplicaStatusRequest{}})
+	if err != nil {
+		return nil, fmt.Errorf("service: replica status: %w", err)
+	}
+	if resp.ReplicaStatusResp == nil {
+		return nil, fmt.Errorf("service: replica status response missing")
+	}
+	return resp.ReplicaStatusResp, nil
+}
+
+// Promote asks the daemon at cloudAddr to become primary at the given
+// promotion term (see protocol.PromoteRequest). The term must exceed the
+// daemon's current one; retries of the same term are idempotent.
+func Promote(cloudAddr string, term uint64) (*protocol.PromoteResponse, error) {
+	conn, err := net.DialTimeout("tcp", cloudAddr, DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("service: dialing cloud: %w", err)
+	}
+	defer conn.Close()
+	resp, err := protocol.NewConn(conn).Roundtrip(&protocol.Message{PromoteReq: &protocol.PromoteRequest{Term: term}})
+	if err != nil {
+		return nil, fmt.Errorf("service: promote: %w", err)
+	}
+	if resp.PromoteResp == nil {
+		return nil, fmt.Errorf("service: promote response missing")
+	}
+	return resp.PromoteResp, nil
+}
+
+// Reconfigure repoints the daemon at cloudAddr to follow primaryAddr (or
+// detaches it into standalone mode when primaryAddr is empty), authenticated
+// by the promotion term of the failover that motivated it.
+func Reconfigure(cloudAddr, primaryAddr string, term uint64) error {
+	conn, err := net.DialTimeout("tcp", cloudAddr, DialTimeout)
+	if err != nil {
+		return fmt.Errorf("service: dialing cloud: %w", err)
+	}
+	defer conn.Close()
+	resp, err := protocol.NewConn(conn).Roundtrip(&protocol.Message{ReconfigureReq: &protocol.ReconfigureRequest{Primary: primaryAddr, Term: term}})
+	if err != nil {
+		return fmt.Errorf("service: reconfigure: %w", err)
+	}
+	if resp.ReconfigureResp == nil {
+		return fmt.Errorf("service: reconfigure response missing")
+	}
+	return nil
 }

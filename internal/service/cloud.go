@@ -9,6 +9,7 @@ import (
 
 	"mkse/internal/bitindex"
 	"mkse/internal/core"
+	"mkse/internal/durable"
 	"mkse/internal/protocol"
 	"mkse/internal/qcache"
 )
@@ -49,10 +50,21 @@ type CloudService struct {
 	// followers over the replication verbs (any durably backed daemon can;
 	// set it to the same durable engine as Store).
 	WAL WALSource
+	// Eng, when set, enables the failover verbs (Promote, Reconfigure):
+	// promotion needs the concrete durable engine — its term must be raised
+	// and a replacement replication stream started against it. Set it to the
+	// same engine as Store/WAL.
+	Eng *durable.Engine
 	// Replica, when set, marks this daemon a read-only follower: uploads
 	// and deletions are rejected — its state is fed exclusively by the
-	// replication stream — and status replies report the stream's lag.
+	// replication stream — and status replies report the stream's lag. Set
+	// it before Serve; afterwards the Promote and Reconfigure verbs mutate
+	// it under the service's lock (use replica() to read it).
 	Replica *Replica
+	// IdleTimeout, when non-zero, bounds how long a connection may sit
+	// between requests before it is dropped (replication streams, which own
+	// their connection, are exempt).
+	IdleTimeout time.Duration
 	// Cache, when set, memoizes Search/SearchBatch results keyed by query
 	// fingerprint and validated against Server's mutation epoch — repeated
 	// queries skip the arena scan entirely. A nil Cache disables caching.
@@ -64,8 +76,64 @@ type CloudService struct {
 	HeartbeatEvery time.Duration
 	Logger         *log.Logger // optional
 
-	replMu    sync.Mutex // guards followers
+	replMu    sync.Mutex // guards followers, Replica (post-Serve) and demoted
 	followers map[*follower]struct{}
+	// demoted marks a fenced ex-primary: a peer presented a higher promotion
+	// term, so this daemon stops accepting writes until a Reconfigure or
+	// Promote puts it back into a defined role.
+	demoted bool
+
+	// failMu serializes the failover verbs (Promote, Reconfigure) so an
+	// observer retry cannot interleave with a promotion in flight.
+	failMu sync.Mutex
+
+	tracker connTracker
+}
+
+// replica returns the daemon's current follower stream, if any. Handlers
+// must use this accessor rather than the field: Promote and Reconfigure
+// swap the field at runtime.
+func (s *CloudService) replica() *Replica {
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	return s.Replica
+}
+
+// CurrentReplica returns the daemon's follower stream, if any, reflecting
+// runtime role changes — after a Promote the construction-time Replica
+// field is stale. Shutdown paths should close what this returns.
+func (s *CloudService) CurrentReplica() *Replica {
+	return s.replica()
+}
+
+// isDemoted reports whether this daemon has been fenced (see demoted).
+func (s *CloudService) isDemoted() bool {
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	return s.demoted
+}
+
+// fence demotes this daemon to read-only after a peer presented peerTerm,
+// above our own: some follower was promoted while we were isolated, and
+// accepting further writes would fork the history.
+func (s *CloudService) fence(peerTerm uint64) {
+	s.replMu.Lock()
+	already := s.demoted
+	s.demoted = true
+	s.replMu.Unlock()
+	if !already {
+		logf(s.Logger, "cloud: fenced: a peer is at promotion term %d, above ours — this server was failed over; demoting to read-only", peerTerm)
+	}
+}
+
+// Drain gracefully winds the service down after its listener has been
+// closed: it waits up to timeout for in-flight connections to finish, then
+// force-closes the rest. The storage engine is untouched — closing it is
+// the caller's job, after Drain returns.
+func (s *CloudService) Drain(timeout time.Duration) {
+	if cut := s.tracker.drain(timeout); cut > 0 {
+		logf(s.Logger, "cloud: drain window elapsed, cut %d connection(s)", cut)
+	}
 }
 
 // backend returns the mutation sink: Store when configured, else Server.
@@ -78,7 +146,7 @@ func (s *CloudService) backend() Backend {
 
 // Serve accepts connections on l until it is closed.
 func (s *CloudService) Serve(l net.Listener) error {
-	return serveLoop(l, s.Logger, func(pc *protocol.Conn, conn net.Conn, m *protocol.Message) *protocol.Message {
+	return serveLoop(l, s.Logger, s.IdleTimeout, &s.tracker, func(pc *protocol.Conn, conn net.Conn, m *protocol.Message) *protocol.Message {
 		switch {
 		case m.UploadReq != nil:
 			return s.handleUpload(m.UploadReq)
@@ -94,20 +162,101 @@ func (s *CloudService) Serve(l net.Listener) error {
 			return s.handleStats()
 		case m.ReplicaSubscribeReq != nil:
 			// Takes over the connection for the stream's lifetime; a nil
-			// return tells serveLoop the conversation is over.
+			// return tells serveLoop the conversation is over. The stream
+			// has its own liveness protocol (acks against heartbeats), so
+			// the per-request idle deadline comes off.
+			conn.SetReadDeadline(time.Time{})
 			s.handleReplicaSubscribe(pc, conn.RemoteAddr().String(), m.ReplicaSubscribeReq)
 			return nil
 		case m.ReplicaStatusReq != nil:
 			return s.handleReplicaStatus()
+		case m.PromoteReq != nil:
+			return s.handlePromote(m.PromoteReq)
+		case m.ReconfigureReq != nil:
+			return s.handleReconfigure(m.ReconfigureReq)
 		default:
 			return errMsg(fmt.Errorf("cloud: unsupported request"))
 		}
 	})
 }
 
+// handlePromote flips this daemon to primary in place: stop following, raise
+// the engine's promotion term to the observer's claimed term, and start
+// accepting writes. The order is load-bearing — the replica stream is fully
+// stopped (Close blocks until in-flight applies return) before the term is
+// bumped, and writes are only admitted after the bump, so no replicated
+// record can land after the term record and no local write can precede it.
+// Re-promoting to the current term is idempotent, letting an observer retry
+// a promote whose acknowledgement it lost.
+func (s *CloudService) handlePromote(req *protocol.PromoteRequest) *protocol.Message {
+	if s.Eng == nil {
+		return errMsg(fmt.Errorf("cloud: this server has no durable engine to promote (start it with -data)"))
+	}
+	s.failMu.Lock()
+	defer s.failMu.Unlock()
+	if cur := s.Eng.Term(); req.Term < cur {
+		return errMsgCode(protocol.CodeStaleTerm, fmt.Errorf("cloud: promote to term %d refused, already at term %d", req.Term, cur))
+	}
+	if r := s.replica(); r != nil {
+		r.Close()
+	}
+	if err := s.Eng.SetTerm(req.Term); err != nil {
+		return errMsgCode(protocol.CodeStaleTerm, fmt.Errorf("cloud: promote: %w", err))
+	}
+	s.replMu.Lock()
+	s.Replica = nil
+	s.demoted = false
+	s.replMu.Unlock()
+	logf(s.Logger, "cloud: promoted to primary at term %d (term starts at position %d)", s.Eng.Term(), s.Eng.TermStart())
+	return &protocol.Message{PromoteResp: &protocol.PromoteResponse{
+		Term:     s.Eng.Term(),
+		Position: s.Eng.TermStart(),
+	}}
+}
+
+// handleReconfigure repoints this daemon at a new primary (or detaches it,
+// with an empty primary address). A follower drops its stream and
+// re-subscribes; an old primary receiving this learns it was failed over and
+// rejoins as a follower — its diverged log tail, if any, is wiped when the
+// subscribe is bounced with CodeDiverged and retried as a bootstrap.
+func (s *CloudService) handleReconfigure(req *protocol.ReconfigureRequest) *protocol.Message {
+	if s.Eng == nil {
+		return errMsg(fmt.Errorf("cloud: this server has no durable engine to reconfigure (start it with -data)"))
+	}
+	s.failMu.Lock()
+	defer s.failMu.Unlock()
+	if cur := s.Eng.Term(); req.Term < cur {
+		return errMsgCode(protocol.CodeStaleTerm, fmt.Errorf("cloud: reconfigure at term %d refused, already at term %d", req.Term, cur))
+	}
+	if r := s.replica(); r != nil {
+		if req.Primary != "" && r.Primary() == req.Primary {
+			// Already following the requested primary: nothing to do.
+			return &protocol.Message{ReconfigureResp: &protocol.ReconfigureResponse{Term: s.Eng.Term()}}
+		}
+		r.Close()
+	}
+	var nr *Replica
+	if req.Primary != "" {
+		nr = StartReplica(s.Eng, req.Primary, s.Logger)
+	}
+	s.replMu.Lock()
+	s.Replica = nr
+	s.demoted = false // the daemon is back in a defined role
+	s.replMu.Unlock()
+	if req.Primary != "" {
+		logf(s.Logger, "cloud: reconfigured to follow %s (term %d)", req.Primary, req.Term)
+	} else {
+		logf(s.Logger, "cloud: reconfigured to standalone")
+	}
+	return &protocol.Message{ReconfigureResp: &protocol.ReconfigureResponse{Term: s.Eng.Term()}}
+}
+
 func (s *CloudService) handleUpload(req *protocol.UploadRequest) *protocol.Message {
-	if s.Replica != nil {
-		return errMsg(fmt.Errorf("cloud: this server is a read-only replica; route uploads to the primary"))
+	if s.replica() != nil {
+		return errMsgCode(protocol.CodeReadOnly, fmt.Errorf("cloud: this server is a read-only replica; route uploads to the primary"))
+	}
+	if s.isDemoted() {
+		return errMsgCode(protocol.CodeReadOnly, fmt.Errorf("cloud: this server was failed over and is fenced read-only; route uploads to the new primary"))
 	}
 	levels := make([]*bitindex.Vector, len(req.Levels))
 	for i, raw := range req.Levels {
@@ -126,8 +275,11 @@ func (s *CloudService) handleUpload(req *protocol.UploadRequest) *protocol.Messa
 }
 
 func (s *CloudService) handleDelete(req *protocol.DeleteRequest) *protocol.Message {
-	if s.Replica != nil {
-		return errMsg(fmt.Errorf("cloud: this server is a read-only replica; route deletions to the primary"))
+	if s.replica() != nil {
+		return errMsgCode(protocol.CodeReadOnly, fmt.Errorf("cloud: this server is a read-only replica; route deletions to the primary"))
+	}
+	if s.isDemoted() {
+		return errMsgCode(protocol.CodeReadOnly, fmt.Errorf("cloud: this server was failed over and is fenced read-only; route deletions to the new primary"))
 	}
 	if err := s.backend().Delete(req.DocID); err != nil {
 		return errMsg(err)
@@ -297,9 +449,10 @@ func (s *CloudService) handleStats() *protocol.Message {
 		resp.Durable = true
 		resp.WALPosition = s.WAL.Position()
 		resp.PrimaryPosition = resp.WALPosition
+		resp.Term = s.WAL.Term()
 	}
-	if s.Replica != nil {
-		st := s.Replica.Status()
+	if r := s.replica(); r != nil {
+		st := r.Status()
 		resp.Replica = true
 		resp.ReplicaConnected = st.Connected
 		resp.WALPosition = st.Position

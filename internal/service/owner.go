@@ -5,6 +5,7 @@ import (
 	"log"
 	"math/big"
 	"net"
+	"time"
 
 	"mkse/internal/core"
 	"mkse/internal/protocol"
@@ -15,13 +16,16 @@ import (
 // valid signature from an enrolled user (Theorem 4); Enroll is the
 // bootstrap step that registers the user's verification key.
 type OwnerService struct {
-	Owner  *core.Owner
-	Logger *log.Logger // optional
+	Owner *core.Owner
+	// IdleTimeout, when non-zero, bounds how long a connection may sit
+	// between requests before it is dropped.
+	IdleTimeout time.Duration
+	Logger      *log.Logger // optional
 }
 
 // Serve accepts connections on l until it is closed.
 func (s *OwnerService) Serve(l net.Listener) error {
-	return serveLoop(l, s.Logger, func(_ *protocol.Conn, _ net.Conn, m *protocol.Message) *protocol.Message {
+	return serveLoop(l, s.Logger, s.IdleTimeout, nil, func(_ *protocol.Conn, _ net.Conn, m *protocol.Message) *protocol.Message {
 		switch {
 		case m.EnrollReq != nil:
 			return s.handleEnroll(m.EnrollReq)

@@ -39,8 +39,8 @@ const (
 )
 
 // WALSource is the slice of the durable engine the replication server
-// needs: positions, record tailing, and checkpoint bytes for bootstrap.
-// *durable.Engine satisfies it.
+// needs: positions, terms, record tailing, and checkpoint bytes for
+// bootstrap. *durable.Engine satisfies it.
 type WALSource interface {
 	// Position returns the current log sequence number.
 	Position() uint64
@@ -52,6 +52,13 @@ type WALSource interface {
 	WaitWAL(from uint64, timeout time.Duration) bool
 	// ReadCheckpoint returns the newest checkpoint's bytes and position.
 	ReadCheckpoint() ([]byte, uint64, error)
+	// Term returns the promotion (fencing) term; TermStart the position
+	// where it began — the divergence boundary for rejoining nodes.
+	Term() uint64
+	TermStart() uint64
+	// BootstrapCheckpoint cuts and returns a fresh checkpoint, for wiping a
+	// diverged follower.
+	BootstrapCheckpoint() ([]byte, uint64, error)
 }
 
 var _ WALSource = (*durable.Engine)(nil)
@@ -73,18 +80,45 @@ func (s *CloudService) handleReplicaSubscribe(pc *protocol.Conn, remote string, 
 		pc.Send(errMsg(fmt.Errorf("cloud: this server has no write-ahead log to replicate (start it with -data)")))
 		return
 	}
-	from := req.From
-	pos := wal.Position()
-	if from > pos {
-		pc.Send(errMsg(fmt.Errorf("cloud: follower position %d is ahead of primary position %d (diverged history?)", from, pos)))
+	term, termStart := wal.Term(), wal.TermStart()
+	if req.Term > term {
+		// The subscriber has seen a newer promotion than we have: we are the
+		// stale side of a failover. Fence ourselves and tell it so.
+		s.fence(req.Term)
+		pc.Send(errMsgCode(protocol.CodeStaleTerm, fmt.Errorf("cloud: this server is at term %d, below the follower's %d — it is not the primary anymore", term, req.Term)))
 		return
 	}
+	from := req.From
+	pos := wal.Position()
 
-	// Bootstrap: if the follower's position predates the retained log, ship
-	// the newest checkpoint first and stream from its position instead.
-	resp := &protocol.ReplicaSubscribeResponse{Position: pos}
+	resp := &protocol.ReplicaSubscribeResponse{Position: pos, Term: term, TermStart: termStart}
 	var snapshot []byte
-	if from < wal.OldestRetained() {
+	switch {
+	case req.Bootstrap:
+		// The follower asked for a wholesale reset (it was bounced with
+		// CodeDiverged, or wants to discard its history).
+		data, lsn, err := wal.BootstrapCheckpoint()
+		if err != nil {
+			pc.Send(errMsg(fmt.Errorf("cloud: cutting bootstrap checkpoint: %w", err)))
+			return
+		}
+		snapshot = data
+		resp.SnapshotLSN = lsn
+		resp.SnapshotSize = len(data)
+		from = lsn
+	case req.Term < term && from > termStart:
+		// The follower's log extends past the point where our term began, on
+		// an older term: the tail beyond termStart was written by a deposed
+		// primary and is not part of this history. Replaying records cannot
+		// reconcile that — the follower must bootstrap.
+		pc.Send(errMsgCode(protocol.CodeDiverged, fmt.Errorf("cloud: follower position %d is past term %d's start %d on an older term — its log has diverged; re-subscribe with bootstrap", from, term, termStart)))
+		return
+	case from > pos:
+		pc.Send(errMsgCode(protocol.CodeDiverged, fmt.Errorf("cloud: follower position %d is ahead of primary position %d — diverged history; re-subscribe with bootstrap", from, pos)))
+		return
+	case from < wal.OldestRetained():
+		// The follower's position predates the retained log: ship the newest
+		// checkpoint first and stream from its position instead.
 		data, lsn, err := wal.ReadCheckpoint()
 		if err != nil {
 			pc.Send(errMsg(fmt.Errorf("cloud: follower needs bootstrap but checkpoint is unavailable: %w", err)))
@@ -123,6 +157,13 @@ func (s *CloudService) handleReplicaSubscribe(pc *protocol.Conn, remote string, 
 				return
 			}
 			if m.ReplicaAck != nil {
+				if t := m.ReplicaAck.Term; t > wal.Term() {
+					// The follower has moved to a newer term than ours — a
+					// promotion happened behind our back. We are a zombie:
+					// fence and drop the stream.
+					s.fence(t)
+					return
+				}
 				f.acked.Store(m.ReplicaAck.Position)
 			}
 		}
@@ -147,14 +188,14 @@ func (s *CloudService) handleReplicaSubscribe(pc *protocol.Conn, remote string, 
 			if !wal.WaitWAL(from, hb) {
 				// Idle past the heartbeat interval: prove liveness and ship
 				// the current position so the follower can measure lag.
-				beat := &protocol.ReplicaRecordBatch{From: from, Position: wal.Position()}
+				beat := &protocol.ReplicaRecordBatch{From: from, Position: wal.Position(), Term: wal.Term()}
 				if err := pc.Send(&protocol.Message{ReplicaRecords: beat}); err != nil {
 					return
 				}
 			}
 			continue
 		}
-		batch := &protocol.ReplicaRecordBatch{From: from, Records: records, Position: wal.Position()}
+		batch := &protocol.ReplicaRecordBatch{From: from, Records: records, Position: wal.Position(), Term: wal.Term()}
 		if err := pc.Send(&protocol.Message{ReplicaRecords: batch}); err != nil {
 			return
 		}
@@ -194,9 +235,10 @@ func (s *CloudService) handleReplicaStatus() *protocol.Message {
 		resp.Durable = true
 		resp.Position = s.WAL.Position()
 		resp.PrimaryPosition = resp.Position
+		resp.Term = s.WAL.Term()
 	}
-	if s.Replica != nil {
-		st := s.Replica.Status()
+	if r := s.replica(); r != nil {
+		st := r.Status()
 		resp.Replica = true
 		resp.Connected = st.Connected
 		resp.Position = st.Position
@@ -243,10 +285,17 @@ type Replica struct {
 	lastErr    error
 	conn       net.Conn
 	closed     bool
+	// needBootstrap is set after the primary bounced a subscribe with
+	// CodeDiverged: our log tail was written by a deposed primary and must
+	// be discarded. The next subscribe requests a wholesale reset.
+	needBootstrap bool
 
 	done chan struct{}
 	wg   sync.WaitGroup
 }
+
+// Primary returns the address this replica streams from.
+func (r *Replica) Primary() string { return r.primary }
 
 // StartReplica begins replicating primaryAddr's log into eng and returns
 // immediately; the stream (re)connects in the background. The engine must
@@ -335,7 +384,7 @@ func (r *Replica) run() {
 
 // stream runs one subscription until it fails.
 func (r *Replica) stream() error {
-	conn, err := net.Dial("tcp", r.primary)
+	conn, err := net.DialTimeout("tcp", r.primary, DialTimeout)
 	if err != nil {
 		return err
 	}
@@ -356,7 +405,11 @@ func (r *Replica) stream() error {
 
 	pc := protocol.NewConn(conn)
 	from := r.eng.Position()
-	if err := pc.Send(&protocol.Message{ReplicaSubscribeReq: &protocol.ReplicaSubscribeRequest{From: from}}); err != nil {
+	r.mu.Lock()
+	boot := r.needBootstrap
+	r.mu.Unlock()
+	sub := &protocol.ReplicaSubscribeRequest{From: from, Term: r.eng.Term(), Bootstrap: boot}
+	if err := pc.Send(&protocol.Message{ReplicaSubscribeReq: sub}); err != nil {
 		return err
 	}
 	m, err := pc.Recv()
@@ -364,11 +417,25 @@ func (r *Replica) stream() error {
 		return err
 	}
 	if m.Error != nil {
+		if m.Error.Code == protocol.CodeDiverged {
+			// Our log holds records the primary's history does not share.
+			// Ask for a wholesale reset on the next attempt.
+			r.mu.Lock()
+			r.needBootstrap = true
+			r.mu.Unlock()
+			return fmt.Errorf("primary rejected subscription (diverged log; will bootstrap): %s", m.Error.Text)
+		}
 		return fmt.Errorf("primary rejected subscription: %s", m.Error.Text)
 	}
 	resp := m.ReplicaSubscribeResp
 	if resp == nil {
 		return errors.New("primary sent no subscribe response")
+	}
+	if ours := r.eng.Term(); resp.Term < ours {
+		// A primary on an older term is a resurrected zombie: never apply
+		// its records. (It learns of its staleness from our subscribe term;
+		// keep retrying until it is fenced or we are reconfigured.)
+		return fmt.Errorf("primary is at stale term %d (ours is %d); refusing its stream", resp.Term, ours)
 	}
 
 	if resp.SnapshotSize > 0 {
@@ -393,6 +460,9 @@ func (r *Replica) stream() error {
 		if err := r.eng.ResetToCheckpoint(data, resp.SnapshotLSN); err != nil {
 			return err
 		}
+		r.mu.Lock()
+		r.needBootstrap = false
+		r.mu.Unlock()
 		logf(r.logger, "replica: bootstrapped from primary checkpoint at position %d", resp.SnapshotLSN)
 	}
 
@@ -415,6 +485,9 @@ func (r *Replica) stream() error {
 		batch := m.ReplicaRecords
 		if batch == nil {
 			return errors.New("unexpected message on replication stream")
+		}
+		if batch.Term != 0 && batch.Term < r.eng.Term() {
+			return fmt.Errorf("stream fell to stale term %d (ours is %d); dropping it", batch.Term, r.eng.Term())
 		}
 		pos := r.eng.Position()
 		records := batch.Records
@@ -441,7 +514,7 @@ func (r *Replica) stream() error {
 			r.primaryPos = batch.Position
 		}
 		r.mu.Unlock()
-		if err := pc.Send(&protocol.Message{ReplicaAck: &protocol.ReplicaAckMsg{Position: r.eng.Position()}}); err != nil {
+		if err := pc.Send(&protocol.Message{ReplicaAck: &protocol.ReplicaAckMsg{Position: r.eng.Position(), Term: r.eng.Term()}}); err != nil {
 			return err
 		}
 	}

@@ -101,6 +101,7 @@ type replPrimary struct {
 	eng  *durable.Engine
 	svc  *CloudService
 	addr string
+	l    net.Listener
 }
 
 func startReplPrimary(t testing.TB, p core.Params, dir string) *replPrimary {
@@ -109,14 +110,23 @@ func startReplPrimary(t testing.TB, p core.Params, dir string) *replPrimary {
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc := &CloudService{Server: eng.Server(), Store: eng, WAL: eng, HeartbeatEvery: 25 * time.Millisecond}
+	svc := &CloudService{Server: eng.Server(), Store: eng, WAL: eng, Eng: eng, HeartbeatEvery: 25 * time.Millisecond}
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	go func() { _ = svc.Serve(l) }()
 	t.Cleanup(func() { l.Close(); eng.Crash() })
-	return &replPrimary{eng: eng, svc: svc, addr: l.Addr().String()}
+	return &replPrimary{eng: eng, svc: svc, addr: l.Addr().String(), l: l}
+}
+
+// kill drops the primary like a crashed process: listener closed, live
+// connections severed, engine abandoned without a final checkpoint. Safe to
+// let the cleanup run after.
+func (pr *replPrimary) kill() {
+	pr.l.Close()
+	pr.svc.Drain(0)
+	pr.eng.Crash()
 }
 
 // replFollower is a read-only follower daemon streaming from a primary.
@@ -135,7 +145,10 @@ func startReplFollower(t testing.TB, p core.Params, dir, primaryAddr string) *re
 		t.Fatal(err)
 	}
 	rep := StartReplica(eng, primaryAddr, nil)
-	svc := &CloudService{Server: eng.Server(), WAL: eng, Replica: rep, HeartbeatEvery: 25 * time.Millisecond}
+	// Store and Eng mirror what mkse-server wires in durable mode: writes are
+	// rejected while the Replica field is set, and a Promote needs both to
+	// flip the daemon to a fully durable primary in place.
+	svc := &CloudService{Server: eng.Server(), Store: eng, WAL: eng, Eng: eng, Replica: rep, HeartbeatEvery: 25 * time.Millisecond}
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

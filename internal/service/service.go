@@ -10,6 +10,8 @@ import (
 	"io"
 	"log"
 	"net"
+	"sync"
+	"time"
 
 	"mkse/internal/bitindex"
 	"mkse/internal/protocol"
@@ -22,11 +24,83 @@ func logf(l *log.Logger, format string, args ...any) {
 	}
 }
 
+// connTracker registers a service's live connections so a graceful shutdown
+// can wait for in-flight requests and then force-close the stragglers.
+type connTracker struct {
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	gone  chan struct{} // replaced on every add; closed on every remove
+}
+
+func (t *connTracker) add(c net.Conn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.conns == nil {
+		t.conns = make(map[net.Conn]struct{})
+	}
+	t.conns[c] = struct{}{}
+}
+
+func (t *connTracker) remove(c net.Conn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.conns, c)
+	if t.gone != nil {
+		close(t.gone)
+		t.gone = nil
+	}
+}
+
+// drain waits up to timeout for every tracked connection to finish, then
+// force-closes whatever remains (idle keep-alive clients would otherwise pin
+// the window open). Returns the number of connections it had to cut. The
+// caller must have stopped accepting first.
+func (t *connTracker) drain(timeout time.Duration) int {
+	deadline := time.Now().Add(timeout)
+	for {
+		t.mu.Lock()
+		n := len(t.conns)
+		if n == 0 {
+			t.mu.Unlock()
+			return 0
+		}
+		if t.gone == nil {
+			t.gone = make(chan struct{})
+		}
+		gone := t.gone
+		t.mu.Unlock()
+
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			break
+		}
+		timer := time.NewTimer(remain)
+		select {
+		case <-gone:
+			timer.Stop()
+		case <-timer.C:
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cut := len(t.conns)
+	for c := range t.conns {
+		c.Close()
+	}
+	t.conns = nil
+	return cut
+}
+
 // serveLoop accepts connections and dispatches them to handler until the
 // listener closes. A handler that returns nil has taken the connection
 // over (replication streams do — they push messages for the connection's
 // whole lifetime) and the connection is closed when it returns.
-func serveLoop(l net.Listener, logger *log.Logger, handler func(*protocol.Conn, net.Conn, *protocol.Message) *protocol.Message) error {
+//
+// A non-zero idle timeout arms a read deadline before every request, so a
+// stalled or half-open client cannot pin a handler goroutine forever; a
+// handler that takes the connection over must clear the deadline itself.
+// tracker, when non-nil, registers connections for drain on shutdown.
+func serveLoop(l net.Listener, logger *log.Logger, idle time.Duration, tracker *connTracker, handler func(*protocol.Conn, net.Conn, *protocol.Message) *protocol.Message) error {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -35,13 +109,22 @@ func serveLoop(l net.Listener, logger *log.Logger, handler func(*protocol.Conn, 
 			}
 			return err
 		}
+		if tracker != nil {
+			tracker.add(conn)
+		}
 		go func() {
 			defer conn.Close()
+			if tracker != nil {
+				defer tracker.remove(conn)
+			}
 			pc := protocol.NewConn(conn)
 			for {
+				if idle > 0 {
+					conn.SetReadDeadline(time.Now().Add(idle))
+				}
 				msg, err := pc.Recv()
 				if err != nil {
-					if err != io.EOF {
+					if err != io.EOF && !errors.Is(err, net.ErrClosed) {
 						logf(logger, "service: connection error: %v", err)
 					}
 					return
@@ -62,6 +145,12 @@ func serveLoop(l net.Listener, logger *log.Logger, handler func(*protocol.Conn, 
 // errMsg wraps an error into a protocol reply.
 func errMsg(err error) *protocol.Message {
 	return &protocol.Message{Error: &protocol.ErrorMsg{Text: err.Error()}}
+}
+
+// errMsgCode wraps an error into a protocol reply carrying a machine-readable
+// rejection code (one of the protocol.Code* constants).
+func errMsgCode(code string, err error) *protocol.Message {
+	return &protocol.Message{Error: &protocol.ErrorMsg{Text: err.Error(), Code: code}}
 }
 
 // marshalVector encodes a bit vector for the wire, panicking on the

@@ -5,12 +5,15 @@
 // snapshot lets its holder decrypt or search beyond what the live server
 // could.
 //
-// Two on-disk versions exist. V1 ("MKSESTO1") is the bare snapshot written
-// by Save. V2 ("MKSESTO2") is the checkpoint format of the durable storage
-// engine (internal/durable): the same body prefixed with the write-ahead-log
-// sequence number the checkpoint covers, so recovery knows where replay
-// starts. Load and LoadWith accept both, which keeps pre-engine snapshot
-// files loadable.
+// Three on-disk versions exist. V1 ("MKSESTO1") is the bare snapshot
+// written by Save. V2 ("MKSESTO2") is the checkpoint format of the durable
+// storage engine (internal/durable): the same body prefixed with the
+// write-ahead-log sequence number the checkpoint covers, so recovery knows
+// where replay starts. V3 ("MKSESTO3") additionally stamps the engine's
+// promotion term and the log position where that term began — the fencing
+// metadata automatic failover needs to survive log pruning. Load, LoadWith
+// and LoadCheckpoint accept all three, which keeps older snapshot files
+// loadable (their term reads as zero).
 package store
 
 import (
@@ -27,11 +30,27 @@ import (
 	"mkse/internal/rank"
 )
 
-// magicV1 and magicV2 identify the two snapshot format versions.
+// magicV1, magicV2 and magicV3 identify the snapshot format versions.
 var (
 	magicV1 = [8]byte{'M', 'K', 'S', 'E', 'S', 'T', 'O', '1'}
 	magicV2 = [8]byte{'M', 'K', 'S', 'E', 'S', 'T', 'O', '2'}
+	magicV3 = [8]byte{'M', 'K', 'S', 'E', 'S', 'T', 'O', '3'}
 )
+
+// CheckpointMeta is the durable-engine metadata stamped into a checkpoint.
+type CheckpointMeta struct {
+	// LSN is the write-ahead-log sequence number the checkpoint covers:
+	// the state reflects exactly mutations [0, LSN).
+	LSN uint64
+	// Term is the engine's promotion (fencing) term at checkpoint time.
+	// Zero for V1/V2 snapshots, which predate automatic failover.
+	Term uint64
+	// TermStart is the log position where Term began — the position of the
+	// term-bump control record, 0 for the initial term. A rejoining node
+	// whose own position exceeds the primary's TermStart holds records the
+	// new history does not, and must bootstrap instead of streaming.
+	TermStart uint64
+}
 
 // ErrBadSnapshot is returned for malformed or truncated snapshot data.
 var ErrBadSnapshot = errors.New("store: malformed snapshot")
@@ -58,18 +77,21 @@ func Save(w io.Writer, srv Exporter) error {
 	return saveBody(bw, srv)
 }
 
-// SaveCheckpoint snapshots a server's full state to w in the V2 checkpoint
+// SaveCheckpoint snapshots a server's full state to w in the V3 checkpoint
 // format: the body of Save prefixed with the LSN (count of write-ahead-log
-// records) the state covers. Recovery replays the log from that record on.
-func SaveCheckpoint(w io.Writer, srv Exporter, lsn uint64) error {
+// records) the state covers plus the promotion term and its start position.
+// Recovery replays the log from that record on and resumes at that term.
+func SaveCheckpoint(w io.Writer, srv Exporter, meta CheckpointMeta) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(magicV2[:]); err != nil {
+	if _, err := bw.Write(magicV3[:]); err != nil {
 		return err
 	}
 	var buf [8]byte
-	binary.BigEndian.PutUint64(buf[:], lsn)
-	if _, err := bw.Write(buf[:]); err != nil {
-		return err
+	for _, v := range []uint64{meta.LSN, meta.Term, meta.TermStart} {
+		binary.BigEndian.PutUint64(buf[:], v)
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
 	}
 	return saveBody(bw, srv)
 }
@@ -117,40 +139,52 @@ func Load(r io.Reader) (*core.Server, error) {
 
 // LoadWith reconstructs a server from a snapshot, building the empty server
 // through mk — the hook daemons use to restore into a non-default shard
-// layout. The snapshot format is layout-independent. Both the V1 snapshot
-// and V2 checkpoint formats are accepted; the checkpoint's LSN is discarded
+// layout. The snapshot format is layout-independent. All snapshot and
+// checkpoint formats are accepted; the checkpoint's metadata is discarded
 // (use LoadCheckpoint to recover it).
 func LoadWith(r io.Reader, mk func(core.Params) (*core.Server, error)) (*core.Server, error) {
 	srv, _, err := LoadCheckpoint(r, mk)
 	return srv, err
 }
 
-// LoadCheckpoint reconstructs a server from a snapshot in either format and
-// returns the write-ahead-log sequence number it covers (0 for a V1
-// snapshot, which predates the log).
-func LoadCheckpoint(r io.Reader, mk func(core.Params) (*core.Server, error)) (*core.Server, uint64, error) {
+// LoadCheckpoint reconstructs a server from a snapshot in any format and
+// returns the checkpoint metadata it covers (all-zero for a V1 snapshot,
+// which predates the log; zero term for V2, which predates failover).
+func LoadCheckpoint(r io.Reader, mk func(core.Params) (*core.Server, error)) (*core.Server, CheckpointMeta, error) {
 	br := bufio.NewReader(r)
 	var got [8]byte
 	if _, err := io.ReadFull(br, got[:]); err != nil {
-		return nil, 0, fmt.Errorf("store: reading magic: %w", err)
+		return nil, CheckpointMeta{}, fmt.Errorf("store: reading magic: %w", err)
 	}
-	var lsn uint64
+	var meta CheckpointMeta
+	readU64 := func(dst *uint64) error {
+		var buf [8]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return fmt.Errorf("%w: truncated checkpoint header", ErrBadSnapshot)
+		}
+		*dst = binary.BigEndian.Uint64(buf[:])
+		return nil
+	}
 	switch got {
 	case magicV1:
 	case magicV2:
-		var buf [8]byte
-		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return nil, 0, fmt.Errorf("%w: truncated checkpoint LSN", ErrBadSnapshot)
+		if err := readU64(&meta.LSN); err != nil {
+			return nil, CheckpointMeta{}, err
 		}
-		lsn = binary.BigEndian.Uint64(buf[:])
+	case magicV3:
+		for _, dst := range []*uint64{&meta.LSN, &meta.Term, &meta.TermStart} {
+			if err := readU64(dst); err != nil {
+				return nil, CheckpointMeta{}, err
+			}
+		}
 	default:
-		return nil, 0, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+		return nil, CheckpointMeta{}, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
 	}
 	srv, err := loadBody(br, mk)
 	if err != nil {
-		return nil, 0, err
+		return nil, CheckpointMeta{}, err
 	}
-	return srv, lsn, nil
+	return srv, meta, nil
 }
 
 // loadBody reads the magic-independent part of a snapshot.
@@ -213,12 +247,12 @@ func SaveFile(path string, srv Exporter) error {
 	return saveFileAs(path, func(f *os.File) error { return Save(f, srv) })
 }
 
-// SaveCheckpointFile writes a V2 checkpoint to path atomically, fsyncing the
+// SaveCheckpointFile writes a V3 checkpoint to path atomically, fsyncing the
 // file before the rename so a crash cannot leave a live checkpoint name
 // pointing at partial data.
-func SaveCheckpointFile(path string, srv Exporter, lsn uint64) error {
+func SaveCheckpointFile(path string, srv Exporter, meta CheckpointMeta) error {
 	return saveFileAs(path, func(f *os.File) error {
-		if err := SaveCheckpoint(f, srv, lsn); err != nil {
+		if err := SaveCheckpoint(f, srv, meta); err != nil {
 			return err
 		}
 		return f.Sync()
@@ -259,19 +293,19 @@ func LoadFileWith(path string, mk func(core.Params) (*core.Server, error)) (*cor
 	return LoadWith(f, mk)
 }
 
-// LoadCheckpointBytes reads a snapshot in either format from an in-memory
-// buffer and returns the covered LSN. Replication uses it to install a
+// LoadCheckpointBytes reads a snapshot in any format from an in-memory
+// buffer and returns the covered metadata. Replication uses it to install a
 // checkpoint a follower received over the wire (see LoadCheckpoint).
-func LoadCheckpointBytes(data []byte, mk func(core.Params) (*core.Server, error)) (*core.Server, uint64, error) {
+func LoadCheckpointBytes(data []byte, mk func(core.Params) (*core.Server, error)) (*core.Server, CheckpointMeta, error) {
 	return LoadCheckpoint(bytes.NewReader(data), mk)
 }
 
-// LoadCheckpointFile reads a snapshot in either format from path and
-// returns the covered LSN (see LoadCheckpoint).
-func LoadCheckpointFile(path string, mk func(core.Params) (*core.Server, error)) (*core.Server, uint64, error) {
+// LoadCheckpointFile reads a snapshot in any format from path and returns
+// the covered metadata (see LoadCheckpoint).
+func LoadCheckpointFile(path string, mk func(core.Params) (*core.Server, error)) (*core.Server, CheckpointMeta, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, 0, err
+		return nil, CheckpointMeta{}, err
 	}
 	defer f.Close()
 	return LoadCheckpoint(f, mk)

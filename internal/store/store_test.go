@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"math/big"
 	"os"
@@ -209,32 +210,62 @@ func TestV1SnapshotBackCompat(t *testing.T) {
 	if restored.NumDocuments() != srv.NumDocuments() {
 		t.Fatalf("restored %d docs, want %d", restored.NumDocuments(), srv.NumDocuments())
 	}
-	_, lsn, err := LoadCheckpointFile(path, core.NewServer)
+	_, meta, err := LoadCheckpointFile(path, core.NewServer)
 	if err != nil {
 		t.Fatalf("LoadCheckpointFile on V1 snapshot: %v", err)
 	}
-	if lsn != 0 {
-		t.Fatalf("V1 snapshot reported LSN %d, want 0", lsn)
+	if meta != (CheckpointMeta{}) {
+		t.Fatalf("V1 snapshot reported meta %+v, want all-zero", meta)
 	}
 }
 
-// The checkpoint format carries a distinct magic and round-trips the LSN.
+// A PR-4-era V2 ("MKSESTO2") checkpoint — LSN header, no term fields — must
+// keep loading after the V3 format's introduction, reporting term zero.
+// Guards the upgrade path of data directories written before failover.
+func TestV2CheckpointBackCompat(t *testing.T) {
+	_, srv, _ := populatedServer(t)
+	var buf bytes.Buffer
+	// Hand-build a V2 checkpoint: V2 magic + LSN + the V1 body.
+	const lsn = uint64(42)
+	buf.WriteString("MKSESTO2")
+	var hdr [8]byte
+	binary.BigEndian.PutUint64(hdr[:], lsn)
+	buf.Write(hdr[:])
+	var body bytes.Buffer
+	if err := Save(&body, srv); err != nil {
+		t.Fatal(err)
+	}
+	buf.Write(body.Bytes()[8:]) // body without the V1 magic
+	restored, meta, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()), core.NewServer)
+	if err != nil {
+		t.Fatalf("LoadCheckpoint on V2 checkpoint: %v", err)
+	}
+	if meta.LSN != lsn || meta.Term != 0 || meta.TermStart != 0 {
+		t.Fatalf("V2 checkpoint meta %+v, want LSN %d and zero term", meta, lsn)
+	}
+	if restored.NumDocuments() != srv.NumDocuments() {
+		t.Fatalf("restored %d docs, want %d", restored.NumDocuments(), srv.NumDocuments())
+	}
+}
+
+// The checkpoint format carries a distinct magic and round-trips the
+// metadata: LSN, promotion term, and the term's start position.
 func TestCheckpointRoundTrip(t *testing.T) {
 	_, srv, _ := populatedServer(t)
 	var buf bytes.Buffer
-	const lsn = 0xDEADBEEFCAFE
-	if err := SaveCheckpoint(&buf, srv, lsn); err != nil {
+	meta := CheckpointMeta{LSN: 0xDEADBEEFCAFE, Term: 7, TermStart: 0xBEE5}
+	if err := SaveCheckpoint(&buf, srv, meta); err != nil {
 		t.Fatal(err)
 	}
-	if got := string(buf.Bytes()[:8]); got != "MKSESTO2" {
-		t.Fatalf("SaveCheckpoint wrote magic %q, want the V2 magic", got)
+	if got := string(buf.Bytes()[:8]); got != "MKSESTO3" {
+		t.Fatalf("SaveCheckpoint wrote magic %q, want the V3 magic", got)
 	}
-	restored, gotLSN, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()), core.NewServer)
+	restored, gotMeta, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()), core.NewServer)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if gotLSN != lsn {
-		t.Fatalf("LSN = %#x, want %#x", gotLSN, lsn)
+	if gotMeta != meta {
+		t.Fatalf("meta = %+v, want %+v", gotMeta, meta)
 	}
 	if restored.NumDocuments() != srv.NumDocuments() {
 		t.Fatalf("restored %d docs, want %d", restored.NumDocuments(), srv.NumDocuments())
@@ -242,10 +273,10 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	// The old entry point accepts checkpoints too (the daemon can point
 	// -snapshot at a checkpoint file).
 	if _, err := Load(bytes.NewReader(buf.Bytes())); err != nil {
-		t.Fatalf("Load on V2 checkpoint: %v", err)
+		t.Fatalf("Load on V3 checkpoint: %v", err)
 	}
-	// A truncated LSN header is a bad snapshot, not a crash.
-	if _, _, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()[:12]), core.NewServer); !errors.Is(err, ErrBadSnapshot) {
+	// A truncated metadata header is a bad snapshot, not a crash.
+	if _, _, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()[:20]), core.NewServer); !errors.Is(err, ErrBadSnapshot) {
 		t.Fatalf("truncated checkpoint header = %v, want ErrBadSnapshot", err)
 	}
 }
