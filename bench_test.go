@@ -26,6 +26,7 @@ import (
 	"mkse/internal/protocol"
 	"mkse/internal/rank"
 	"mkse/internal/service"
+	"mkse/internal/telemetry"
 )
 
 // ---------------------------------------------------------------------------
@@ -112,6 +113,53 @@ func BenchmarkSearch(b *testing.B) {
 					}
 				}
 			})
+		}
+	}
+}
+
+// BenchmarkSearchTelemetry is BenchmarkSearch's middle configuration
+// (levels=3, docs=10000) with the telemetry scan histogram attached, the
+// way EnableMetrics wires it in a daemon. CI compares it against the
+// matching BenchmarkSearch sub-benchmark and fails on more than a few
+// percent of overhead: an observation must stay a bucket-index computation
+// plus two atomic adds. Allocation-freedom under telemetry is asserted
+// separately by core's TestSearchScanPathAllocationFree.
+func BenchmarkSearchTelemetry(b *testing.B) {
+	const eta, size = 3, 10000
+	p := core.DefaultParams()
+	p.Bins = 64
+	p.Levels = rank.DefaultLevels(eta, 15)
+	owner, err := core.NewOwnerDeterministic(p, 1, 0xbe7c4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	server, err := core.NewServerSharded(p, 1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	docs, err := corpus.Generate(corpus.Config{
+		NumDocs: size, KeywordsPerDoc: 20, Dictionary: corpus.Dictionary(4000), MaxTermFreq: 15, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, d := range docs {
+		si, err := owner.BuildIndex(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := server.Upload(si, &core.EncryptedDocument{ID: d.ID, Ciphertext: []byte{0}, EncKey: []byte{0}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	server.ObserveScans(telemetry.New().Histogram(
+		"mkse_scan_duration_seconds", "scan timings", telemetry.RequestBuckets()))
+	q := queryFor(b, owner, docs[0].Keywords()[:2])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := server.Search(q); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -20,12 +20,14 @@ import (
 	"fmt"
 	"os"
 
+	"mkse/internal/buildinfo"
 	"mkse/internal/cliutil"
 	"mkse/internal/experiments"
 )
 
 func main() {
 	var (
+		version  = flag.Bool("version", false, "print version and exit")
 		exp      = flag.String("exp", "all", "experiment to run (fig2a fig2b fig3 fig4a fig4b table1 table2 ranking cao analytic theorem3 attack ablate-d ablate-v ablate-bins shards kernel million recovery replication cache all)")
 		seed     = flag.Int64("seed", 2012, "experiment seed")
 		docs     = flag.Int("docs", 400, "corpus size for fig3/table2")
@@ -44,6 +46,11 @@ func main() {
 		batch    = flag.Int("batch", 16, "queries per SearchBatch call for -exp shards")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.String("mkse-bench"))
+		return
+	}
 
 	sweep, err := cliutil.ParseInts(*sizes)
 	if err != nil {

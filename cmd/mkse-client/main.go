@@ -10,19 +10,25 @@
 //	mkse-client -owner ... -cloud ... -user alice searchget cloud privacy
 //	mkse-client -owner ... -cloud ... -user alice delete doc-00042
 //	mkse-client -cloud localhost:7002 stats
+//	mkse-client -cloud localhost:7002 -json stats
 //
 // Subcommands: search <kw...>, get <docID>, searchget <kw...> (search then
 // retrieve the best match), delete <docID>, stats (one-round-trip server
 // introspection: document/shard counts, WAL position, replication lag,
-// query-result cache counters; needs only -cloud, no enrollment).
+// query-result cache counters; needs only -cloud, no enrollment). With
+// -json, stats emits one JSON object keyed by the daemon's Prometheus
+// series names (mkse_documents, mkse_wal_position, …), so scripts parse the
+// same vocabulary a /metrics scrape exposes.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
+	"mkse/internal/buildinfo"
 	"mkse/internal/service"
 )
 
@@ -33,14 +39,20 @@ func main() {
 		user      = flag.String("user", "cli-user", "user identity to enroll as")
 		topK      = flag.Int("top", 10, "maximum matches to request (τ)")
 		dialTO    = flag.Duration("dial-timeout", service.DialTimeout, "per-connection dial budget")
+		asJSON    = flag.Bool("json", false, "emit stats as JSON keyed by Prometheus series names")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("mkse-client"))
+		return
+	}
 	service.DialTimeout = *dialTO
 	args := flag.Args()
 	if len(args) >= 1 && args[0] == "stats" {
 		// Operator introspection: a raw dial to the cloud daemon, no owner
 		// connection or user enrollment needed.
-		printStats(*cloudAddr)
+		printStats(*cloudAddr, *asJSON)
 		return
 	}
 	if len(args) < 2 {
@@ -100,11 +112,21 @@ func main() {
 	}
 }
 
-// printStats renders one cloud daemon's stats response for operators.
-func printStats(cloudAddr string) {
+// printStats renders one cloud daemon's stats response for operators:
+// aligned text by default, or (with -json) a JSON object keyed by the
+// daemon's Prometheus series names.
+func printStats(cloudAddr string, asJSON bool) {
 	st, err := service.FetchStats(cloudAddr)
 	if err != nil {
 		log.Fatalf("mkse-client: stats: %v", err)
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(service.StatsJSON(st)); err != nil {
+			log.Fatalf("mkse-client: stats: %v", err)
+		}
+		return
 	}
 	fmt.Printf("documents      %d\n", st.NumDocuments)
 	fmt.Printf("shards         %d\n", st.NumShards)

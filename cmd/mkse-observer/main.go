@@ -11,12 +11,18 @@
 //
 //	mkse-observer -primary host:7002 -replicas host:7003,host:7004
 //	              [-probe-every 1s] [-probe-timeout 1s] [-fail-after 3]
+//	              [-metrics-addr :7013] [-log-format text|json] [-log-level info]
 //	              [-oneshot]
 //
 // -oneshot runs a single probe cycle and exits: status 0 if the primary is
 // healthy, 1 if it is not — usable as a liveness check from cron or CI
 // without leaving a daemon running. (A single cycle never fails over unless
 // -fail-after is 1.)
+//
+// -metrics-addr starts the telemetry sidecar: /metrics exports the
+// observer's probe-failure, failover and promotion counters plus term and
+// backlog gauges, /healthz reports liveness with the current escalation
+// state in its detail field, and /debug/pprof exposes runtime profiles.
 //
 // The observer keeps no state on disk. Restart it freely: roles, terms and
 // positions are re-learned by probing, and a follower that was already
@@ -26,14 +32,16 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"mkse/internal/buildinfo"
+	"mkse/internal/cliutil"
 	"mkse/internal/observer"
+	"mkse/internal/telemetry"
 )
 
 func main() {
@@ -44,10 +52,22 @@ func main() {
 		probeTimeout = flag.Duration("probe-timeout", time.Second, "per-probe dial+roundtrip budget")
 		failAfter    = flag.Int("fail-after", 3, "consecutive failed probes before failing over")
 		oneshot      = flag.Bool("oneshot", false, "run one probe cycle and exit (0 = primary healthy)")
+		metricsAddr  = flag.String("metrics-addr", "", "telemetry sidecar address serving /metrics, /healthz and /debug/pprof (empty = disabled)")
+		logFormat    = flag.String("log-format", "text", "log output format: text or json")
+		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		version      = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "mkse-observer ", log.LstdFlags)
+	if *version {
+		fmt.Println(buildinfo.String("mkse-observer"))
+		return
+	}
+	logger, err := cliutil.NewLogger("mkse-observer", *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mkse-observer: %v\n", err)
+		os.Exit(2)
+	}
 
 	var followers []string
 	for _, a := range strings.Split(*replicas, ",") {
@@ -68,7 +88,7 @@ func main() {
 		FailAfter:    *failAfter,
 		Logger:       logger,
 		OnFailover: func(oldPrimary, newPrimary string, term uint64) {
-			logger.Printf("failover complete: %s -> %s at term %d", oldPrimary, newPrimary, term)
+			logger.Info("failover complete", "old_primary", oldPrimary, "new_primary", newPrimary, "term", term)
 		},
 	})
 
@@ -78,20 +98,35 @@ func main() {
 		if st.ConsecFails > 0 && st.Failovers == 0 {
 			os.Exit(1)
 		}
-		logger.Printf("primary %s healthy (term %d)", st.Primary, st.Term)
+		logger.Info("primary healthy", "primary", st.Primary, "term", st.Term)
 		return
 	}
 
+	if *metricsAddr != "" {
+		reg := telemetry.New()
+		ver, commit := buildinfo.Fields()
+		reg.Gauge("mkse_build_info", "Build metadata; the labelled series is always 1.",
+			telemetry.Label{Key: "version", Value: ver},
+			telemetry.Label{Key: "commit", Value: commit}).Set(1)
+		obs.EnableMetrics(reg)
+		srv, err := telemetry.Serve(*metricsAddr, reg, obs.Health, logger)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mkse-observer: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+	}
+
 	obs.Start()
-	logger.Printf("watching primary %s with %d follower(s), probing every %v (failover after %d misses)",
-		*primary, len(followers), *probeEvery, *failAfter)
+	logger.Info("watching primary", "primary", *primary, "followers", len(followers),
+		"probe_every", *probeEvery, "fail_after", *failAfter)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	s := <-sig
-	logger.Printf("received %v, shutting down", s)
+	logger.Info("shutting down on signal", "signal", s.String())
 	obs.Close()
 	st := obs.Status()
-	logger.Printf("final topology: primary %s, followers %v, %d failover(s), term %d",
-		st.Primary, st.Followers, st.Failovers, st.Term)
+	logger.Info("final topology", "primary", st.Primary, "followers", st.Followers,
+		"failovers", st.Failovers, "term", st.Term)
 }

@@ -14,19 +14,24 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"syscall"
 
+	"mkse/internal/buildinfo"
 	"mkse/internal/cliutil"
 	"mkse/internal/core"
 	"mkse/internal/corpus"
 	"mkse/internal/service"
 	"mkse/internal/store"
 )
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mkse-owner: "+format+"\n", args...)
+	os.Exit(1)
+}
 
 func main() {
 	var (
@@ -37,10 +42,21 @@ func main() {
 		levels    = flag.String("levels", "1", "comma-separated ranking thresholds (η levels)")
 		seed      = flag.Int64("seed", 1, "seed for random keywords / synthetic corpus")
 		state     = flag.String("state", "", "path to persist/restore the owner's secret state (protect this file!)")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "mkse-owner ", log.LstdFlags)
+	if *version {
+		fmt.Println(buildinfo.String("mkse-owner"))
+		return
+	}
+	logger, err := cliutil.NewLogger("mkse-owner", *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mkse-owner: %v\n", err)
+		os.Exit(2)
+	}
 
 	p := core.DefaultParams()
 	lv, err := cliutil.ParseLevels(*levels)
@@ -54,23 +70,23 @@ func main() {
 	if *state != "" {
 		if restored, err := store.LoadOwnerFile(*state); err == nil {
 			owner = restored
-			logger.Printf("restored owner state from %s (epoch %d)", *state, owner.Epoch())
+			logger.Info("restored owner state", "path", *state, "epoch", owner.Epoch())
 		} else if !os.IsNotExist(err) {
-			log.Fatalf("mkse-owner: restoring %s: %v", *state, err)
+			fatal("restoring %s: %v", *state, err)
 		}
 	}
 	if owner == nil {
 		owner, err = core.NewOwner(p, *seed)
 		if err != nil {
-			log.Fatalf("mkse-owner: %v", err)
+			fatal("%v", err)
 		}
 	}
 
 	docs, err := loadDocuments(*docsDir, *synthetic, *seed)
 	if err != nil {
-		log.Fatalf("mkse-owner: %v", err)
+		fatal("%v", err)
 	}
-	logger.Printf("indexing %d documents (η=%d)", len(docs), p.Eta())
+	logger.Info("indexing documents", "documents", len(docs), "eta", p.Eta())
 	// Register the observed keyword universe so clients may use vector-mode
 	// trapdoors (§4.2's alternative delivery).
 	dictSet := make(map[string]bool)
@@ -89,42 +105,42 @@ func main() {
 	for _, d := range docs {
 		si, enc, err := owner.Prepare(d)
 		if err != nil {
-			log.Fatalf("mkse-owner: preparing %q: %v", d.ID, err)
+			fatal("preparing %q: %v", d.ID, err)
 		}
 		items = append(items, service.UploadItem{Index: si, Doc: enc})
 	}
 	if len(items) > 0 {
 		if err := service.UploadAll(*cloud, items); err != nil {
-			log.Fatalf("mkse-owner: upload: %v", err)
+			fatal("upload: %v", err)
 		}
-		logger.Printf("uploaded %d documents to %s", len(items), *cloud)
+		logger.Info("uploaded documents", "documents", len(items), "cloud", *cloud)
 	}
 
 	if *state != "" {
 		if err := store.SaveOwnerFile(*state, owner); err != nil {
-			log.Fatalf("mkse-owner: saving state: %v", err)
+			fatal("saving state: %v", err)
 		}
-		logger.Printf("owner state saved to %s", *state)
+		logger.Info("owner state saved", "path", *state)
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		go func() {
 			<-sig
 			if err := store.SaveOwnerFile(*state, owner); err != nil {
-				logger.Printf("state save failed: %v", err)
+				logger.Error("state save failed", "err", err)
 				os.Exit(1)
 			}
-			logger.Printf("owner state saved to %s", *state)
+			logger.Info("owner state saved", "path", *state)
 			os.Exit(0)
 		}()
 	}
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
-		log.Fatalf("mkse-owner: %v", err)
+		fatal("%v", err)
 	}
-	logger.Printf("listening on %s", l.Addr())
+	logger.Info("listening", "addr", l.Addr().String())
 	if err := (&service.OwnerService{Owner: owner, Logger: logger}).Serve(l); err != nil {
-		log.Fatalf("mkse-owner: %v", err)
+		fatal("%v", err)
 	}
 }
 

@@ -11,6 +11,8 @@
 //	            [-fsync always|interval|never]
 //	            [-replica-of primary:7002]
 //	            [-drain 5s] [-idle-timeout 0]
+//	            [-metrics-addr :7012] [-slow-query 250ms]
+//	            [-log-format text|json] [-log-level info]
 //	            [-snapshot cloud.db]
 //
 // -shards splits the document store into independently locked shards
@@ -54,6 +56,16 @@
 // under a higher fencing term, and the reconfigure verb repoints it at a
 // new primary; see internal/observer.
 //
+// -metrics-addr starts the telemetry sidecar (internal/telemetry) on a
+// separate listener: /metrics renders the daemon's Prometheus series —
+// per-verb request latency histograms, arena-scan timings, store/cache/WAL
+// gauges and counters, per-follower replication lag — /healthz answers a
+// role-aware readiness check (a follower with its stream down or lagging
+// past budget reports 503), and /debug/pprof exposes the runtime profiles.
+// -slow-query logs any search or batch slower than the threshold at WARN.
+// Logs are structured (log/slog); -log-format json emits one object per
+// line for shippers and -log-level debug adds a line per request.
+//
 // -drain bounds the graceful-shutdown window: on SIGINT/SIGTERM the daemon
 // stops accepting connections, waits up to the window for in-flight
 // requests to finish, then force-closes stragglers before persisting.
@@ -74,38 +86,57 @@ import (
 	"flag"
 	"fmt"
 	"io/fs"
-	"log"
 	"net"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"mkse/internal/buildinfo"
 	"mkse/internal/cliutil"
 	"mkse/internal/core"
 	"mkse/internal/durable"
 	"mkse/internal/service"
 	"mkse/internal/store"
+	"mkse/internal/telemetry"
 )
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mkse-server: "+format+"\n", args...)
+	os.Exit(1)
+}
 
 func main() {
 	var (
-		listen    = flag.String("listen", ":7002", "address to listen on")
-		levels    = flag.String("levels", "1", "comma-separated ranking thresholds (η levels)")
-		snapshot  = flag.String("snapshot", "", "legacy single-file persistence (superseded by -data)")
-		dataDir   = flag.String("data", "", "durable engine data directory (write-ahead log + checkpoints)")
-		ckptEvery = flag.Int("checkpoint-every", 4096, "mutations between background checkpoints with -data (0 = only on shutdown)")
-		fsyncMode = flag.String("fsync", "interval", "WAL sync policy with -data: always, interval or never")
-		replicaOf = flag.String("replica-of", "", "primary address to follow as a read-only replica (requires -data)")
-		shards    = flag.Int("shards", 0, "document store shards (0 = one per core)")
-		workers   = flag.Int("workers", 0, "concurrent shard scans per query (0 = auto)")
-		cacheMB   = flag.Int("cache-mb", 0, "query-result cache budget in MiB (0 = disabled)")
-		drain     = flag.Duration("drain", 5*time.Second, "graceful-shutdown window for in-flight requests")
-		idle      = flag.Duration("idle-timeout", 0, "disconnect clients idle between requests this long (0 = never)")
+		listen      = flag.String("listen", ":7002", "address to listen on")
+		levels      = flag.String("levels", "1", "comma-separated ranking thresholds (η levels)")
+		snapshot    = flag.String("snapshot", "", "legacy single-file persistence (superseded by -data)")
+		dataDir     = flag.String("data", "", "durable engine data directory (write-ahead log + checkpoints)")
+		ckptEvery   = flag.Int("checkpoint-every", 4096, "mutations between background checkpoints with -data (0 = only on shutdown)")
+		fsyncMode   = flag.String("fsync", "interval", "WAL sync policy with -data: always, interval or never")
+		replicaOf   = flag.String("replica-of", "", "primary address to follow as a read-only replica (requires -data)")
+		shards      = flag.Int("shards", 0, "document store shards (0 = one per core)")
+		workers     = flag.Int("workers", 0, "concurrent shard scans per query (0 = auto)")
+		cacheMB     = flag.Int("cache-mb", 0, "query-result cache budget in MiB (0 = disabled)")
+		drain       = flag.Duration("drain", 5*time.Second, "graceful-shutdown window for in-flight requests")
+		idle        = flag.Duration("idle-timeout", 0, "disconnect clients idle between requests this long (0 = never)")
+		metricsAddr = flag.String("metrics-addr", "", "telemetry sidecar address serving /metrics, /healthz and /debug/pprof (empty = disabled)")
+		slowQuery   = flag.Duration("slow-query", 0, "log searches slower than this at WARN (0 = disabled)")
+		logFormat   = flag.String("log-format", "text", "log output format: text or json")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		version     = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "mkse-server ", log.LstdFlags)
+	if *version {
+		fmt.Println(buildinfo.String("mkse-server"))
+		return
+	}
+	logger, err := cliutil.NewLogger("mkse-server", *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mkse-server: %v\n", err)
+		os.Exit(2)
+	}
 
 	p := core.DefaultParams()
 	lv, err := cliutil.ParseLevels(*levels)
@@ -124,16 +155,17 @@ func main() {
 		os.Exit(2)
 	}
 
-	svc := &service.CloudService{Logger: logger, IdleTimeout: *idle}
+	svc := &service.CloudService{Logger: logger, IdleTimeout: *idle, SlowQuery: *slowQuery}
 	if *cacheMB > 0 {
 		// Works on primaries and followers alike: entries are validated
 		// against this server's own mutation epoch, so local mutations and
 		// replicated applies both invalidate naturally.
 		svc.Cache = service.NewResultCache(int64(*cacheMB) << 20)
-		logger.Printf("query-result cache enabled: %d MiB", *cacheMB)
+		logger.Info("query-result cache enabled", "budget_mib", *cacheMB)
 	}
 	// persist runs on every clean shutdown path.
 	var persist func()
+	var eng *durable.Engine
 
 	switch {
 	case *dataDir != "":
@@ -142,24 +174,25 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mkse-server: %v\n", err)
 			os.Exit(2)
 		}
-		eng, err := durable.Open(*dataDir, p, durable.Options{
+		eng, err = durable.Open(*dataDir, p, durable.Options{
 			Shards: *shards, Workers: *workers,
 			Fsync: fsync, CheckpointEvery: *ckptEvery,
 			Logger: logger,
 		})
 		if err != nil {
-			log.Fatalf("mkse-server: opening %s: %v", *dataDir, err)
+			fatal("opening %s: %v", *dataDir, err)
 		}
 		st := eng.Stats()
-		logger.Printf("durable engine at %s: %d documents (checkpoint LSN %d, %d ops replayed), term %d, fsync=%s",
-			*dataDir, eng.Server().NumDocuments(), st.CheckpointLSN, st.ReplayedOps, st.Term, fsync)
+		logger.Info("durable engine open", "dir", *dataDir,
+			"documents", eng.Server().NumDocuments(), "checkpoint_lsn", st.CheckpointLSN,
+			"replayed_ops", st.ReplayedOps, "term", st.Term, "fsync", fsync.String())
 		svc.Server = eng.Server()
 		svc.Store = eng
 		svc.WAL = eng // any durable server can feed followers
 		svc.Eng = eng // enables the promote and reconfigure verbs
 		if *replicaOf != "" {
 			svc.Replica = service.StartReplica(eng, *replicaOf, logger)
-			logger.Printf("following primary %s from position %d (read-only)", *replicaOf, eng.Position())
+			logger.Info("following primary (read-only)", "primary", *replicaOf, "position", eng.Position())
 		}
 		persist = func() {
 			// The replica may have been swapped or cleared at runtime by the
@@ -168,10 +201,11 @@ func main() {
 				rep.Close()
 			}
 			if err := eng.Close(); err != nil {
-				logger.Printf("final checkpoint failed: %v", err)
+				logger.Error("final checkpoint failed", "err", err)
 				os.Exit(1)
 			}
-			logger.Printf("checkpointed %d documents at LSN %d", eng.Server().NumDocuments(), eng.Stats().CheckpointLSN)
+			logger.Info("checkpointed on shutdown",
+				"documents", eng.Server().NumDocuments(), "checkpoint_lsn", eng.Stats().CheckpointLSN)
 		}
 
 	default:
@@ -183,33 +217,54 @@ func main() {
 			switch restored, err := store.LoadFileWith(*snapshot, mkServer); {
 			case err == nil:
 				server = restored
-				logger.Printf("restored %d documents from %s", server.NumDocuments(), *snapshot)
+				logger.Info("restored snapshot", "documents", server.NumDocuments(), "path", *snapshot)
 			case errors.Is(err, fs.ErrNotExist):
-				logger.Printf("no snapshot at %s yet, starting empty", *snapshot)
+				logger.Info("no snapshot yet, starting empty", "path", *snapshot)
 			default:
-				log.Fatalf("mkse-server: restoring %s: %v", *snapshot, err)
+				fatal("restoring %s: %v", *snapshot, err)
 			}
 		}
 		if server == nil {
 			if server, err = mkServer(p); err != nil {
-				log.Fatalf("mkse-server: %v", err)
+				fatal("%v", err)
 			}
 		}
 		svc.Server = server
 		if *snapshot != "" {
 			persist = func() {
 				if err := store.SaveFile(*snapshot, server); err != nil {
-					logger.Printf("snapshot failed: %v", err)
+					logger.Error("snapshot failed", "err", err)
 					os.Exit(1)
 				}
-				logger.Printf("snapshotted %d documents to %s", server.NumDocuments(), *snapshot)
+				logger.Info("snapshotted on shutdown", "documents", server.NumDocuments(), "path", *snapshot)
 			}
 		}
 	}
 
+	// The telemetry sidecar listens separately from the wire protocol so
+	// scrapes and profiles keep answering while the service port drains.
+	var metricsSrv interface{ Close() error }
+	if *metricsAddr != "" {
+		reg := telemetry.New()
+		ver, commit := buildinfo.Fields()
+		reg.Gauge(service.SeriesBuildInfo, "Build metadata; the labelled series is always 1.",
+			telemetry.Label{Key: "version", Value: ver},
+			telemetry.Label{Key: "commit", Value: commit}).Set(1)
+		svc.EnableMetrics(reg)
+		if eng != nil {
+			eng.EnableMetrics(reg)
+		}
+		srv, err := telemetry.Serve(*metricsAddr, reg,
+			func() telemetry.Health { return svc.Health(0) }, logger)
+		if err != nil {
+			fatal("%v", err)
+		}
+		metricsSrv = srv
+	}
+
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
-		log.Fatalf("mkse-server: %v", err)
+		fatal("%v", err)
 	}
 
 	// A signal closes the listener; Serve then returns cleanly and the
@@ -219,19 +274,24 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		s := <-sig
-		logger.Printf("received %v, shutting down", s)
+		logger.Info("shutting down on signal", "signal", s.String())
 		l.Close()
 	}()
 
-	logger.Printf("listening on %s (r=%d, η=%d, %d shards)", l.Addr(), svc.Server.Params().R, svc.Server.Params().Eta(), svc.Server.NumShards())
+	logger.Info("listening", "addr", l.Addr().String(),
+		"r", svc.Server.Params().R, "eta", svc.Server.Params().Eta(), "shards", svc.Server.NumShards())
 	if err := svc.Serve(l); err != nil {
-		log.Fatalf("mkse-server: %v", err)
+		fatal("%v", err)
 	}
 	// The listener is closed; give in-flight requests the drain window
 	// before persisting, so the final checkpoint reflects every write the
-	// daemon acknowledged.
+	// daemon acknowledged. The sidecar stays up through the drain — the
+	// final scrape sees the shutdown — and closes last.
 	svc.Drain(*drain)
 	if persist != nil {
 		persist()
+	}
+	if metricsSrv != nil {
+		metricsSrv.Close()
 	}
 }

@@ -118,6 +118,27 @@
 // (mkse-client stats) reports hit/miss/eviction/invalidation counters. See
 // EXPERIMENTS.md ("Query-result cache") for cold/warm/invalidate numbers.
 //
+// # Observability
+//
+// Every daemon is instrumented end to end (internal/telemetry): a
+// dependency-free metrics registry — atomic counters, gauges and
+// fixed-bucket latency histograms in the Prometheus text exposition format
+// — and an HTTP sidecar (mkse-server/mkse-observer -metrics-addr) serving
+// /metrics, a readiness-gated /healthz (503 on a fenced ex-primary or a
+// lagging follower, the same judgment the cluster's own routing applies)
+// and net/http/pprof. The instruments sit under the search hot path by
+// design: an observation is a bucket-index computation plus two atomic
+// adds, every method is nil-safe so disabled telemetry costs one nil
+// check, and the steady-state scan path stays allocation-free with metrics
+// enabled. Exported series cover per-verb request latency and errors, arena
+// scan durations, WAL append/fsync/checkpoint latency, replication lag per
+// follower, cache counters and failover activity; mkse-client stats -json
+// emits the same series names over the wire protocol. All daemons log
+// structured log/slog records (text or JSON) with a -slow-query WARN
+// threshold, and every binary reports its build stamp via -version
+// (internal/buildinfo) and the mkse_build_info series. See README.md
+// ("Observability") for the full series table.
+//
 // # Package layout
 //
 // This root package is the public API: parameters, the three roles (Owner,
@@ -136,6 +157,8 @@
 //   - internal/qcache — the epoch-invalidated query-result cache
 //   - internal/protocol, internal/service — the three-party TCP deployment,
 //     including the replication stream and the read-balancing client
+//   - internal/telemetry, internal/buildinfo — the metrics registry, the
+//     /metrics + /healthz + pprof sidecar, and build stamping
 //
 // # Quickstart
 //

@@ -16,6 +16,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"os"
 	"time"
@@ -112,7 +113,7 @@ func main() {
 		ProbeEvery:   50 * time.Millisecond,
 		ProbeTimeout: 250 * time.Millisecond,
 		FailAfter:    3,
-		Logger:       log.New(os.Stdout, "observer ", 0),
+		Logger:       slog.New(slog.NewTextHandler(os.Stdout, nil)),
 		OnFailover: func(oldPrimary, newPrimary string, term uint64) {
 			fmt.Printf(">>> failover: %s -> %s at term %d\n", oldPrimary, newPrimary, term)
 		},

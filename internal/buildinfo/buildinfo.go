@@ -1,0 +1,56 @@
+// Package buildinfo stamps the binaries with their version and commit.
+// Release builds inject both via the linker:
+//
+//	go build -ldflags "-X mkse/internal/buildinfo.Version=v1.2.3 \
+//	                   -X mkse/internal/buildinfo.Commit=$(git rev-parse --short HEAD)" ./cmd/...
+//
+// Unstamped builds fall back to the module's VCS metadata when the Go
+// toolchain embedded it, and to "dev"/"unknown" otherwise. Every binary
+// exposes the result through its -version flag, and the telemetry-enabled
+// daemons additionally export it as the mkse_build_info gauge so a fleet's
+// deployed versions can be inventoried from Prometheus alone.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version and Commit are injected with -ldflags -X; see the package comment.
+var (
+	Version = "dev"
+	Commit  = ""
+)
+
+// resolve backfills Commit from the build's embedded VCS metadata.
+func resolve() (version, commit string) {
+	version, commit = Version, Commit
+	if commit == "" {
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			for _, s := range bi.Settings {
+				if s.Key == "vcs.revision" {
+					commit = s.Value
+					if len(commit) > 12 {
+						commit = commit[:12]
+					}
+				}
+			}
+		}
+	}
+	if commit == "" {
+		commit = "unknown"
+	}
+	return version, commit
+}
+
+// Fields returns the resolved version and commit, the label values of the
+// mkse_build_info gauge.
+func Fields() (version, commit string) { return resolve() }
+
+// String renders the one-line -version output for the named binary.
+func String(binary string) string {
+	version, commit := resolve()
+	return fmt.Sprintf("%s %s (commit %s, %s %s/%s)",
+		binary, version, commit, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}

@@ -1,0 +1,30 @@
+package cliutil
+
+import (
+	"fmt"
+	"log/slog"
+	"os"
+)
+
+// NewLogger builds the structured logger behind every daemon's -log-format
+// and -log-level flags: slog on stderr, "text" (human-oriented key=value)
+// or "json" (one object per line, for log shippers), at debug, info, warn
+// or error. The binary's name rides along as the bin attribute so merged
+// multi-daemon logs stay attributable.
+func NewLogger(binary, format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("invalid -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch format {
+	case "", "text":
+		h = slog.NewTextHandler(os.Stderr, opts)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	default:
+		return nil, fmt.Errorf("invalid -log-format %q (want text or json)", format)
+	}
+	return slog.New(h).With("bin", binary), nil
+}

@@ -9,9 +9,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mkse/internal/bitindex"
 	"mkse/internal/costs"
+	"mkse/internal/telemetry"
 )
 
 // ErrNotFound reports an operation on a document ID the server does not
@@ -100,6 +102,13 @@ type Server struct {
 	startWorkers sync.Once
 	jobs         []chan scanJob
 
+	// scanHist, when set (ObserveScans), receives the wall-clock duration of
+	// every SearchTop/SearchBatch scan. A histogram observation is two atomic
+	// adds into preallocated buckets, so enabling telemetry keeps the
+	// steady-state search path allocation-free (pinned by
+	// TestSearchScanPathAllocationFree).
+	scanHist atomic.Pointer[telemetry.Histogram]
+
 	// Costs tallies server-side binary comparisons (Table 2) and traffic.
 	Costs costs.Counters
 }
@@ -176,6 +185,13 @@ func (s *Server) Epoch() uint64 { return s.epoch.Load() }
 
 // NumWorkers returns the resolved search worker-pool size.
 func (s *Server) NumWorkers() int { return s.workers }
+
+// ObserveScans points the server's scan-latency instrument at h: every
+// subsequent SearchTop or SearchBatch call records its scan duration there
+// (the raw arena-scan time, before any wire encoding or result caching —
+// the number that moves when the kernel or the corpus does). A nil h
+// disables observation. Safe to call concurrently with searches.
+func (s *Server) ObserveScans(h *telemetry.Histogram) { s.scanHist.Store(h) }
 
 // shardFor routes a document ID to its shard (inlined 32-bit FNV-1a — the
 // hash/fnv object would heap-allocate on every Upload/Fetch).
@@ -629,6 +645,11 @@ func (s *Server) SearchTop(q *bitindex.Vector, tau int) ([]Match, error) {
 	if err := s.validateQuery(q); err != nil {
 		return nil, err
 	}
+	h := s.scanHist.Load()
+	var start time.Time
+	if h != nil {
+		start = time.Now()
+	}
 	// Wrap the query and result in pooled one-element slices so a SearchTop
 	// call allocates nothing but the returned matches.
 	sc := s.scratch.Get().(*scanScratch)
@@ -643,6 +664,9 @@ func (s *Server) SearchTop(q *bitindex.Vector, tau int) ([]Match, error) {
 	sc.out[0] = nil
 	sc.qbuf[0] = nil
 	s.scratch.Put(sc)
+	if h != nil {
+		h.Observe(time.Since(start))
+	}
 	return res, nil
 }
 
@@ -660,10 +684,18 @@ func (s *Server) SearchBatch(queries []*bitindex.Vector, tau int) ([][]Match, er
 			return nil, fmt.Errorf("core: batch query %d: %w", i, err)
 		}
 	}
+	h := s.scanHist.Load()
+	var start time.Time
+	if h != nil {
+		start = time.Now()
+	}
 	out := make([][]Match, len(queries))
 	sc := s.scratch.Get().(*scanScratch)
 	s.searchSharded(sc, queries, tau, out)
 	s.scratch.Put(sc)
+	if h != nil {
+		h.Observe(time.Since(start))
+	}
 	return out, nil
 }
 

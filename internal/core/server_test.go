@@ -8,6 +8,7 @@ import (
 
 	"mkse/internal/bitindex"
 	"mkse/internal/corpus"
+	"mkse/internal/telemetry"
 )
 
 // searchReference replicates the pre-sharding implementation: scan every
@@ -360,6 +361,11 @@ func TestConcurrentUploadSearchFetch(t *testing.T) {
 // assembly: a query with no matches allocates only the result slice, and a
 // τ-cut query allocates only its τ Match structs and Meta copies. All scan
 // scratch (sparse query forms, match flags, heaps, merge buffers) is pooled.
+//
+// The whole test runs with the telemetry scan histogram enabled: a metrics
+// observation is a bucket index plus two atomic adds into preallocated
+// slots, so instrumentation must not cost the scan path a single
+// allocation either.
 func TestSearchScanPathAllocationFree(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates on otherwise allocation-free paths")
@@ -369,6 +375,8 @@ func TestSearchScanPathAllocationFree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	scanHist := telemetry.New().Histogram("test_scan_seconds", "scan timings", telemetry.RequestBuckets())
+	srv.ObserveScans(scanHist)
 	docs := uploadCorpus(t, o, 200, 37, srv)
 
 	u := newUserFor(t, o, "alloc-prop")
@@ -421,12 +429,20 @@ func TestSearchScanPathAllocationFree(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	multi.ObserveScans(scanHist)
 	if got := testing.AllocsPerRun(100, func() {
 		if _, err := multi.SearchTop(miss, 5); err != nil {
 			t.Fatal(err)
 		}
 	}); got > 0 {
 		t.Errorf("no-match multi-worker SearchTop allocates %.0f times per query, want 0", got)
+	}
+
+	// Every instrumented search above must actually have been observed — a
+	// zero count would mean the histogram hook silently fell off and the
+	// allocation assertions proved nothing about the telemetry-enabled path.
+	if scanHist.Count() == 0 {
+		t.Fatal("scan histogram observed nothing; the telemetry hook is disconnected")
 	}
 }
 

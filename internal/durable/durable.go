@@ -37,18 +37,20 @@ package durable
 import (
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mkse/internal/bitindex"
 	"mkse/internal/core"
 	"mkse/internal/store"
+	"mkse/internal/telemetry"
 )
 
 // FsyncPolicy says when the engine forces logged records to stable storage.
@@ -108,7 +110,7 @@ type Options struct {
 	// explicit Checkpoint calls.
 	CheckpointEvery int
 	// Logger, if set, receives recovery and checkpoint notices.
-	Logger *log.Logger
+	Logger *slog.Logger
 }
 
 // Stats is a point-in-time snapshot of the engine's counters.
@@ -168,6 +170,64 @@ type Engine struct {
 	ckptCh chan struct{}
 	done   chan struct{}
 	wg     sync.WaitGroup
+
+	// metrics, when set by EnableMetrics, receives append/fsync/checkpoint
+	// latency observations. An atomic pointer so EnableMetrics can run after
+	// Open without racing the mutation path; nil costs one load per append.
+	metrics atomic.Pointer[engineMetrics]
+	// openedAt anchors the checkpoint-age gauge until the first checkpoint;
+	// lastCkptAt (under mu) is when the newest checkpoint landed.
+	openedAt   time.Time
+	lastCkptAt time.Time
+}
+
+// engineMetrics are the engine's hot-path latency instruments. The
+// counters and gauges the engine already tracks in Stats are exported as
+// scrape-time functions instead (see EnableMetrics).
+type engineMetrics struct {
+	appendLat *telemetry.Histogram // mkse_wal_append_seconds
+	fsyncLat  *telemetry.Histogram // mkse_wal_fsync_seconds
+	ckptDur   *telemetry.Histogram // mkse_checkpoint_duration_seconds
+	ckptPause *telemetry.Histogram // mkse_checkpoint_pause_seconds
+}
+
+// EnableMetrics registers the engine's series on reg and starts observing:
+// WAL append and fsync latency (WriteBuckets geometry), whole-checkpoint
+// duration and mutation-stream pause, plus scrape-time readings of the
+// Stats counters — checkpoint LSN and age, checkpoints taken, WAL bytes
+// appended. Safe to call while the engine is serving.
+func (e *Engine) EnableMetrics(reg *telemetry.Registry) {
+	m := &engineMetrics{
+		appendLat: reg.Histogram("mkse_wal_append_seconds",
+			"WAL record append latency (framing + write + policy fsync).", telemetry.WriteBuckets()),
+		fsyncLat: reg.Histogram("mkse_wal_fsync_seconds",
+			"WAL fsync latency.", telemetry.WriteBuckets()),
+		ckptDur: reg.Histogram("mkse_checkpoint_duration_seconds",
+			"Whole-checkpoint duration: materialize, rotate, serialize, install.", telemetry.RequestBuckets()),
+		ckptPause: reg.Histogram("mkse_checkpoint_pause_seconds",
+			"Mutation-stream pause during a checkpoint cut (searches never pause).", telemetry.RequestBuckets()),
+	}
+	reg.GaugeFunc("mkse_checkpoint_lsn", "LSN covered by the newest durable checkpoint.",
+		func() float64 { return float64(e.Stats().CheckpointLSN) })
+	reg.GaugeFunc("mkse_checkpoint_age_seconds",
+		"Seconds since the newest checkpoint landed (since Open when none has).",
+		func() float64 { return time.Since(e.checkpointAnchor()).Seconds() })
+	reg.CounterFunc("mkse_checkpoints_total", "Checkpoints taken by this engine instance.",
+		func() float64 { return float64(e.Stats().Checkpoints) })
+	reg.CounterFunc("mkse_wal_appended_bytes_total", "Bytes appended to the WAL by this engine instance.",
+		func() float64 { return float64(e.Stats().WALBytes) })
+	e.metrics.Store(m)
+}
+
+// checkpointAnchor returns the newest checkpoint's completion time, or when
+// the engine opened if it has not checkpointed yet.
+func (e *Engine) checkpointAnchor() time.Time {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.lastCkptAt.IsZero() {
+		return e.openedAt
+	}
+	return e.lastCkptAt
 }
 
 // Open recovers (or creates) an engine over dir. A directory that does not
@@ -188,11 +248,12 @@ func Open(dir string, p core.Params, opts Options) (*Engine, error) {
 	}
 
 	e := &Engine{
-		dir:    dir,
-		opts:   opts,
-		ckptCh: make(chan struct{}, 1),
-		done:   make(chan struct{}),
-		notify: make(chan struct{}),
+		dir:      dir,
+		opts:     opts,
+		ckptCh:   make(chan struct{}, 1),
+		done:     make(chan struct{}),
+		notify:   make(chan struct{}),
+		openedAt: time.Now(),
 	}
 	mk := func(p core.Params) (*core.Server, error) {
 		return core.NewServerSharded(p, opts.Shards, opts.Workers)
@@ -386,6 +447,11 @@ func (e *Engine) logLocked(rec []byte) error {
 	if len(rec) > MaxOpSize {
 		return fmt.Errorf("durable: %d-byte mutation exceeds the %d-byte limit (documents must stay shippable to replicas in one frame)", len(rec), MaxOpSize)
 	}
+	m := e.metrics.Load()
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
 	var err error
 	e.frame, err = AppendRecord(e.frame[:0], rec)
 	if err != nil {
@@ -414,17 +480,28 @@ func (e *Engine) logLocked(rec []byte) error {
 	close(e.notify)
 	e.notify = make(chan struct{})
 	if e.opts.Fsync == FsyncAlways {
-		return e.syncLocked()
+		err = e.syncLocked()
 	}
-	return nil
+	if m != nil {
+		m.appendLat.Observe(time.Since(t0))
+	}
+	return err
 }
 
 func (e *Engine) syncLocked() error {
 	if !e.dirty {
 		return nil
 	}
+	m := e.metrics.Load()
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
 	if err := e.f.Sync(); err != nil {
 		return fmt.Errorf("durable: syncing WAL: %w", err)
+	}
+	if m != nil {
+		m.fsyncLat.Observe(time.Since(t0))
 	}
 	e.dirty = false
 	return nil
@@ -527,7 +604,12 @@ func (e *Engine) checkpoint(force bool) error {
 	e.stats.CheckpointLSN = lsn
 	e.stats.Checkpoints++
 	e.stats.LastCheckpointWrite = time.Since(wstart)
+	e.lastCkptAt = time.Now()
 	e.mu.Unlock()
+	if m := e.metrics.Load(); m != nil {
+		m.ckptPause.Observe(pause)
+		m.ckptDur.Observe(time.Since(start))
+	}
 	e.cleanup()
 	logf(e.opts.Logger, "durable: checkpoint at LSN %d (%d documents, %v pause)", lsn, len(snap.items), pause)
 	return nil
@@ -872,8 +954,8 @@ func syncDir(dir string) error {
 	return nil
 }
 
-func logf(l *log.Logger, format string, args ...any) {
+func logf(l *slog.Logger, format string, args ...any) {
 	if l != nil {
-		l.Printf(format, args...)
+		l.Info(fmt.Sprintf(format, args...))
 	}
 }

@@ -41,6 +41,29 @@ func TestAddAndBuckets(t *testing.T) {
 	}
 }
 
+// BucketIndex is the shared bucket math (Figure 2 histograms here, latency
+// histograms in internal/telemetry): half-open [lo, hi) buckets, so a value
+// exactly on a bound belongs to the next bucket, with out-of-range values
+// clamped into the end buckets.
+func TestBucketIndexBoundaries(t *testing.T) {
+	const lo, width, nb = 100, 10, 5 // buckets [100,110) … [140,150)
+	cases := []struct{ v, want int }{
+		{99, 0},   // below range clamps to first
+		{100, 0},  // inclusive lower bound
+		{109, 0},  // last value of bucket 0
+		{110, 1},  // exactly on a bound → next bucket
+		{149, 4},  // last in-range value
+		{150, 4},  // hi clamps to last
+		{1000, 4}, // far past range clamps to last
+		{-50, 0},  // negative clamps to first
+	}
+	for _, c := range cases {
+		if got := BucketIndex(lo, width, nb, c.v); got != c.want {
+			t.Errorf("BucketIndex(%d,%d,%d,%d) = %d, want %d", lo, width, nb, c.v, got, c.want)
+		}
+	}
+}
+
 func TestAddClampsOutOfRange(t *testing.T) {
 	h := New(0, 100, 10)
 	h.Add(-5)

@@ -1,0 +1,69 @@
+package observer
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mkse/internal/telemetry"
+)
+
+// Probe failures land in the counter and surface through /healthz detail;
+// the scrape-time gauges track Status without double bookkeeping.
+func TestObserverMetrics(t *testing.T) {
+	obs := New(Config{
+		Primary:      "127.0.0.1:1", // nothing listens there
+		Followers:    []string{"127.0.0.1:2"},
+		ProbeTimeout: 50 * time.Millisecond,
+		FailAfter:    10, // far above the ticks below: no failover attempt
+	})
+	reg := telemetry.New()
+	obs.EnableMetrics(reg)
+
+	obs.Tick()
+	obs.Tick()
+
+	if got := obs.probeFailures.Value(); got != 2 {
+		t.Errorf("probe failure counter = %d, want 2", got)
+	}
+	if got := obs.failoverCount.Value(); got != 0 {
+		t.Errorf("failover counter = %d, want 0", got)
+	}
+
+	h := obs.Health()
+	if !h.Ready || h.Role != "observer" {
+		t.Errorf("health = %+v, want ready observer", h)
+	}
+	if !strings.Contains(h.Detail, "failing probes") {
+		t.Errorf("health detail %q should narrate the failing probes", h.Detail)
+	}
+
+	rendered := reg.Render()
+	for _, want := range []string{
+		"mkse_observer_probe_failures_total 2",
+		"mkse_observer_failovers_total 0",
+		"mkse_observer_promotions_total 0",
+		"mkse_observer_consecutive_failures 2",
+		"mkse_observer_term ",
+		"mkse_observer_pending_repoints 0",
+		"mkse_observer_pending_demotes 0",
+	} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+}
+
+// An unconfigured observer (no metrics enabled) ticks fine: the counters
+// are nil and nil instruments no-op.
+func TestObserverWithoutMetrics(t *testing.T) {
+	obs := New(Config{
+		Primary:      "127.0.0.1:1",
+		ProbeTimeout: 50 * time.Millisecond,
+		FailAfter:    10,
+	})
+	obs.Tick()
+	if st := obs.Status(); st.ConsecFails != 1 {
+		t.Errorf("ConsecFails = %d, want 1", st.ConsecFails)
+	}
+}

@@ -15,13 +15,14 @@ package observer
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"sort"
 	"sync"
 	"time"
 
 	"mkse/internal/protocol"
+	"mkse/internal/telemetry"
 )
 
 // Config tunes an Observer. Primary and Followers are required.
@@ -39,7 +40,7 @@ type Config struct {
 	// packet; only a sustained outage may cost the primary its role.
 	FailAfter int
 	// Logger, if set, receives probe and failover notices.
-	Logger *log.Logger
+	Logger *slog.Logger
 	// OnFailover, if set, is called after each completed promotion.
 	OnFailover func(oldPrimary, newPrimary string, term uint64)
 }
@@ -74,8 +75,37 @@ type Observer struct {
 	// (the new primary dying mid-failover) is nastiest.
 	afterPromote func(newPrimary string)
 
+	// Counters set by EnableMetrics; nil-safe when disabled.
+	probeFailures *telemetry.Counter
+	failoverCount *telemetry.Counter
+	promotions    *telemetry.Counter
+
 	done chan struct{}
 	wg   sync.WaitGroup
+}
+
+// EnableMetrics registers the observer's series on reg: probe-failure,
+// failover and promotion counters, and scrape-time gauges for the highest
+// term seen, the consecutive-failure streak, and the pending repoint and
+// demote backlogs. Call it once, before Start.
+func (o *Observer) EnableMetrics(reg *telemetry.Registry) {
+	o.probeFailures = reg.Counter("mkse_observer_probe_failures_total",
+		"Failed primary health probes.")
+	o.failoverCount = reg.Counter("mkse_observer_failovers_total",
+		"Completed failovers (a replacement primary is installed).")
+	o.promotions = reg.Counter("mkse_observer_promotions_total",
+		"Promote verbs issued (adoptions of an already-promoted peer not included).")
+	reg.GaugeFunc("mkse_observer_term", "Highest promotion term observed or issued.",
+		func() float64 { return float64(o.Status().Term) })
+	reg.GaugeFunc("mkse_observer_consecutive_failures",
+		"Current consecutive failed primary probes (failover triggers at the -fail-after threshold).",
+		func() float64 { return float64(o.Status().ConsecFails) })
+	reg.GaugeFunc("mkse_observer_pending_repoints",
+		"Followers not yet repointed at the current primary.",
+		func() float64 { return float64(len(o.Status().PendingRepoint)) })
+	reg.GaugeFunc("mkse_observer_pending_demotes",
+		"Old primaries not yet reconfigured into followers.",
+		func() float64 { return float64(len(o.Status().PendingDemote)) })
 }
 
 // New builds an observer over the given topology.
@@ -120,6 +150,22 @@ func (o *Observer) Close() {
 		close(o.done)
 	}
 	o.wg.Wait()
+}
+
+// Health reports the observer's /healthz payload. A running observer is
+// ready by definition — it exists to act on outages, not avoid them — so
+// readiness only reflects process liveness; the detail narrates an
+// in-progress escalation or cleanup backlog for humans.
+func (o *Observer) Health() telemetry.Health {
+	st := o.Status()
+	h := telemetry.Health{Ready: true, Role: "observer", Term: st.Term}
+	switch {
+	case st.ConsecFails > 0:
+		h.Detail = fmt.Sprintf("primary %s failing probes (%d consecutive)", st.Primary, st.ConsecFails)
+	case len(st.PendingRepoint)+len(st.PendingDemote) > 0:
+		h.Detail = fmt.Sprintf("%d repoint(s) and %d demotion(s) pending", len(st.PendingRepoint), len(st.PendingDemote))
+	}
+	return h
 }
 
 // Status reports the observer's current view.
@@ -171,6 +217,7 @@ func (o *Observer) Tick() {
 	o.fails++
 	fails := o.fails
 	o.mu.Unlock()
+	o.probeFailures.Inc()
 	o.logf("observer: primary %s unreachable (%d/%d): %v", primary, fails, o.failAfter(), err)
 	if fails >= o.failAfter() {
 		o.failover(primary)
@@ -247,6 +294,7 @@ func (o *Observer) failover(deadPrimary string) {
 			o.logf("observer: promoting %s to term %d failed: %v; will retry", newPrimary, newTerm, err)
 			return
 		}
+		o.promotions.Inc()
 		o.logf("observer: promoted %s to primary at term %d", newPrimary, newTerm)
 	}
 	if o.afterPromote != nil {
@@ -255,6 +303,7 @@ func (o *Observer) failover(deadPrimary string) {
 
 	// Commit the new topology, then repoint the survivors. Repoint failures
 	// go to the pending set and are retried on every healthy tick.
+	o.failoverCount.Inc()
 	o.mu.Lock()
 	o.failovers++
 	o.fails = 0
@@ -382,6 +431,6 @@ func (o *Observer) failAfter() int {
 
 func (o *Observer) logf(format string, args ...any) {
 	if o.cfg.Logger != nil {
-		o.cfg.Logger.Printf(format, args...)
+		o.cfg.Logger.Info(fmt.Sprintf(format, args...))
 	}
 }

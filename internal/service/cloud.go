@@ -2,7 +2,7 @@ package service
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
@@ -74,7 +74,15 @@ type CloudService struct {
 	// HeartbeatEvery is the idle heartbeat interval of outgoing replication
 	// streams (0 = 500ms).
 	HeartbeatEvery time.Duration
-	Logger         *log.Logger // optional
+	// Metrics, when set (EnableMetrics), receives per-verb request counts,
+	// latency histograms and the in-flight gauge for every request this
+	// service handles. A nil Metrics costs the hot path one nil check.
+	Metrics *ServiceMetrics
+	// SlowQuery, when non-zero, logs any search or batch search that takes
+	// longer than the threshold at WARN level with verb/duration/remote
+	// fields — the always-on tail-latency tripwire.
+	SlowQuery time.Duration
+	Logger    *slog.Logger // optional
 
 	replMu    sync.Mutex // guards followers, Replica (post-Serve) and demoted
 	followers map[*follower]struct{}
@@ -144,40 +152,83 @@ func (s *CloudService) backend() Backend {
 	return s.Server
 }
 
-// Serve accepts connections on l until it is closed.
+// Serve accepts connections on l until it is closed. Every request flows
+// through one instrumented dispatch: the verb is classified, the in-flight
+// gauge and per-verb counters/latency histograms are updated when Metrics
+// is enabled, searches over the SlowQuery threshold are logged at WARN, and
+// per-request DEBUG logs carry verb/duration/remote fields.
 func (s *CloudService) Serve(l net.Listener) error {
 	return serveLoop(l, s.Logger, s.IdleTimeout, &s.tracker, func(pc *protocol.Conn, conn net.Conn, m *protocol.Message) *protocol.Message {
-		switch {
-		case m.UploadReq != nil:
-			return s.handleUpload(m.UploadReq)
-		case m.DeleteReq != nil:
-			return s.handleDelete(m.DeleteReq)
-		case m.SearchReq != nil:
-			return s.handleSearch(m.SearchReq)
-		case m.SearchBatchReq != nil:
-			return s.handleSearchBatch(m.SearchBatchReq)
-		case m.FetchReq != nil:
-			return s.handleFetch(m.FetchReq)
-		case m.StatsReq != nil:
-			return s.handleStats()
-		case m.ReplicaSubscribeReq != nil:
-			// Takes over the connection for the stream's lifetime; a nil
-			// return tells serveLoop the conversation is over. The stream
-			// has its own liveness protocol (acks against heartbeats), so
-			// the per-request idle deadline comes off.
-			conn.SetReadDeadline(time.Time{})
-			s.handleReplicaSubscribe(pc, conn.RemoteAddr().String(), m.ReplicaSubscribeReq)
-			return nil
-		case m.ReplicaStatusReq != nil:
-			return s.handleReplicaStatus()
-		case m.PromoteReq != nil:
-			return s.handlePromote(m.PromoteReq)
-		case m.ReconfigureReq != nil:
-			return s.handleReconfigure(m.ReconfigureReq)
-		default:
-			return errMsg(fmt.Errorf("cloud: unsupported request"))
+		verb := verbOf(m)
+		mt := s.Metrics
+		var start time.Time
+		if mt != nil || s.SlowQuery > 0 || s.Logger != nil {
+			start = time.Now()
 		}
+		mt.begin()
+		resp := s.dispatch(pc, conn, m, verb)
+		mt.end()
+		if start.IsZero() {
+			return resp
+		}
+		dur := time.Since(start)
+		// A replication subscribe returns nil after owning the connection for
+		// the stream's whole lifetime — its "duration" is not a request
+		// latency, so it is counted but never observed.
+		if mt != nil && resp != nil {
+			mt.observe(verb, dur, resp.Error != nil)
+		}
+		if s.Logger == nil {
+			return resp
+		}
+		if s.SlowQuery > 0 && dur >= s.SlowQuery && (verb == VerbSearch || verb == VerbSearchBatch) {
+			s.Logger.Warn("slow query",
+				"verb", verb, "duration", dur, "remote", conn.RemoteAddr().String(),
+				"budget", s.SlowQuery, "documents", s.Server.NumDocuments())
+		} else if resp != nil && resp.Error != nil {
+			s.Logger.Warn("request failed",
+				"verb", verb, "duration", dur, "remote", conn.RemoteAddr().String(),
+				"err", resp.Error.Text)
+		} else {
+			s.Logger.Debug("request served",
+				"verb", verb, "duration", dur, "remote", conn.RemoteAddr().String())
+		}
+		return resp
 	})
+}
+
+// dispatch routes one decoded request to its handler.
+func (s *CloudService) dispatch(pc *protocol.Conn, conn net.Conn, m *protocol.Message, verb string) *protocol.Message {
+	switch verb {
+	case VerbUpload:
+		return s.handleUpload(m.UploadReq)
+	case VerbDelete:
+		return s.handleDelete(m.DeleteReq)
+	case VerbSearch:
+		return s.handleSearch(m.SearchReq)
+	case VerbSearchBatch:
+		return s.handleSearchBatch(m.SearchBatchReq)
+	case VerbFetch:
+		return s.handleFetch(m.FetchReq)
+	case VerbStats:
+		return s.handleStats()
+	case VerbReplicaSubscribe:
+		// Takes over the connection for the stream's lifetime; a nil
+		// return tells serveLoop the conversation is over. The stream
+		// has its own liveness protocol (acks against heartbeats), so
+		// the per-request idle deadline comes off.
+		conn.SetReadDeadline(time.Time{})
+		s.handleReplicaSubscribe(pc, conn.RemoteAddr().String(), m.ReplicaSubscribeReq)
+		return nil
+	case VerbReplicaStatus:
+		return s.handleReplicaStatus()
+	case VerbPromote:
+		return s.handlePromote(m.PromoteReq)
+	case VerbReconfigure:
+		return s.handleReconfigure(m.ReconfigureReq)
+	default:
+		return errMsg(fmt.Errorf("cloud: unsupported request"))
+	}
 }
 
 // handlePromote flips this daemon to primary in place: stop following, raise

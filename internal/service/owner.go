@@ -2,7 +2,7 @@ package service
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
 	"math/big"
 	"net"
 	"time"
@@ -20,7 +20,7 @@ type OwnerService struct {
 	// IdleTimeout, when non-zero, bounds how long a connection may sit
 	// between requests before it is dropped.
 	IdleTimeout time.Duration
-	Logger      *log.Logger // optional
+	Logger      *slog.Logger // optional
 }
 
 // Serve accepts connections on l until it is closed.

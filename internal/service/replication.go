@@ -3,7 +3,7 @@ package service
 import (
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"sort"
 	"sync"
@@ -277,7 +277,7 @@ type ReplicaStatus struct {
 type Replica struct {
 	eng     *durable.Engine
 	primary string
-	logger  *log.Logger
+	logger  *slog.Logger
 
 	mu         sync.Mutex
 	primaryPos uint64
@@ -301,7 +301,7 @@ func (r *Replica) Primary() string { return r.primary }
 // immediately; the stream (re)connects in the background. The engine must
 // use the same scheme parameters as the primary. Mutations must not be fed
 // to eng from anywhere else while the replica runs.
-func StartReplica(eng *durable.Engine, primaryAddr string, logger *log.Logger) *Replica {
+func StartReplica(eng *durable.Engine, primaryAddr string, logger *slog.Logger) *Replica {
 	r := &Replica{
 		eng:     eng,
 		primary: primaryAddr,

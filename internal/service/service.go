@@ -8,7 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
@@ -17,10 +17,14 @@ import (
 	"mkse/internal/protocol"
 )
 
-// logf is the package's nil-safe logger helper.
-func logf(l *log.Logger, format string, args ...any) {
+// logf is the package's nil-safe logger helper for free-form notices.
+// Per-request logging goes through structured slog calls with verb,
+// duration and remote fields (see CloudService.Serve); logf covers the
+// irregular events — fencing, drains, stream lifecycles — where a rendered
+// message is the payload.
+func logf(l *slog.Logger, format string, args ...any) {
 	if l != nil {
-		l.Printf(format, args...)
+		l.Info(fmt.Sprintf(format, args...))
 	}
 }
 
@@ -100,7 +104,7 @@ func (t *connTracker) drain(timeout time.Duration) int {
 // stalled or half-open client cannot pin a handler goroutine forever; a
 // handler that takes the connection over must clear the deadline itself.
 // tracker, when non-nil, registers connections for drain on shutdown.
-func serveLoop(l net.Listener, logger *log.Logger, idle time.Duration, tracker *connTracker, handler func(*protocol.Conn, net.Conn, *protocol.Message) *protocol.Message) error {
+func serveLoop(l net.Listener, logger *slog.Logger, idle time.Duration, tracker *connTracker, handler func(*protocol.Conn, net.Conn, *protocol.Message) *protocol.Message) error {
 	for {
 		conn, err := l.Accept()
 		if err != nil {

@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Health is a daemon's point-in-time readiness report, served as JSON on
+// /healthz. Ready gates the HTTP status (200 ready, 503 not): a follower is
+// not ready while its replication stream is down or lagging past the
+// operator's budget, and a fenced ex-primary is not ready for writes — so a
+// load balancer scraping /healthz routes around exactly the daemons the
+// cluster itself would.
+type Health struct {
+	Ready bool   `json:"ready"`
+	Role  string `json:"role"`           // primary, follower, standalone, fenced, observer
+	Term  uint64 `json:"term"`           // promotion (fencing) term, 0 when memory-only
+	Lag   uint64 `json:"lag"`            // replication lag in records (followers)
+	Detail string `json:"detail,omitempty"` // human-readable reason when not ready
+}
+
+// Handler builds the telemetry sidecar's HTTP mux: /metrics renders reg in
+// the Prometheus exposition format, /healthz serves health() as JSON with a
+// readiness-gated status code, and /debug/pprof/* exposes the runtime
+// profiles (CPU, heap, goroutine, trace) without touching the default mux.
+// health may be nil, in which case /healthz always reports ready.
+func Handler(reg *Registry, health func() Health) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		h := Health{Ready: true, Role: "standalone"}
+		if health != nil {
+			h = health()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if !h.Ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(h)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the telemetry sidecar on addr and returns immediately; the
+// returned server is already accepting. Close it with Server.Close on
+// shutdown. The sidecar is deliberately a separate listener from the wire
+// protocol: scrapes and profiles must keep answering while the service
+// port drains, and operators can firewall the two surfaces independently.
+func Serve(addr string, reg *Registry, health func() Health, logger *slog.Logger) (*http.Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listening on %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Addr:              l.Addr().String(), // resolved, so ":0" callers learn the port
+		Handler:           Handler(reg, health),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		if err := srv.Serve(l); err != nil && err != http.ErrServerClosed {
+			if logger != nil {
+				logger.Error("telemetry listener failed", "addr", addr, "err", err)
+			}
+		}
+	}()
+	if logger != nil {
+		logger.Info("telemetry listening", "addr", l.Addr().String(),
+			"endpoints", "/metrics /healthz /debug/pprof")
+	}
+	return srv, nil
+}

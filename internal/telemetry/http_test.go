@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerMetrics(t *testing.T) {
+	reg := New()
+	reg.Counter("mkse_request_errors_total", "Errors.").Add(2)
+	ts := httptest.NewServer(Handler(reg, nil))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "mkse_request_errors_total 2") {
+		t.Errorf("/metrics body missing series:\n%s", body)
+	}
+}
+
+func TestHandlerHealthz(t *testing.T) {
+	// nil health func: always ready.
+	ts := httptest.NewServer(Handler(New(), nil))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("nil health: status = %d, want 200", resp.StatusCode)
+	}
+
+	// A lagging follower reports 503 with the reason in the JSON body, so a
+	// load balancer and a human read the same signal.
+	h := Health{Ready: false, Role: "follower", Term: 3, Lag: 2048, Detail: "replication stream down"}
+	ts2 := httptest.NewServer(Handler(New(), func() Health { return h }))
+	defer ts2.Close()
+	resp2, err := http.Get(ts2.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unready health: status = %d, want 503", resp2.StatusCode)
+	}
+	if ct := resp2.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/healthz content type = %q", ct)
+	}
+	var got Health
+	if err := json.NewDecoder(resp2.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Errorf("/healthz body = %+v, want %+v", got, h)
+	}
+}
+
+func TestHandlerPprof(t *testing.T) {
+	ts := httptest.NewServer(Handler(New(), nil))
+	defer ts.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/goroutine?debug=1"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s status = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestServe(t *testing.T) {
+	reg := New()
+	reg.Gauge("mkse_documents", "Documents.").Set(5)
+	srv, err := Serve("127.0.0.1:0", reg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// Serve returns with the listener already accepting and srv.Addr resolved
+	// (":0" callers learn the port), so a scrape works immediately.
+	resp, err := http.Get("http://" + srv.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "mkse_documents 5") {
+		t.Errorf("scrape missing series:\n%s", body)
+	}
+
+	if _, err := Serve("256.0.0.1:1", reg, nil, nil); err == nil {
+		t.Error("Serve on an invalid address should fail")
+	}
+}
