@@ -23,6 +23,7 @@ import (
 	"mkse/internal/core"
 	"mkse/internal/corpus"
 	"mkse/internal/experiments"
+	"mkse/internal/harness"
 	"mkse/internal/protocol"
 	"mkse/internal/rank"
 	"mkse/internal/service"
@@ -716,6 +717,76 @@ func BenchmarkSearchBatch(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := server.SearchBatch(batch, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Partitioned cluster — scatter-gather search (EXPERIMENTS.md "Cluster")
+// ---------------------------------------------------------------------------
+
+// BenchmarkClusterSearch measures a fat client's full scatter-gather search
+// over loopback TCP — fan-out to every partition, per-partition scan, global
+// merge — at 1, 2 and 4 partitions holding the same 2000-document corpus.
+func BenchmarkClusterSearch(b *testing.B) {
+	const size = 2000
+	p := core.DefaultParams()
+	p.Bins = 64
+	p.Levels = rank.DefaultLevels(3, 15)
+	owner, err := core.NewOwnerDeterministic(p, 1, 0xbe7c4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	docs, err := corpus.Generate(corpus.Config{
+		NumDocs: size, KeywordsPerDoc: 20, Dictionary: corpus.Dictionary(4000),
+		MaxTermFreq: 15, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	indices, err := owner.BuildIndexes(docs, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dialed := 0
+	for _, partitions := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("partitions=%d", partitions), func(b *testing.B) {
+			clu, err := harness.StartCluster(p, partitions, harness.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer clu.Close()
+			m := clu.Config().Map()
+			for i, d := range docs {
+				enc := &core.EncryptedDocument{ID: d.ID, Ciphertext: []byte{0}, EncKey: []byte{0}}
+				if err := clu.Primaries[m.Owner(d.ID)].Svc.Server.Upload(indices[i], enc); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ol, oaddr, err := harness.StartOwner(owner)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ol.Close()
+			// The owner outlives the sub-benchmark reruns, so every dial
+			// needs a fresh user ID.
+			dialed++
+			client, err := service.DialCluster(fmt.Sprintf("bench-clu-%d-%d", partitions, dialed), oaddr, clu.Config())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer client.Close()
+			words := docs[0].Keywords()[:2]
+			if _, err := client.Search(words, 10); err != nil { // warm trapdoors
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.Search(words, 10); err != nil {
 					b.Fatal(err)
 				}
 			}

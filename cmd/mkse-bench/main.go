@@ -10,7 +10,7 @@
 //
 // Experiments: fig2a fig2b fig3 fig4a fig4b table1 table2 ranking cao
 // analytic theorem3 attack shards kernel million recovery replication cache
-// all. The million sweep (streamed corpus, -mdocs documents, p50/p99 search
+// cluster all. The million sweep (streamed corpus, -mdocs documents, p50/p99 search
 // latency and RSS) runs only when named explicitly — at full scale it
 // builds a million indices.
 package main
@@ -27,23 +27,24 @@ import (
 
 func main() {
 	var (
-		version  = flag.Bool("version", false, "print version and exit")
-		exp      = flag.String("exp", "all", "experiment to run (fig2a fig2b fig3 fig4a fig4b table1 table2 ranking cao analytic theorem3 attack ablate-d ablate-v ablate-bins shards kernel million recovery replication cache all)")
-		seed     = flag.Int64("seed", 2012, "experiment seed")
-		docs     = flag.Int("docs", 400, "corpus size for fig3/table2")
-		sizes    = flag.String("sizes", "2000,4000,6000,8000,10000", "comma-separated corpus sizes for fig4a/fig4b/cao sweeps")
-		queries  = flag.Int("queries", 50, "queries per measurement point")
-		dict     = flag.Int("dict", 1000, "MRSE dictionary size for -exp cao (paper: several thousands)")
-		trials   = flag.Int("trials", 25, "trials for -exp ranking")
-		kdocs    = flag.Int("kdocs", 10000, "corpus size for -exp kernel")
-		mdocs    = flag.Int("mdocs", 1_000_000, "corpus size for -exp million")
-		zipf     = flag.Bool("zipf", true, "Zipf-skewed keyword popularity for -exp million")
-		zeros    = flag.String("zeros", "1,2,4,7,14,28,56,112,224", "comma-separated query zero-counts for -exp kernel")
-		replicas = flag.Int("replicas", 2, "read replicas for -exp replication")
-		cacheMB  = flag.Int("cache-mb", 64, "query-result cache budget in MiB for -exp cache")
-		shards   = flag.Int("shards", 0, "store shards for -exp shards (0 = one per core)")
-		workers  = flag.Int("workers", 0, "concurrent shard scans for -exp shards (0 = auto)")
-		batch    = flag.Int("batch", 16, "queries per SearchBatch call for -exp shards")
+		version    = flag.Bool("version", false, "print version and exit")
+		exp        = flag.String("exp", "all", "experiment to run (fig2a fig2b fig3 fig4a fig4b table1 table2 ranking cao analytic theorem3 attack ablate-d ablate-v ablate-bins shards kernel million recovery replication cache cluster all)")
+		seed       = flag.Int64("seed", 2012, "experiment seed")
+		docs       = flag.Int("docs", 400, "corpus size for fig3/table2")
+		sizes      = flag.String("sizes", "2000,4000,6000,8000,10000", "comma-separated corpus sizes for fig4a/fig4b/cao sweeps")
+		queries    = flag.Int("queries", 50, "queries per measurement point")
+		dict       = flag.Int("dict", 1000, "MRSE dictionary size for -exp cao (paper: several thousands)")
+		trials     = flag.Int("trials", 25, "trials for -exp ranking")
+		kdocs      = flag.Int("kdocs", 10000, "corpus size for -exp kernel")
+		mdocs      = flag.Int("mdocs", 1_000_000, "corpus size for -exp million")
+		zipf       = flag.Bool("zipf", true, "Zipf-skewed keyword popularity for -exp million")
+		zeros      = flag.String("zeros", "1,2,4,7,14,28,56,112,224", "comma-separated query zero-counts for -exp kernel")
+		replicas   = flag.Int("replicas", 2, "read replicas for -exp replication")
+		partitions = flag.String("partitions", "1,2,4", "comma-separated partition counts for -exp cluster")
+		cacheMB    = flag.Int("cache-mb", 64, "query-result cache budget in MiB for -exp cache")
+		shards     = flag.Int("shards", 0, "store shards for -exp shards (0 = one per core)")
+		workers    = flag.Int("workers", 0, "concurrent shard scans for -exp shards (0 = auto)")
+		batch      = flag.Int("batch", 16, "queries per SearchBatch call for -exp shards")
 	)
 	flag.Parse()
 
@@ -162,6 +163,18 @@ func main() {
 			repSizes = []int{1000, 5000}
 		}
 		r, err := experiments.ReplicationSweep(repSizes, *replicas, *queries, *seed)
+		return stringer{r}, err
+	})
+	run("cluster", func() (fmt.Stringer, error) {
+		cluSizes := sweep
+		if *exp == "all" {
+			cluSizes = []int{1000, 5000}
+		}
+		parts, err := cliutil.ParseInts(*partitions)
+		if err != nil {
+			return nil, err
+		}
+		r, err := experiments.ClusterSweep(cluSizes, parts, *queries, *seed)
 		return stringer{r}, err
 	})
 	run("cache", func() (fmt.Stringer, error) {

@@ -11,6 +11,8 @@
 //	mkse-client -owner ... -cloud ... -user alice delete doc-00042
 //	mkse-client -cloud localhost:7002 stats
 //	mkse-client -cloud localhost:7002 -json stats
+//	mkse-client -owner ... -cluster host1:7002,host2:7002 -user alice \
+//	            search cloud encrypted ranked
 //
 // Subcommands: search <kw...>, get <docID>, searchget <kw...> (search then
 // retrieve the best match), delete <docID>, stats (one-round-trip server
@@ -19,16 +21,28 @@
 // -json, stats emits one JSON object keyed by the daemon's Prometheus
 // series names (mkse_documents, mkse_wal_position, …), so scripts parse the
 // same vocabulary a /metrics scrape exposes.
+//
+// -cluster replaces -cloud with a partitioned topology: a comma-separated
+// partition list, each element "primary[/replica...]", in partition order
+// (element i must be the daemon started with -partition i/P). Searches
+// scatter to every partition and gather into the exact order a single
+// server would return; get and delete route to the partition owning the
+// document ID; stats fetches every partition and prints the per-partition
+// and aggregated counters. When a partition is unreachable the client falls
+// back to its listed replicas, and failing that reports which partitions
+// the (partial) result is missing.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
 	"mkse/internal/buildinfo"
+	"mkse/internal/cluster"
 	"mkse/internal/service"
 )
 
@@ -36,6 +50,7 @@ func main() {
 	var (
 		ownerAddr = flag.String("owner", "localhost:7001", "owner daemon address")
 		cloudAddr = flag.String("cloud", "localhost:7002", "cloud daemon address")
+		clusterTg = flag.String("cluster", "", "partitioned topology host1[/replica],host2,... in partition order (replaces -cloud)")
 		user      = flag.String("user", "cli-user", "user identity to enroll as")
 		topK      = flag.Int("top", 10, "maximum matches to request (τ)")
 		dialTO    = flag.Duration("dial-timeout", service.DialTimeout, "per-connection dial budget")
@@ -50,8 +65,12 @@ func main() {
 	service.DialTimeout = *dialTO
 	args := flag.Args()
 	if len(args) >= 1 && args[0] == "stats" {
-		// Operator introspection: a raw dial to the cloud daemon, no owner
-		// connection or user enrollment needed.
+		// Operator introspection: a raw dial to the cloud daemon(s), no
+		// owner connection or user enrollment needed.
+		if *clusterTg != "" {
+			printClusterStats(*clusterTg, *asJSON)
+			return
+		}
 		printStats(*cloudAddr, *asJSON)
 		return
 	}
@@ -60,7 +79,17 @@ func main() {
 		os.Exit(2)
 	}
 
-	client, err := service.Dial(*user, *ownerAddr, *cloudAddr)
+	var client *service.Client
+	var err error
+	if *clusterTg != "" {
+		cfg, perr := cluster.ParseTargets(*clusterTg)
+		if perr != nil {
+			log.Fatalf("mkse-client: %v", perr)
+		}
+		client, err = service.DialCluster(*user, *ownerAddr, cfg)
+	} else {
+		client, err = service.Dial(*user, *ownerAddr, *cloudAddr)
+	}
 	if err != nil {
 		log.Fatalf("mkse-client: %v", err)
 	}
@@ -69,7 +98,12 @@ func main() {
 	switch args[0] {
 	case "search":
 		matches, err := client.Search(args[1:], *topK)
-		if err != nil {
+		var partial *cluster.PartialError
+		if errors.As(err, &partial) {
+			// The merged results cover the surviving partitions; say which
+			// ones they are missing rather than discarding them.
+			fmt.Fprintf(os.Stderr, "mkse-client: warning: %v\n", partial)
+		} else if err != nil {
 			log.Fatalf("mkse-client: search: %v", err)
 		}
 		if len(matches) == 0 {
@@ -157,4 +191,38 @@ func printStats(cloudAddr string, asJSON bool) {
 	fmt.Printf("cache-hits     %d (%.1f%% of %d lookups)\n", c.Hits, rate, total)
 	fmt.Printf("cache-misses   %d (%d epoch invalidations)\n", c.Misses, c.Invalidations)
 	fmt.Printf("cache-evicted  %d\n", c.Evictions)
+}
+
+// printClusterStats renders every partition's stats plus the cluster-wide
+// aggregate. With -json it emits an array of per-partition objects followed
+// by no aggregate — scripts sum the same series names themselves.
+func printClusterStats(targets string, asJSON bool) {
+	cfg, err := cluster.ParseTargets(targets)
+	if err != nil {
+		log.Fatalf("mkse-client: %v", err)
+	}
+	parts, err := service.FetchClusterStats(cfg)
+	if err != nil {
+		log.Fatalf("mkse-client: stats: %v", err)
+	}
+	if asJSON {
+		out := make([]map[string]any, len(parts))
+		for i, st := range parts {
+			out[i] = service.StatsJSON(st)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatalf("mkse-client: stats: %v", err)
+		}
+		return
+	}
+	agg := service.AggregateClusterStats(parts)
+	for i, st := range parts {
+		fmt.Printf("partition %d (%s): documents=%d shards=%d epoch=%d durable=%v\n",
+			i, cfg.Partitions[i].Primary, st.NumDocuments, st.NumShards, st.Epoch, st.Durable)
+	}
+	fmt.Printf("cluster        %d partitions\n", agg.Partitions)
+	fmt.Printf("documents      %d\n", agg.NumDocuments)
+	fmt.Printf("shards         %d\n", agg.NumShards)
 }

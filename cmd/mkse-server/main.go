@@ -10,6 +10,7 @@
 //	            [-data /var/lib/mkse] [-checkpoint-every 4096]
 //	            [-fsync always|interval|never]
 //	            [-replica-of primary:7002]
+//	            [-partition 0/2]
 //	            [-drain 5s] [-idle-timeout 0]
 //	            [-metrics-addr :7012] [-slow-query 250ms]
 //	            [-log-format text|json] [-log-level info]
@@ -55,6 +56,18 @@
 // by mkse-observer, or manually) flips a live follower to primary in place
 // under a higher fencing term, and the reconfigure verb repoints it at a
 // new primary; see internal/observer.
+//
+// -partition gives the daemon its static cluster identity in a partitioned
+// scatter-gather deployment (internal/cluster): "-partition i/P" declares
+// that this server owns the documents the doc-ID hash map assigns to index
+// i out of P partitions. The identity is reported to coordinators through
+// the cluster-info verb — a fat client (mkse-client -cluster) verifies
+// every address in its topology at dial time — and enforced on mutations:
+// uploads and deletions for documents another partition owns are rejected
+// with the wrong-partition error code, so a misconfigured coordinator
+// cannot fork the corpus. Followers of a partitioned primary should carry
+// the same -partition value. Omitting the flag (or a 1-partition cluster)
+// leaves the daemon standalone.
 //
 // -metrics-addr starts the telemetry sidecar (internal/telemetry) on a
 // separate listener: /metrics renders the daemon's Prometheus series —
@@ -106,6 +119,18 @@ func fatal(format string, args ...any) {
 	os.Exit(1)
 }
 
+// parsePartition parses the -partition flag's "i/P" syntax into a 0-based
+// partition index and the total partition count.
+func parsePartition(s string) (i, p int, err error) {
+	if _, err := fmt.Sscanf(s, "%d/%d", &i, &p); err != nil {
+		return 0, 0, fmt.Errorf("-partition %q: want i/P, e.g. 0/2", s)
+	}
+	if p < 1 || i < 0 || i >= p {
+		return 0, 0, fmt.Errorf("-partition %q: index must satisfy 0 <= i < P", s)
+	}
+	return i, p, nil
+}
+
 func main() {
 	var (
 		listen      = flag.String("listen", ":7002", "address to listen on")
@@ -115,6 +140,7 @@ func main() {
 		ckptEvery   = flag.Int("checkpoint-every", 4096, "mutations between background checkpoints with -data (0 = only on shutdown)")
 		fsyncMode   = flag.String("fsync", "interval", "WAL sync policy with -data: always, interval or never")
 		replicaOf   = flag.String("replica-of", "", "primary address to follow as a read-only replica (requires -data)")
+		partition   = flag.String("partition", "", "static cluster identity i/P: this daemon owns partition i of P (e.g. 0/2)")
 		shards      = flag.Int("shards", 0, "document store shards (0 = one per core)")
 		workers     = flag.Int("workers", 0, "concurrent shard scans per query (0 = auto)")
 		cacheMB     = flag.Int("cache-mb", 0, "query-result cache budget in MiB (0 = disabled)")
@@ -156,6 +182,15 @@ func main() {
 	}
 
 	svc := &service.CloudService{Logger: logger, IdleTimeout: *idle, SlowQuery: *slowQuery}
+	if *partition != "" {
+		pi, pp, err := parsePartition(*partition)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mkse-server: %v\n", err)
+			os.Exit(2)
+		}
+		svc.Partition, svc.Partitions = pi, pp
+		logger.Info("cluster partition identity", "partition", pi, "partitions", pp)
+	}
 	if *cacheMB > 0 {
 		// Works on primaries and followers alike: entries are validated
 		// against this server's own mutation epoch, so local mutations and

@@ -78,6 +78,29 @@
 // ("WAL-shipping replication") for catch-up throughput and fan-out
 // numbers, and examples/replication for a runnable deployment.
 //
+// # Partitioned scatter-gather cluster
+//
+// Beyond read replicas, the corpus itself scales out across P independent
+// partition primaries (internal/cluster). A static FNV-1a doc-ID hash map
+// assigns every document to exactly one partition — stateless, so owner,
+// client and servers all compute the same assignment with no coordination
+// — and each partition is an ordinary single-node deployment underneath
+// (own WAL, checkpoints, followers). mkse-server -partition i/P stamps a
+// daemon with its slot; primaries reject mutations for documents another
+// partition owns. A fat client (DialCluster, mkse-client -cluster)
+// verifies each server's reported identity at dial time, routes
+// Upload/Delete/Retrieve to the owning partition, and fans Search out to
+// all partitions, interleaving the per-partition top-τ lists under the
+// global τ-cut. Partitions are disjoint by document ID, so the merged
+// result is byte-identical to one node scanning everything — proven by a
+// randomized property suite down to the binary-comparison cost accounting.
+// A partition that stalls or dies mid-search burns only its bounded
+// per-partition deadline, falls back to its read replicas, and — only if
+// all of them fail — is named in a typed *cluster.PartialError returned
+// alongside the survivors' merged results. See ARCHITECTURE.md
+// ("Cluster") and examples/cluster for a runnable two-partition
+// deployment including the severed-partition failure path.
+//
 // # Automatic failover
 //
 // Every durable engine carries a monotonic fencing term, persisted in the

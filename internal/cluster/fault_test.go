@@ -1,0 +1,283 @@
+// Fault-injection suite for the scatter-gather cluster: partitions stall and
+// crash mid-search behind a fault-injecting TCP proxy, and the fat client
+// must degrade exactly as specified — typed partial-result errors naming the
+// dead partition, replica fallback serving the full result when the
+// partition has a follower, and no data races when searchers hammer the
+// cluster while documents churn.
+package cluster_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mkse/internal/cluster"
+	"mkse/internal/core"
+	"mkse/internal/corpus"
+	"mkse/internal/faultnet"
+	"mkse/internal/harness"
+	"mkse/internal/rank"
+	"mkse/internal/service"
+)
+
+// faultCluster starts a P-partition cluster with a fault proxy in front of
+// partition `faulted`'s primary, uploads a corpus routed by the map, and
+// dials a fat client through the proxied topology.
+type faultCluster struct {
+	clu    *harness.Cluster
+	proxy  *faultnet.Proxy
+	cfg    cluster.Config
+	owner  *core.Owner
+	docs   []*corpus.Document
+	client *service.Client
+}
+
+func startFaultCluster(t *testing.T, owner *core.Owner, partitions, faulted int, opts harness.Options, user string) *faultCluster {
+	t.Helper()
+	clu, err := harness.StartCluster(owner.Params(), partitions, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(clu.Close)
+
+	proxy, err := faultnet.Listen(clu.Primaries[faulted].Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(proxy.Close)
+	cfg := clu.Config()
+	cfg.Partitions[faulted].Primary = proxy.Addr()
+
+	docs, err := corpus.Generate(corpus.Config{
+		NumDocs: 24, KeywordsPerDoc: 10, Dictionary: corpus.Dictionary(120),
+		MaxTermFreq: 15, ContentWords: 10, Seed: 900 + int64(partitions),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var items []service.UploadItem
+	for _, doc := range docs {
+		si, enc, err := owner.Prepare(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items = append(items, service.UploadItem{Index: si, Doc: enc})
+	}
+	if err := service.UploadAllCluster(cfg, items); err != nil {
+		t.Fatal(err)
+	}
+
+	ol, oaddr, err := harness.StartOwner(owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ol.Close() })
+	client, err := service.DialCluster(user, oaddr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	client.PartitionTimeout = 250 * time.Millisecond
+
+	return &faultCluster{clu: clu, proxy: proxy, cfg: cfg, owner: owner, docs: docs, client: client}
+}
+
+// ownedBy returns a document the partition map assigns to the given partition.
+func (f *faultCluster) ownedBy(t *testing.T, partition int) *corpus.Document {
+	t.Helper()
+	m := f.cfg.Map()
+	for _, d := range f.docs {
+		if m.Owner(d.ID) == partition {
+			return d
+		}
+	}
+	t.Fatalf("no document hashes to partition %d", partition)
+	return nil
+}
+
+// A stalled partition — connection open, no byte moving — must burn only its
+// bounded per-partition deadline, then yield the survivors' merged results
+// alongside a typed partial error; after the stall lifts, the client redials
+// and full service resumes with no intervention.
+func TestStalledPartitionYieldsPartialResult(t *testing.T) {
+	owner := propertyOwner(t, rank.Levels{1, 5, 10}, 201)
+	f := startFaultCluster(t, owner, 2, 1, harness.Options{}, "stall-user")
+	words := f.ownedBy(t, 0).Keywords()[:2]
+
+	if _, err := f.client.Search(words, 5); err != nil {
+		t.Fatalf("search through healthy proxy failed: %v", err)
+	}
+
+	f.proxy.Stall()
+	start := time.Now()
+	matches, err := f.client.Search(words, 5)
+	elapsed := time.Since(start)
+	var partial *cluster.PartialError
+	if !errors.As(err, &partial) {
+		t.Fatalf("search against a stalled partition: got %v, want *cluster.PartialError", err)
+	}
+	if len(partial.Failures) != 1 || partial.Failures[0].Partition != 1 {
+		t.Errorf("partial error blames %+v, want partition 1", partial.Failures)
+	}
+	if partial.Partitions != 2 {
+		t.Errorf("partial error reports %d partitions, want 2", partial.Partitions)
+	}
+	if len(matches) == 0 {
+		t.Error("no results from the surviving partition")
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("stalled partition burned %v — the per-partition deadline is not bounding the fan-out", elapsed)
+	}
+
+	f.proxy.Resume()
+	if _, err := f.client.Search(words, 5); err != nil {
+		t.Errorf("search after stall lifted: %v, want recovery via redial", err)
+	}
+}
+
+// A severed partition — crashed host, connections cut — must be named, by
+// index and address, in the typed error returned alongside the survivors'
+// results, for searches and batched searches alike.
+func TestSeveredPartitionNamedInError(t *testing.T) {
+	owner := propertyOwner(t, rank.Levels{1, 5, 10}, 202)
+	f := startFaultCluster(t, owner, 3, 2, harness.Options{}, "sever-user")
+	words := f.ownedBy(t, 0).Keywords()[:2]
+
+	f.proxy.Sever()
+	matches, err := f.client.Search(words, 0)
+	var partial *cluster.PartialError
+	if !errors.As(err, &partial) {
+		t.Fatalf("search against a severed partition: got %v, want *cluster.PartialError", err)
+	}
+	fail := partial.Failures[0]
+	if fail.Partition != 2 || fail.Addr != f.proxy.Addr() {
+		t.Errorf("failure names partition %d at %s, want 2 at %s", fail.Partition, fail.Addr, f.proxy.Addr())
+	}
+	if len(matches) == 0 {
+		t.Error("no results from the two surviving partitions")
+	}
+
+	batch, err := f.client.SearchBatch([][]string{words, f.ownedBy(t, 1).Keywords()[:1]}, 5)
+	if !errors.As(err, &partial) {
+		t.Fatalf("batch search against a severed partition: got %v, want *cluster.PartialError", err)
+	}
+	if len(batch) != 2 {
+		t.Errorf("batch returned %d result sets, want 2 (partial)", len(batch))
+	}
+}
+
+// When the dead partition has a read replica, the fan-out must fall back to
+// it and return the complete merged result with no error at all — the
+// failure is invisible to the caller.
+func TestReplicaFallbackServesFullResult(t *testing.T) {
+	owner := propertyOwner(t, rank.Levels{1, 5, 10}, 203)
+	f := startFaultCluster(t, owner, 2, 1, harness.Options{Durable: true, Followers: 1}, "fallback-user")
+	if err := f.clu.WaitConverged(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Target a document owned by the partition about to die: only the
+	// replica can produce it.
+	target := f.ownedBy(t, 1)
+	f.proxy.Sever()
+	matches, err := f.client.Search(target.Keywords()[:2], 0)
+	if err != nil {
+		t.Fatalf("search with replica fallback returned %v, want nil (failure should be invisible)", err)
+	}
+	found := false
+	for _, m := range matches {
+		if m.DocID == target.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("dead partition's document %s missing — replica fallback did not serve it", target.ID)
+	}
+}
+
+// Race hammer: concurrent fat clients search every partition while documents
+// churn through routed uploads and deletes. Run under -race in CI; the
+// assertions here are only that nothing errors or deadlocks.
+func TestClusterConcurrentSearchAndChurn(t *testing.T) {
+	owner := propertyOwner(t, rank.Levels{1, 5, 10}, 204)
+	clu, err := harness.StartCluster(owner.Params(), 3, harness.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clu.Close()
+	cfg := clu.Config()
+
+	docs, err := corpus.Generate(corpus.Config{
+		NumDocs: 40, KeywordsPerDoc: 10, Dictionary: corpus.Dictionary(150),
+		MaxTermFreq: 15, ContentWords: 10, Seed: 1234,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := make([]service.UploadItem, len(docs))
+	for i, doc := range docs {
+		si, enc, err := owner.Prepare(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items[i] = service.UploadItem{Index: si, Doc: enc}
+	}
+	// The first half is stable ground for the searchers; the second half
+	// churns.
+	if err := service.UploadAllCluster(cfg, items[:20]); err != nil {
+		t.Fatal(err)
+	}
+	churn := items[20:]
+	churnIDs := make([]string, len(churn))
+	for i, it := range churn {
+		churnIDs[i] = it.Index.DocID
+	}
+
+	ol, oaddr, err := harness.StartOwner(owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ol.Close()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for s := 0; s < 3; s++ {
+		client, err := service.DialCluster(fmt.Sprintf("hammer-%d", s), oaddr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer client.Close()
+		wg.Add(1)
+		go func(c *service.Client, s int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				words := docs[(s*7+i)%20].Keywords()[:2]
+				if _, err := c.Search(words, 5); err != nil {
+					errCh <- fmt.Errorf("searcher %d iteration %d: %w", s, i, err)
+					return
+				}
+			}
+		}(client, s)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if err := service.UploadAllCluster(cfg, churn); err != nil {
+				errCh <- fmt.Errorf("churn upload %d: %w", i, err)
+				return
+			}
+			if err := service.DeleteAllCluster(cfg, churnIDs); err != nil {
+				errCh <- fmt.Errorf("churn delete %d: %w", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"slices"
+	"strings"
+	"time"
+
+	"mkse/internal/cluster"
+	"mkse/internal/core"
+	"mkse/internal/corpus"
+	"mkse/internal/harness"
+	"mkse/internal/protocol"
+	"mkse/internal/rank"
+	"mkse/internal/service"
+)
+
+// ---------------------------------------------------------------------------
+// Partitioned scatter-gather cluster — scale-out search (ISSUE 9)
+// ---------------------------------------------------------------------------
+
+// ClusterPoint is one (partition count, corpus size) measurement of the
+// scatter-gather cluster: fat-client search latency through a partitioned
+// loopback topology, plus the merge-agreement check proving the gathered
+// results byte-identical to a single node scanning the whole corpus.
+type ClusterPoint struct {
+	Partitions int
+	NumDocs    int
+	QueriesRun int
+
+	Mean     time.Duration // fat-client search latency
+	P50      time.Duration
+	P99      time.Duration
+	NsPerDoc float64 // mean latency per stored document
+
+	MergeChecks int  // wire-level scatter/merge comparisons against the reference
+	MergeAgree  bool // every comparison byte-identical, metadata included
+}
+
+// ClusterResult is the cluster sweep.
+type ClusterResult struct {
+	Points []ClusterPoint
+}
+
+// ClusterSweep measures scatter-gather search at several corpus sizes and
+// partition counts. For each point it starts a memory-only loopback cluster
+// through the shared harness, routes the corpus to the owning partitions,
+// enrolls a fat client and times its scatter-gather searches; alongside the
+// timing, it replays a deterministic query set at the wire level — every
+// partition scanned, results merged under the global τ-cut — against a
+// single reference server holding the whole corpus, and records whether
+// every merged response was byte-identical, metadata and all.
+func ClusterSweep(sizes, partitions []int, queries int, seed int64) (*ClusterResult, error) {
+	owner, err := newExperimentOwner(rank.DefaultLevels(3, 15), seed)
+	if err != nil {
+		return nil, err
+	}
+	maxN := 0
+	for _, n := range sizes {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	docs, indices, err := experimentCorpus(owner, maxN, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ClusterResult{}
+	for _, p := range partitions {
+		for _, n := range sizes {
+			pt, err := clusterPoint(owner, docs, indices, n, p, queries, seed)
+			if err != nil {
+				return nil, err
+			}
+			res.Points = append(res.Points, *pt)
+		}
+	}
+	return res, nil
+}
+
+func clusterPoint(owner *core.Owner, docs []*corpus.Document, indices []*core.SearchIndex, n, partitions, queries int, seed int64) (*ClusterPoint, error) {
+	params := owner.Params()
+	clu, err := harness.StartCluster(params, partitions, harness.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer clu.Close()
+
+	// Reference: one server holding the whole corpus, scanned the
+	// single-node way the merge must reproduce.
+	ref, err := core.NewServer(params)
+	if err != nil {
+		return nil, err
+	}
+	refSvc := &service.CloudService{Server: ref}
+
+	m := clu.Config().Map()
+	payload := make([]byte, 64)
+	for i := 0; i < n; i++ {
+		doc := &core.EncryptedDocument{ID: docs[i].ID, Ciphertext: payload, EncKey: payload[:16]}
+		if err := clu.Primaries[m.Owner(docs[i].ID)].Svc.Server.Upload(indices[i], doc); err != nil {
+			return nil, err
+		}
+		if err := ref.Upload(indices[i], doc); err != nil {
+			return nil, err
+		}
+	}
+
+	pt := &ClusterPoint{Partitions: partitions, NumDocs: n, QueriesRun: queries}
+
+	// --- Fat-client latency over loopback TCP ------------------------------
+	ol, oaddr, err := harness.StartOwner(owner)
+	if err != nil {
+		return nil, err
+	}
+	defer ol.Close()
+	client, err := service.DialCluster(fmt.Sprintf("cluster-bench-%d-%d", partitions, n), oaddr, clu.Config())
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close()
+
+	words := make([][]string, 8)
+	for i := range words {
+		words[i] = docs[(i*11+1)%n].Keywords()[:2]
+	}
+	for _, w := range words { // warm the trapdoor cache before timing
+		if _, err := client.Search(w, 10); err != nil {
+			return nil, err
+		}
+	}
+	lat := make([]time.Duration, 0, queries)
+	for i := 0; i < queries; i++ {
+		start := time.Now()
+		if _, err := client.Search(words[i%len(words)], 10); err != nil {
+			return nil, err
+		}
+		lat = append(lat, time.Since(start))
+	}
+	slices.Sort(lat)
+	var sum time.Duration
+	for _, d := range lat {
+		sum += d
+	}
+	pt.Mean = sum / time.Duration(len(lat))
+	pt.P50 = lat[len(lat)/2]
+	pt.P99 = lat[len(lat)*99/100]
+	pt.NsPerDoc = float64(pt.Mean) / float64(n)
+
+	// --- Merge agreement: scatter + merge vs the reference scan ------------
+	f := newQueryFactory(owner, seed+int64(partitions)*1000+int64(n))
+	pt.MergeAgree = true
+	for i := 0; i < 16; i++ {
+		q := marshalQuery(f.build(docs[(i*7+3)%n].Keywords()[:2]))
+		for _, tau := range []int{0, 1, 5} {
+			want, err := refSvc.SearchWire(&protocol.SearchRequest{Query: q, TopK: tau})
+			if err != nil {
+				return nil, err
+			}
+			lists := make([][]protocol.MatchWire, partitions)
+			for pi, node := range clu.Primaries {
+				resp, err := node.Svc.SearchWire(&protocol.SearchRequest{Query: q, TopK: tau})
+				if err != nil {
+					return nil, err
+				}
+				lists[pi] = resp.Matches
+			}
+			got := cluster.MergeWire(lists, tau)
+			pt.MergeChecks++
+			if !gobEqual(got, want.Matches) {
+				pt.MergeAgree = false
+			}
+		}
+	}
+	return pt, nil
+}
+
+// marshalQuery mirrors the client's wire encoding of a query vector.
+func marshalQuery(v interface{ MarshalBinary() ([]byte, error) }) []byte {
+	b, err := v.MarshalBinary()
+	if err != nil {
+		panic(fmt.Sprintf("experiments: marshaling query: %v", err))
+	}
+	return b
+}
+
+// gobEqual compares two values by their gob encoding — the exact bytes a
+// daemon would put on the wire, so nil-versus-empty and metadata
+// differences all count.
+func gobEqual(a, b any) bool {
+	var ab, bb bytes.Buffer
+	if err := gob.NewEncoder(&ab).Encode(a); err != nil {
+		return false
+	}
+	if err := gob.NewEncoder(&bb).Encode(b); err != nil {
+		return false
+	}
+	return bytes.Equal(ab.Bytes(), bb.Bytes())
+}
+
+// Format renders the sweep as a table.
+func (r *ClusterResult) Format() string {
+	var b strings.Builder
+	b.WriteString("Partitioned scatter-gather cluster — fat-client search latency & merge agreement\n")
+	b.WriteString("parts  #docs  queries       mean        p50        p99   ns/doc  merge\n")
+	for _, p := range r.Points {
+		agree := "MISMATCH"
+		if p.MergeAgree {
+			agree = fmt.Sprintf("ok (%d checks)", p.MergeChecks)
+		}
+		fmt.Fprintf(&b, "%5d %6d %8d %9.3fms %9.3fms %9.3fms %8.1f  %s\n",
+			p.Partitions, p.NumDocs, p.QueriesRun,
+			float64(p.Mean)/float64(time.Millisecond),
+			float64(p.P50)/float64(time.Millisecond),
+			float64(p.P99)/float64(time.Millisecond),
+			p.NsPerDoc, agree)
+	}
+	return b.String()
+}

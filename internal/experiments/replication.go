@@ -10,6 +10,7 @@ import (
 	"mkse/internal/core"
 	"mkse/internal/corpus"
 	"mkse/internal/durable"
+	"mkse/internal/harness"
 	"mkse/internal/rank"
 	"mkse/internal/service"
 )
@@ -84,14 +85,14 @@ func replicationPoint(owner *core.Owner, docs []*corpus.Document, indices []*cor
 	p := owner.Params()
 
 	// --- Primary: durable engine behind a TCP cloud daemon -----------------
-	primary, pdir, err := tempEngine(p)
+	primary, pdir, err := harness.TempEngine(p)
 	if err != nil {
 		return nil, err
 	}
 	defer os.RemoveAll(pdir)
 	defer primary.Crash()
 	psvc := &service.CloudService{Server: primary.Server(), Store: primary, WAL: primary, HeartbeatEvery: 20 * time.Millisecond}
-	pl, paddr, err := serveOn(psvc.Serve)
+	pl, paddr, err := harness.ServeOn(psvc.Serve)
 	if err != nil {
 		return nil, err
 	}
@@ -126,13 +127,13 @@ func replicationPoint(owner *core.Owner, docs []*corpus.Document, indices []*cor
 	fos := make([]*fo, replicas)
 	start := time.Now()
 	for i := range fos {
-		eng, dir, err := tempEngine(p)
+		eng, dir, err := harness.TempEngine(p)
 		if err != nil {
 			return nil, err
 		}
 		rep := service.StartReplica(eng, paddr, nil)
 		svc := &service.CloudService{Server: eng.Server(), WAL: eng, Replica: rep, HeartbeatEvery: 20 * time.Millisecond}
-		l, addr, err := serveOn(svc.Serve)
+		l, addr, err := harness.ServeOn(svc.Serve)
 		if err != nil {
 			rep.Close()
 			eng.Crash()
@@ -160,7 +161,7 @@ func replicationPoint(owner *core.Owner, docs []*corpus.Document, indices []*cor
 
 	// --- Client read fan-out ------------------------------------------------
 	osvc := &service.OwnerService{Owner: owner}
-	ol, oaddr, err := serveOn(osvc.Serve)
+	ol, oaddr, err := harness.ServeOn(osvc.Serve)
 	if err != nil {
 		return nil, err
 	}
@@ -235,28 +236,4 @@ func (r *ReplicationResult) Format() string {
 			reads)
 	}
 	return b.String()
-}
-
-// serveOn starts a service on a loopback listener.
-func serveOn(serve func(net.Listener) error) (net.Listener, string, error) {
-	l, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return nil, "", err
-	}
-	go func() { _ = serve(l) }()
-	return l, l.Addr().String(), nil
-}
-
-// tempEngine opens a throwaway durable engine with fsync disabled.
-func tempEngine(p core.Params) (*durable.Engine, string, error) {
-	dir, err := os.MkdirTemp("", "mkse-replication-")
-	if err != nil {
-		return nil, "", err
-	}
-	eng, err := durable.Open(dir, p, durable.Options{Fsync: durable.FsyncNever})
-	if err != nil {
-		os.RemoveAll(dir)
-		return nil, "", err
-	}
-	return eng, dir, nil
 }

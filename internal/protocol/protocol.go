@@ -7,6 +7,7 @@
 package protocol
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/gob"
 	"errors"
@@ -53,11 +54,16 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	if n > MaxFrameSize {
 		return nil, ErrFrameTooLarge
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	// Grow the payload as bytes actually arrive rather than trusting the
+	// length prefix: a hostile peer can claim a near-MaxFrameSize frame in
+	// four bytes without ever sending the body, and pre-allocating would
+	// hand every such claim megabytes of memory.
+	var buf bytes.Buffer
+	buf.Grow(int(min(n, 64<<10)))
+	if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
 		return nil, fmt.Errorf("protocol: reading frame body: %w", err)
 	}
-	return payload, nil
+	return buf.Bytes(), nil
 }
 
 // Message is the envelope carried in every frame. Exactly one pointer field
@@ -111,6 +117,9 @@ type Message struct {
 
 	StatsReq  *StatsRequest
 	StatsResp *StatsResponse
+
+	ClusterInfoReq  *ClusterInfoRequest
+	ClusterInfoResp *ClusterInfoResponse
 }
 
 // Error codes carried in ErrorMsg.Code, for rejections a caller must react
@@ -128,6 +137,11 @@ const (
 	// failover-aware client treats it like a transport failure: re-probe the
 	// replica set for the new primary.
 	CodeReadOnly = "read-only"
+	// CodeWrongPartition rejects a mutation for a document this partition
+	// does not own under the cluster's doc-ID hash map. The sender's
+	// partition map disagrees with the server's identity — a misconfigured
+	// cluster, which must fail loudly rather than fork the corpus.
+	CodeWrongPartition = "wrong-partition"
 )
 
 // ErrorMsg reports a request failure. Code, when set, is one of the Code*
@@ -467,7 +481,27 @@ type StatsResponse struct {
 	PrimaryPosition  uint64
 	Term             uint64 // promotion (fencing) term; bumps on every failover
 
+	// Partition identity (see ClusterInfoResponse); Partitions is 0 on a
+	// daemon that is not part of a cluster.
+	Partition  int
+	Partitions int
+
 	Cache CacheStatsWire
+}
+
+// ClusterInfoRequest asks a cloud daemon for its partition identity — the
+// partition-map exchange a fat client performs on every cluster dial, so a
+// miswired address list (wrong order, wrong count, a server from another
+// cluster) is caught before any request is routed by the map.
+type ClusterInfoRequest struct{}
+
+// ClusterInfoResponse reports the daemon's static cluster identity as given
+// by -partition i/P: Partition is its 0-based index, Partitions the total
+// count. Partitions is 0 on a daemon started without -partition (standalone
+// or single-node deployments).
+type ClusterInfoResponse struct {
+	Partition  int
+	Partitions int
 }
 
 // FetchRequest retrieves one encrypted document (step 3 of Figure 1).

@@ -60,6 +60,11 @@ type Client struct {
 	// before the first search.
 	ReplicaProbeEvery time.Duration
 
+	// PartitionTimeout bounds each partition's share of a scatter-gather
+	// read on a cluster client (0 = DefaultPartitionTimeout). Set before
+	// the first request.
+	PartitionTimeout time.Duration
+
 	mu        sync.Mutex
 	ownerConn *protocol.Conn
 	cloudConn *protocol.Conn
@@ -71,6 +76,11 @@ type Client struct {
 	replicas []*readReplica
 	rrNext   int
 	reads    map[string]uint64
+
+	// clu is non-nil on a DialCluster client: the partition topology and
+	// one connection set per partition. When set, reads scatter-gather
+	// across every partition and mutations route by document ID.
+	clu *clusterState
 }
 
 // readReplica is one follower the client may fan read traffic to.
@@ -176,6 +186,18 @@ func (c *Client) Close() error {
 		if r.raw != nil {
 			r.raw.Close()
 			r.raw, r.conn = nil, nil
+		}
+	}
+	if c.clu != nil {
+		for _, p := range c.clu.parts {
+			if p.raw != nil {
+				p.raw.Close()
+				p.raw, p.conn = nil, nil
+			}
+			if p.rraw != nil {
+				p.rraw.Close()
+				p.rraw, p.rconn = nil, nil
+			}
 		}
 	}
 	return first
@@ -482,6 +504,9 @@ func (c *Client) Search(words []string, topK int) ([]Match, error) {
 	if err != nil {
 		return nil, err
 	}
+	if c.clu != nil {
+		return c.clusterSearchLocked(marshalVector(q), topK)
+	}
 	resp, err := c.readRoundtrip(&protocol.Message{SearchReq: &protocol.SearchRequest{
 		Query: marshalVector(q),
 		TopK:  topK,
@@ -518,6 +543,9 @@ func (c *Client) SearchBatch(queries [][]string, topK int) ([][]Match, error) {
 			return nil, fmt.Errorf("service: batch query %d: %w", i, err)
 		}
 		wire[i] = marshalVector(q)
+	}
+	if c.clu != nil {
+		return c.clusterSearchBatchLocked(wire, topK)
 	}
 	resp, err := c.readRoundtrip(&protocol.Message{SearchBatchReq: &protocol.SearchBatchRequest{
 		Queries: wire,
@@ -565,7 +593,14 @@ func KeywordUnion(queries [][]string) []string {
 func (c *Client) Retrieve(docID string) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	resp, err := c.primaryRoundtripLocked(&protocol.Message{FetchReq: &protocol.FetchRequest{DocID: docID}})
+	fetch := &protocol.Message{FetchReq: &protocol.FetchRequest{DocID: docID}}
+	var resp *protocol.Message
+	var err error
+	if c.clu != nil {
+		resp, _, err = c.readPart(c.clusterOwnerLocked(docID), fetch)
+	} else {
+		resp, err = c.primaryRoundtripLocked(fetch)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("service: fetch: %w", err)
 	}
@@ -605,6 +640,13 @@ func (c *Client) Retrieve(docID string) ([]byte, error) {
 func (c *Client) Stats() (*protocol.StatsResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.clu != nil {
+		parts, err := c.clusterStatsLocked()
+		if err != nil {
+			return nil, err
+		}
+		return aggregateStats(parts), nil
+	}
 	resp, err := c.primaryRoundtripLocked(&protocol.Message{StatsReq: &protocol.StatsRequest{}})
 	if err != nil {
 		return nil, fmt.Errorf("service: stats: %w", err)
@@ -640,7 +682,14 @@ func FetchStats(cloudAddr string) (*protocol.StatsResponse, error) {
 func (c *Client) Delete(docID string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	resp, err := c.primaryRoundtripLocked(&protocol.Message{DeleteReq: &protocol.DeleteRequest{DocID: docID}})
+	del := &protocol.Message{DeleteReq: &protocol.DeleteRequest{DocID: docID}}
+	var resp *protocol.Message
+	var err error
+	if c.clu != nil {
+		resp, err = c.clusterMutateLocked(docID, del)
+	} else {
+		resp, err = c.primaryRoundtripLocked(del)
+	}
 	if err != nil {
 		return fmt.Errorf("service: delete: %w", err)
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mkse/internal/bitindex"
+	"mkse/internal/cluster"
 	"mkse/internal/core"
 	"mkse/internal/durable"
 	"mkse/internal/protocol"
@@ -82,7 +83,16 @@ type CloudService struct {
 	// longer than the threshold at WARN level with verb/duration/remote
 	// fields — the always-on tail-latency tripwire.
 	SlowQuery time.Duration
-	Logger    *slog.Logger // optional
+	// Partition and Partitions give the daemon its static cluster identity
+	// (-partition i/P): this server owns the documents the doc-ID hash map
+	// assigns to index Partition out of Partitions. With Partitions > 1 the
+	// server enforces the map — uploads and deletions for documents another
+	// partition owns are rejected with CodeWrongPartition, so a misconfigured
+	// coordinator cannot fork the corpus. Partitions 0 means the daemon is
+	// not part of a cluster.
+	Partition  int
+	Partitions int
+	Logger     *slog.Logger // optional
 
 	replMu    sync.Mutex // guards followers, Replica (post-Serve) and demoted
 	followers map[*follower]struct{}
@@ -226,6 +236,8 @@ func (s *CloudService) dispatch(pc *protocol.Conn, conn net.Conn, m *protocol.Me
 		return s.handlePromote(m.PromoteReq)
 	case VerbReconfigure:
 		return s.handleReconfigure(m.ReconfigureReq)
+	case VerbClusterInfo:
+		return s.handleClusterInfo()
 	default:
 		return errMsg(fmt.Errorf("cloud: unsupported request"))
 	}
@@ -302,12 +314,39 @@ func (s *CloudService) handleReconfigure(req *protocol.ReconfigureRequest) *prot
 	return &protocol.Message{ReconfigureResp: &protocol.ReconfigureResponse{Term: s.Eng.Term()}}
 }
 
+// handleClusterInfo reports the daemon's partition identity — the
+// partition-map exchange a fat client performs before routing anything.
+func (s *CloudService) handleClusterInfo() *protocol.Message {
+	return &protocol.Message{ClusterInfoResp: &protocol.ClusterInfoResponse{
+		Partition:  s.Partition,
+		Partitions: s.Partitions,
+	}}
+}
+
+// checkOwnership rejects a mutation for a document this partition does not
+// own. Searches are never checked — a scatter-gather query legitimately
+// reaches every partition.
+func (s *CloudService) checkOwnership(docID string) *protocol.Message {
+	if s.Partitions <= 1 {
+		return nil
+	}
+	if own := (cluster.Map{Partitions: s.Partitions}).Owner(docID); own != s.Partition {
+		return errMsgCode(protocol.CodeWrongPartition, fmt.Errorf(
+			"cloud: document %q belongs to partition %d/%d, this server is partition %d — the sender's partition map is misconfigured",
+			docID, own, s.Partitions, s.Partition))
+	}
+	return nil
+}
+
 func (s *CloudService) handleUpload(req *protocol.UploadRequest) *protocol.Message {
 	if s.replica() != nil {
 		return errMsgCode(protocol.CodeReadOnly, fmt.Errorf("cloud: this server is a read-only replica; route uploads to the primary"))
 	}
 	if s.isDemoted() {
 		return errMsgCode(protocol.CodeReadOnly, fmt.Errorf("cloud: this server was failed over and is fenced read-only; route uploads to the new primary"))
+	}
+	if reject := s.checkOwnership(req.DocID); reject != nil {
+		return reject
 	}
 	levels := make([]*bitindex.Vector, len(req.Levels))
 	for i, raw := range req.Levels {
@@ -331,6 +370,9 @@ func (s *CloudService) handleDelete(req *protocol.DeleteRequest) *protocol.Messa
 	}
 	if s.isDemoted() {
 		return errMsgCode(protocol.CodeReadOnly, fmt.Errorf("cloud: this server was failed over and is fenced read-only; route deletions to the new primary"))
+	}
+	if reject := s.checkOwnership(req.DocID); reject != nil {
+		return reject
 	}
 	if err := s.backend().Delete(req.DocID); err != nil {
 		return errMsg(err)
@@ -495,6 +537,8 @@ func (s *CloudService) handleStats() *protocol.Message {
 		NumDocuments: s.Server.NumDocuments(),
 		NumShards:    s.Server.NumShards(),
 		Epoch:        s.Server.Epoch(),
+		Partition:    s.Partition,
+		Partitions:   s.Partitions,
 	}
 	if s.WAL != nil {
 		resp.Durable = true

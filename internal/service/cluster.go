@@ -1,0 +1,467 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"mkse/internal/cluster"
+	"mkse/internal/protocol"
+)
+
+// DefaultPartitionTimeout bounds each partition's share of a scatter-gather
+// read: a partition that has not answered within this budget is declared
+// failed for the request and the fan-out proceeds to its replicas (and then
+// without it). Override per client via Client.PartitionTimeout.
+const DefaultPartitionTimeout = 2 * time.Second
+
+// clusterState is the fat-client coordinator: the static topology plus one
+// connection set per partition. It lives inside a Client; all access is
+// serialized by the Client's mutex, except during a scatter-gather fan-out,
+// where each goroutine owns exactly one partition's connections while the
+// fan-out holds the mutex.
+type clusterState struct {
+	cfg   cluster.Config
+	parts []*clusterPart
+}
+
+// clusterPart is one partition's connection set: the primary connection the
+// coordinator routes by, plus a lazily dialed connection to whichever
+// replica last served a fallback read.
+type clusterPart struct {
+	index int
+	cfg   cluster.Partition
+
+	conn *protocol.Conn // primary; nil after a failure until redialed
+	raw  net.Conn
+
+	rconn *protocol.Conn // replica fallback; nil until first needed
+	rraw  net.Conn
+	raddr string
+}
+
+// DialCluster connects to the owner daemon and to every partition primary in
+// the topology, verifies each server's reported partition identity against
+// its position in the config, and enrolls the user. The returned Client
+// routes Upload/Delete/Retrieve to the partition owning the document ID and
+// fans Search/SearchBatch out to every partition, merging the per-partition
+// top-τ lists into the global order a single-node scan would produce.
+//
+// When a partition cannot be reached mid-request, reads fall back to that
+// partition's replicas; if none answers, Search/SearchBatch return the
+// merged results from the surviving partitions alongside a
+// *cluster.PartialError naming the dead ones.
+func DialCluster(userID, ownerAddr string, cfg cluster.Config) (*Client, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	oc, err := net.DialTimeout("tcp", ownerAddr, DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("service: dialing owner: %w", err)
+	}
+	c := &Client{
+		UserID:    userID,
+		ownerConn: protocol.NewConn(oc),
+		ownerRaw:  oc,
+		clu:       &clusterState{cfg: cfg},
+	}
+	for i, p := range cfg.Partitions {
+		raw, err := net.DialTimeout("tcp", p.Primary, DialTimeout)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("service: dialing partition %d (%s): %w", i, p.Primary, err)
+		}
+		part := &clusterPart{index: i, cfg: p, conn: protocol.NewConn(raw), raw: raw}
+		c.clu.parts = append(c.clu.parts, part)
+		if err := verifyPartitionIdentity(part.conn, i, cfg.P()); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	if err := c.enroll(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// verifyPartitionIdentity performs the partition-map exchange: the server at
+// config position i must report identity i/P, so a miswired address list
+// (wrong order, wrong count, a server from another cluster) is caught at
+// dial time rather than silently misrouting documents. A server with no
+// cluster identity at all is tolerated only in a single-partition topology,
+// where every routing decision is trivially correct.
+func verifyPartitionIdentity(conn *protocol.Conn, i, p int) error {
+	resp, err := conn.Roundtrip(&protocol.Message{ClusterInfoReq: &protocol.ClusterInfoRequest{}})
+	if err != nil {
+		return fmt.Errorf("service: cluster info from partition %d: %w", i, err)
+	}
+	ci := resp.ClusterInfoResp
+	if ci == nil {
+		return fmt.Errorf("service: cluster info response missing from partition %d", i)
+	}
+	if ci.Partitions == 0 {
+		if p == 1 {
+			return nil
+		}
+		return fmt.Errorf("service: partition %d reports no cluster identity, want %d/%d", i, i, p)
+	}
+	if ci.Partition != i || ci.Partitions != p {
+		return fmt.Errorf("service: partition %d reports identity %d/%d, want %d/%d",
+			i, ci.Partition, ci.Partitions, i, p)
+	}
+	return nil
+}
+
+// ClusterConfig returns the topology this client routes by, or the zero
+// Config when the client was built with Dial rather than DialCluster.
+func (c *Client) ClusterConfig() cluster.Config {
+	if c.clu == nil {
+		return cluster.Config{}
+	}
+	return c.clu.cfg
+}
+
+func (c *Client) partitionTimeout() time.Duration {
+	if c.PartitionTimeout > 0 {
+		return c.PartitionTimeout
+	}
+	return DefaultPartitionTimeout
+}
+
+// roundtripDeadline runs one exchange under a wall-clock deadline. A
+// deadline that fires mid-frame leaves the stream unframed, so every caller
+// must drop the connection on a transport error.
+func roundtripDeadline(conn *protocol.Conn, raw net.Conn, m *protocol.Message, d time.Duration) (*protocol.Message, error) {
+	if d > 0 {
+		raw.SetDeadline(time.Now().Add(d))
+		defer raw.SetDeadline(time.Time{})
+	}
+	return conn.Roundtrip(m)
+}
+
+// readPart sends one read request to a single partition, bounded by the
+// partition timeout, falling back to the partition's replicas when the
+// primary is unreachable or times out. It returns the address that answered
+// (or was last tried) for failure reporting. A *protocol.RemoteError passes
+// through without fallback: the server understood the request and rejected
+// it, and every server holding the partition would.
+//
+// The caller must own the partition's connections exclusively — either by
+// holding the Client mutex, or by being the one fan-out goroutine assigned
+// to this partition while the mutex is held.
+func (c *Client) readPart(p *clusterPart, m *protocol.Message) (*protocol.Message, string, error) {
+	timeout := c.partitionTimeout()
+	var primaryErr error
+	if p.conn == nil {
+		raw, err := net.DialTimeout("tcp", p.cfg.Primary, replicaDialTimeout)
+		if err != nil {
+			primaryErr = err
+		} else {
+			p.raw, p.conn = raw, protocol.NewConn(raw)
+		}
+	}
+	if p.conn != nil {
+		resp, err := roundtripDeadline(p.conn, p.raw, m, timeout)
+		var remote *protocol.RemoteError
+		if err == nil || errors.As(err, &remote) {
+			return resp, p.cfg.Primary, err
+		}
+		primaryErr = err
+		p.raw.Close()
+		p.raw, p.conn = nil, nil
+	}
+	for _, addr := range p.cfg.Replicas {
+		if p.rconn == nil || p.raddr != addr {
+			if p.rraw != nil {
+				p.rraw.Close()
+				p.rraw, p.rconn = nil, nil
+			}
+			raw, err := net.DialTimeout("tcp", addr, replicaDialTimeout)
+			if err != nil {
+				continue
+			}
+			p.rraw, p.rconn, p.raddr = raw, protocol.NewConn(raw), addr
+		}
+		resp, err := roundtripDeadline(p.rconn, p.rraw, m, timeout)
+		var remote *protocol.RemoteError
+		if err == nil || errors.As(err, &remote) {
+			return resp, addr, err
+		}
+		p.rraw.Close()
+		p.rraw, p.rconn = nil, nil
+	}
+	return nil, p.cfg.Primary, fmt.Errorf("service: partition %d unreachable: %w", p.index, primaryErr)
+}
+
+// scatterLocked fans one read request to every partition concurrently and
+// gathers the responses. resps[i] is nil when partition i (and all its
+// replicas) failed; the returned *cluster.PartialError names each failed
+// partition, or is nil when every partition answered. Caller holds c.mu;
+// each goroutine touches only its own partition's connections.
+func (c *Client) scatterLocked(m *protocol.Message) ([]*protocol.Message, *cluster.PartialError) {
+	parts := c.clu.parts
+	resps := make([]*protocol.Message, len(parts))
+	addrs := make([]string, len(parts))
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for i, p := range parts {
+		wg.Add(1)
+		go func(i int, p *clusterPart) {
+			defer wg.Done()
+			resps[i], addrs[i], errs[i] = c.readPart(p, m)
+		}(i, p)
+	}
+	wg.Wait()
+	var pe *cluster.PartialError
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if pe == nil {
+			pe = &cluster.PartialError{Partitions: len(parts)}
+		}
+		pe.Failures = append(pe.Failures, cluster.PartitionFailure{
+			Partition: i, Addr: addrs[i], Err: err,
+		})
+		resps[i] = nil
+	}
+	return resps, pe
+}
+
+// clusterSearchLocked is the scatter-gather Search: every partition runs the
+// scan over its own corpus slice with its local top-τ cut, and the
+// coordinator interleaves the sorted lists and applies the global cut.
+// Because partitions hold disjoint document sets, the merged prefix is
+// byte-identical to a single-node scan of the whole corpus. When partitions
+// failed, the merged result covers the survivors and the *cluster.PartialError
+// names the rest — callers choose whether a partial answer is usable.
+func (c *Client) clusterSearchLocked(query []byte, topK int) ([]Match, error) {
+	resps, pe := c.scatterLocked(&protocol.Message{SearchReq: &protocol.SearchRequest{
+		Query: query,
+		TopK:  topK,
+	}})
+	lists := make([][]protocol.MatchWire, 0, len(resps))
+	for i, r := range resps {
+		if r == nil {
+			continue
+		}
+		if r.SearchResp == nil {
+			return nil, fmt.Errorf("service: search response missing from partition %d", i)
+		}
+		lists = append(lists, r.SearchResp.Matches)
+	}
+	merged := cluster.MergeWire(lists, topK)
+	out := make([]Match, len(merged))
+	for i, m := range merged {
+		out[i] = Match{DocID: m.DocID, Rank: m.Rank}
+	}
+	if pe != nil {
+		return out, pe
+	}
+	return out, nil
+}
+
+// clusterSearchBatchLocked is the scatter-gather SearchBatch: one batch
+// round trip per partition, then a per-query merge under the global τ-cut.
+func (c *Client) clusterSearchBatchLocked(wire [][]byte, topK int) ([][]Match, error) {
+	resps, pe := c.scatterLocked(&protocol.Message{SearchBatchReq: &protocol.SearchBatchRequest{
+		Queries: wire,
+		TopK:    topK,
+	}})
+	perQuery := make([][][]protocol.MatchWire, len(wire))
+	for pi, r := range resps {
+		if r == nil {
+			continue
+		}
+		if r.SearchBatchResp == nil {
+			return nil, fmt.Errorf("service: batch search response missing from partition %d", pi)
+		}
+		if got := len(r.SearchBatchResp.Results); got != len(wire) {
+			return nil, fmt.Errorf("service: partition %d returned %d result sets for %d queries", pi, got, len(wire))
+		}
+		for qi, ms := range r.SearchBatchResp.Results {
+			perQuery[qi] = append(perQuery[qi], ms)
+		}
+	}
+	out := make([][]Match, len(wire))
+	for qi, lists := range perQuery {
+		merged := cluster.MergeWire(lists, topK)
+		out[qi] = make([]Match, len(merged))
+		for i, m := range merged {
+			out[qi][i] = Match{DocID: m.DocID, Rank: m.Rank}
+		}
+	}
+	if pe != nil {
+		return out, pe
+	}
+	return out, nil
+}
+
+// clusterOwnerLocked returns the partition owning a document ID.
+func (c *Client) clusterOwnerLocked(docID string) *clusterPart {
+	return c.clu.parts[c.clu.cfg.Map().Owner(docID)]
+}
+
+// clusterMutateLocked routes a mutation to the partition primary owning the
+// document. Mutations never fall back to replicas — a follower would reject
+// them as read-only, and routing them elsewhere would fork the partition's
+// history. Caller holds c.mu.
+func (c *Client) clusterMutateLocked(docID string, m *protocol.Message) (*protocol.Message, error) {
+	p := c.clusterOwnerLocked(docID)
+	if p.conn == nil {
+		raw, err := net.DialTimeout("tcp", p.cfg.Primary, DialTimeout)
+		if err != nil {
+			return nil, fmt.Errorf("service: partition %d (%s): %w", p.index, p.cfg.Primary, err)
+		}
+		p.raw, p.conn = raw, protocol.NewConn(raw)
+	}
+	resp, err := p.conn.Roundtrip(m)
+	if err != nil {
+		var remote *protocol.RemoteError
+		if !errors.As(err, &remote) {
+			p.raw.Close()
+			p.raw, p.conn = nil, nil
+		}
+		return nil, err
+	}
+	return resp, nil
+}
+
+// ClusterStats fetches one StatsResponse per partition, in partition order,
+// falling back to replicas for unreachable primaries. When partitions are
+// missing entirely, the surviving entries are returned (nil at the failed
+// indices) alongside a *cluster.PartialError.
+func (c *Client) ClusterStats() ([]*protocol.StatsResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.clu == nil {
+		resp, err := c.primaryRoundtripLocked(&protocol.Message{StatsReq: &protocol.StatsRequest{}})
+		if err != nil {
+			return nil, fmt.Errorf("service: stats: %w", err)
+		}
+		if resp.StatsResp == nil {
+			return nil, fmt.Errorf("service: stats response missing")
+		}
+		return []*protocol.StatsResponse{resp.StatsResp}, nil
+	}
+	return c.clusterStatsLocked()
+}
+
+func (c *Client) clusterStatsLocked() ([]*protocol.StatsResponse, error) {
+	resps, pe := c.scatterLocked(&protocol.Message{StatsReq: &protocol.StatsRequest{}})
+	out := make([]*protocol.StatsResponse, len(resps))
+	for i, r := range resps {
+		if r == nil {
+			continue
+		}
+		if r.StatsResp == nil {
+			return nil, fmt.Errorf("service: stats response missing from partition %d", i)
+		}
+		out[i] = r.StatsResp
+	}
+	if pe != nil {
+		return out, pe
+	}
+	return out, nil
+}
+
+// aggregateStats folds per-partition stats into one cluster-wide view:
+// document, shard and cache counters sum; Partition is -1 to mark the
+// aggregate; Durable holds only if every partition is durable.
+func aggregateStats(parts []*protocol.StatsResponse) *protocol.StatsResponse {
+	agg := &protocol.StatsResponse{Partition: -1, Durable: true}
+	for _, st := range parts {
+		if st == nil {
+			continue
+		}
+		agg.Partitions++
+		agg.NumDocuments += st.NumDocuments
+		agg.NumShards += st.NumShards
+		agg.Durable = agg.Durable && st.Durable
+		agg.Cache.Enabled = agg.Cache.Enabled || st.Cache.Enabled
+		agg.Cache.Hits += st.Cache.Hits
+		agg.Cache.Misses += st.Cache.Misses
+		agg.Cache.Evictions += st.Cache.Evictions
+		agg.Cache.Invalidations += st.Cache.Invalidations
+		agg.Cache.Entries += st.Cache.Entries
+		agg.Cache.Bytes += st.Cache.Bytes
+		if st.Cache.MaxBytes > agg.Cache.MaxBytes {
+			agg.Cache.MaxBytes = st.Cache.MaxBytes
+		}
+	}
+	return agg
+}
+
+// UploadAllCluster pushes prepared documents to the cluster, routing each to
+// the partition primary owning its document ID — the owner-side upload of
+// Figure 1's offline stage, partitioned.
+func UploadAllCluster(cfg cluster.Config, items []UploadItem) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	m := cfg.Map()
+	groups := make([][]UploadItem, cfg.P())
+	for _, it := range items {
+		i := m.Owner(it.Index.DocID)
+		groups[i] = append(groups[i], it)
+	}
+	for i, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		if err := UploadAll(cfg.Partitions[i].Primary, g); err != nil {
+			return fmt.Errorf("service: partition %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// DeleteAllCluster removes documents from the cluster by ID, routing each
+// deletion to the owning partition primary.
+func DeleteAllCluster(cfg cluster.Config, docIDs []string) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	m := cfg.Map()
+	groups := make([][]string, cfg.P())
+	for _, id := range docIDs {
+		i := m.Owner(id)
+		groups[i] = append(groups[i], id)
+	}
+	for i, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		if err := DeleteAll(cfg.Partitions[i].Primary, g); err != nil {
+			return fmt.Errorf("service: partition %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// FetchClusterStats asks every partition primary for its operational
+// counters without enrolling a user — the operator's one-shot cluster
+// introspection path.
+func FetchClusterStats(cfg cluster.Config) ([]*protocol.StatsResponse, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]*protocol.StatsResponse, cfg.P())
+	for i, p := range cfg.Partitions {
+		st, err := FetchStats(p.Primary)
+		if err != nil {
+			return nil, fmt.Errorf("service: partition %d (%s): %w", i, p.Primary, err)
+		}
+		out[i] = st
+	}
+	return out, nil
+}
+
+// AggregateClusterStats folds per-partition stats into one cluster-wide
+// summary (see aggregateStats for the folding rules).
+func AggregateClusterStats(parts []*protocol.StatsResponse) *protocol.StatsResponse {
+	return aggregateStats(parts)
+}

@@ -21,6 +21,7 @@ const (
 	VerbReplicaStatus    = "replicastatus"
 	VerbPromote          = "promote"
 	VerbReconfigure      = "reconfigure"
+	VerbClusterInfo      = "clusterinfo"
 	VerbUnknown          = "unknown"
 )
 
@@ -29,7 +30,7 @@ const (
 var verbs = []string{
 	VerbUpload, VerbDelete, VerbSearch, VerbSearchBatch, VerbFetch,
 	VerbStats, VerbReplicaSubscribe, VerbReplicaStatus, VerbPromote,
-	VerbReconfigure,
+	VerbReconfigure, VerbClusterInfo,
 }
 
 // verbOf classifies a decoded message by its populated request field.
@@ -55,6 +56,8 @@ func verbOf(m *protocol.Message) string {
 		return VerbPromote
 	case m.ReconfigureReq != nil:
 		return VerbReconfigure
+	case m.ClusterInfoReq != nil:
+		return VerbClusterInfo
 	default:
 		return VerbUnknown
 	}

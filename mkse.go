@@ -5,6 +5,7 @@ import (
 	"math/big"
 
 	"mkse/internal/bitindex"
+	"mkse/internal/cluster"
 	"mkse/internal/core"
 	"mkse/internal/corpus"
 	"mkse/internal/rank"
@@ -53,6 +54,42 @@ type (
 	// RemoteMatch is a search hit returned over the wire.
 	RemoteMatch = service.Match
 )
+
+// Partitioned scatter-gather deployment types (internal/cluster).
+type (
+	// ClusterConfig is the static topology of a partitioned deployment:
+	// partition i's addresses at index i.
+	ClusterConfig = cluster.Config
+	// ClusterPartition is one partition's primary address plus optional
+	// read replicas.
+	ClusterPartition = cluster.Partition
+	// PartialError reports which partitions a scatter-gather result is
+	// missing; errors.As-match it to use partial results deliberately.
+	PartialError = cluster.PartialError
+)
+
+// ParseClusterTargets parses the "primary[/replica...],..." topology syntax
+// of the -cluster flag.
+func ParseClusterTargets(s string) (ClusterConfig, error) { return cluster.ParseTargets(s) }
+
+// DialCluster connects a new user to the owner daemon and every partition
+// of a partitioned cloud deployment, verifying each server's reported
+// partition identity. Searches scatter-gather across all partitions;
+// mutations route to the partition owning the document ID.
+func DialCluster(userID, ownerAddr string, cfg ClusterConfig) (*Client, error) {
+	return service.DialCluster(userID, ownerAddr, cfg)
+}
+
+// UploadAllCluster pushes prepared documents to a partitioned deployment,
+// routing each to the partition owning its document ID.
+func UploadAllCluster(cfg ClusterConfig, items []UploadItem) error {
+	return service.UploadAllCluster(cfg, items)
+}
+
+// DeleteAllCluster removes documents from a partitioned deployment by ID.
+func DeleteAllCluster(cfg ClusterConfig, docIDs []string) error {
+	return service.DeleteAllCluster(cfg, docIDs)
+}
 
 // DefaultParams returns the paper's implementation parameters (r = 448,
 // d = 6, δ = 250, U = 60, V = 30, 1024-bit RSA, ranking disabled).
