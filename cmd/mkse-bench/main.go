@@ -45,6 +45,7 @@ func main() {
 		shards     = flag.Int("shards", 0, "store shards for -exp shards (0 = one per core)")
 		workers    = flag.Int("workers", 0, "concurrent shard scans for -exp shards (0 = auto)")
 		batch      = flag.Int("batch", 16, "queries per SearchBatch call for -exp shards")
+		traced     = flag.Bool("trace", false, "for -exp cluster: run the sweep with tracing enabled and print one assembled span tree")
 	)
 	flag.Parse()
 
@@ -174,7 +175,7 @@ func main() {
 		if err != nil {
 			return nil, err
 		}
-		r, err := experiments.ClusterSweep(cluSizes, parts, *queries, *seed)
+		r, err := experiments.ClusterSweep(cluSizes, parts, *queries, *seed, *traced)
 		return stringer{r}, err
 	})
 	run("cache", func() (fmt.Stringer, error) {

@@ -13,14 +13,20 @@
 //	mkse-client -cloud localhost:7002 -json stats
 //	mkse-client -owner ... -cluster host1:7002,host2:7002 -user alice \
 //	            search cloud encrypted ranked
+//	mkse-client -owner ... -cluster ... -user alice trace cloud encrypted
 //
 // Subcommands: search <kw...>, get <docID>, searchget <kw...> (search then
-// retrieve the best match), delete <docID>, stats (one-round-trip server
-// introspection: document/shard counts, WAL position, replication lag,
-// query-result cache counters; needs only -cloud, no enrollment). With
-// -json, stats emits one JSON object keyed by the daemon's Prometheus
-// series names (mkse_documents, mkse_wal_position, …), so scripts parse the
-// same vocabulary a /metrics scrape exposes.
+// retrieve the best match), delete <docID>, trace <kw...> (search with its
+// distributed trace forced on: prints the matches, then the assembled
+// cross-daemon span tree — coordinator, per-partition fan-out, and every
+// span the servers echoed back, with durations and attributes; the servers
+// need no -trace-sample flag, a propagated sampled context is always
+// continued), stats (one-round-trip server introspection: document/shard
+// counts, WAL position, replication lag, query-result cache counters; needs
+// only -cloud, no enrollment). With -json, stats emits one JSON object
+// keyed by the daemon's Prometheus series names (mkse_documents,
+// mkse_wal_position, …), so scripts parse the same vocabulary a /metrics
+// scrape exposes.
 //
 // -cluster replaces -cloud with a partitioned topology: a comma-separated
 // partition list, each element "primary[/replica...]", in partition order
@@ -44,6 +50,7 @@ import (
 	"mkse/internal/buildinfo"
 	"mkse/internal/cluster"
 	"mkse/internal/service"
+	"mkse/internal/trace"
 )
 
 func main() {
@@ -75,7 +82,7 @@ func main() {
 		return
 	}
 	if len(args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: mkse-client [flags] search|get|searchget|delete <args...> | stats")
+		fmt.Fprintln(os.Stderr, "usage: mkse-client [flags] search|trace|get|searchget|delete <args...> | stats")
 		os.Exit(2)
 	}
 
@@ -114,6 +121,28 @@ func main() {
 		for _, m := range matches {
 			fmt.Printf("%-4d %-30s\n", m.Rank, m.DocID)
 		}
+	case "trace":
+		// A one-shot tracer: rate 0 means nothing else is sampled, and
+		// TraceSearch forces this one request on. No buffer — the assembled
+		// spans come back from the call itself.
+		client.Tracer = trace.New("client", 0, nil)
+		matches, spans, err := client.TraceSearch(args[1:], *topK)
+		var partial *cluster.PartialError
+		if errors.As(err, &partial) {
+			fmt.Fprintf(os.Stderr, "mkse-client: warning: %v\n", partial)
+		} else if err != nil {
+			log.Fatalf("mkse-client: trace: %v", err)
+		}
+		if len(matches) == 0 {
+			fmt.Println("no matches")
+		} else {
+			fmt.Printf("%-4s %-30s\n", "rank", "document")
+			for _, m := range matches {
+				fmt.Printf("%-4d %-30s\n", m.Rank, m.DocID)
+			}
+		}
+		fmt.Println()
+		fmt.Print(trace.FormatTree(spans))
 	case "get":
 		pt, err := client.Retrieve(args[1])
 		if err != nil {

@@ -11,7 +11,8 @@
 //
 //	mkse-observer -primary host:7002 -replicas host:7003,host:7004
 //	              [-probe-every 1s] [-probe-timeout 1s] [-fail-after 3]
-//	              [-metrics-addr :7013] [-log-format text|json] [-log-level info]
+//	              [-metrics-addr :7013] [-trace-sample 10]
+//	              [-log-format text|json] [-log-level info]
 //	              [-oneshot]
 //
 // -oneshot runs a single probe cycle and exits: status 0 if the primary is
@@ -23,6 +24,9 @@
 // observer's probe-failure, failover and promotion counters plus term and
 // backlog gauges, /healthz reports liveness with the current escalation
 // state in its detail field, and /debug/pprof exposes runtime profiles.
+// With -trace-sample N, 1 in N probe cycles is recorded as a background
+// trace (an observer.tick root with a probe child) served by the sidecar
+// at /traces — the cheap way to see how long probes actually take.
 //
 // The observer keeps no state on disk. Restart it freely: roles, terms and
 // positions are re-learned by probing, and a follower that was already
@@ -42,6 +46,7 @@ import (
 	"mkse/internal/cliutil"
 	"mkse/internal/observer"
 	"mkse/internal/telemetry"
+	"mkse/internal/trace"
 )
 
 func main() {
@@ -53,6 +58,7 @@ func main() {
 		failAfter    = flag.Int("fail-after", 3, "consecutive failed probes before failing over")
 		oneshot      = flag.Bool("oneshot", false, "run one probe cycle and exit (0 = primary healthy)")
 		metricsAddr  = flag.String("metrics-addr", "", "telemetry sidecar address serving /metrics, /healthz and /debug/pprof (empty = disabled)")
+		traceSample  = flag.Int("trace-sample", 0, "sample 1 in N probe cycles into background traces served at /traces (0 = disabled)")
 		logFormat    = flag.String("log-format", "text", "log output format: text or json")
 		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 		version      = flag.Bool("version", false, "print version and exit")
@@ -80,6 +86,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	var traceBuf *trace.Buffer
+	var tracer *trace.Tracer
+	if *traceSample > 0 {
+		traceBuf = trace.NewBuffer(128)
+		tracer = trace.New("observer", *traceSample, traceBuf)
+		logger.Info("probe tracing enabled", "sample", *traceSample)
+	}
+
 	obs := observer.New(observer.Config{
 		Primary:      *primary,
 		Followers:    followers,
@@ -87,6 +101,7 @@ func main() {
 		ProbeTimeout: *probeTimeout,
 		FailAfter:    *failAfter,
 		Logger:       logger,
+		Tracer:       tracer,
 		OnFailover: func(oldPrimary, newPrimary string, term uint64) {
 			logger.Info("failover complete", "old_primary", oldPrimary, "new_primary", newPrimary, "term", term)
 		},
@@ -109,7 +124,13 @@ func main() {
 			telemetry.Label{Key: "version", Value: ver},
 			telemetry.Label{Key: "commit", Value: commit}).Set(1)
 		obs.EnableMetrics(reg)
-		srv, err := telemetry.Serve(*metricsAddr, reg, obs.Health, logger)
+		var routes []telemetry.Route
+		if traceBuf != nil {
+			routes = append(routes,
+				telemetry.Route{Pattern: "/traces", Handler: traceBuf.RecentHandler()},
+				telemetry.Route{Pattern: "/traces/slow", Handler: traceBuf.SlowHandler()})
+		}
+		srv, err := telemetry.Serve(*metricsAddr, reg, obs.Health, logger, routes...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mkse-observer: %v\n", err)
 			os.Exit(1)

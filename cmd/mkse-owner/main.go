@@ -6,9 +6,16 @@
 // Usage:
 //
 //	mkse-owner -listen :7001 -cloud localhost:7002 -docs ./corpus [-levels 1,5,10]
+//	           [-metrics-addr :7011] [-trace-sample 100]
 //
 // With -synthetic N it generates N synthetic documents instead of reading a
 // directory, which is handy for trying the system end to end.
+//
+// -metrics-addr starts the telemetry sidecar (/healthz, /debug/pprof, and —
+// with -trace-sample — /traces). -trace-sample N samples 1 in N requests
+// into single-span traces; a trace context propagated by a traced client is
+// always continued, so the owner leg of an enrollment or blind decryption
+// shows up in the client's assembled tree either way.
 package main
 
 import (
@@ -26,6 +33,8 @@ import (
 	"mkse/internal/corpus"
 	"mkse/internal/service"
 	"mkse/internal/store"
+	"mkse/internal/telemetry"
+	"mkse/internal/trace"
 )
 
 func fatal(format string, args ...any) {
@@ -35,16 +44,18 @@ func fatal(format string, args ...any) {
 
 func main() {
 	var (
-		listen    = flag.String("listen", ":7001", "address to listen on")
-		cloud     = flag.String("cloud", "localhost:7002", "cloud daemon address to upload to")
-		docsDir   = flag.String("docs", "", "directory of plaintext documents to index")
-		synthetic = flag.Int("synthetic", 0, "generate N synthetic documents instead of -docs")
-		levels    = flag.String("levels", "1", "comma-separated ranking thresholds (η levels)")
-		seed      = flag.Int64("seed", 1, "seed for random keywords / synthetic corpus")
-		state     = flag.String("state", "", "path to persist/restore the owner's secret state (protect this file!)")
-		logFormat = flag.String("log-format", "text", "log output format: text or json")
-		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
-		version   = flag.Bool("version", false, "print version and exit")
+		listen      = flag.String("listen", ":7001", "address to listen on")
+		cloud       = flag.String("cloud", "localhost:7002", "cloud daemon address to upload to")
+		docsDir     = flag.String("docs", "", "directory of plaintext documents to index")
+		synthetic   = flag.Int("synthetic", 0, "generate N synthetic documents instead of -docs")
+		levels      = flag.String("levels", "1", "comma-separated ranking thresholds (η levels)")
+		seed        = flag.Int64("seed", 1, "seed for random keywords / synthetic corpus")
+		state       = flag.String("state", "", "path to persist/restore the owner's secret state (protect this file!)")
+		metricsAddr = flag.String("metrics-addr", "", "telemetry sidecar address serving /healthz, /debug/pprof and /traces (empty = disabled)")
+		traceSample = flag.Int("trace-sample", 0, "sample 1 in N requests into traces served at /traces (0 = disabled)")
+		logFormat   = flag.String("log-format", "text", "log output format: text or json")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		version     = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 
@@ -134,12 +145,39 @@ func main() {
 		}()
 	}
 
+	svc := &service.OwnerService{Owner: owner, Logger: logger}
+	var traceBuf *trace.Buffer
+	if *traceSample > 0 {
+		traceBuf = trace.NewBuffer(128)
+		svc.Tracer = trace.New("owner", *traceSample, traceBuf)
+		logger.Info("request tracing enabled", "sample", *traceSample)
+	}
+	if *metricsAddr != "" {
+		reg := telemetry.New()
+		ver, commit := buildinfo.Fields()
+		reg.Gauge(service.SeriesBuildInfo, "Build metadata; the labelled series is always 1.",
+			telemetry.Label{Key: "version", Value: ver},
+			telemetry.Label{Key: "commit", Value: commit}).Set(1)
+		var routes []telemetry.Route
+		if traceBuf != nil {
+			routes = append(routes,
+				telemetry.Route{Pattern: "/traces", Handler: traceBuf.RecentHandler()},
+				telemetry.Route{Pattern: "/traces/slow", Handler: traceBuf.SlowHandler()})
+		}
+		srv, err := telemetry.Serve(*metricsAddr, reg,
+			func() telemetry.Health { return telemetry.Health{Ready: true, Role: "owner"} }, logger, routes...)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer srv.Close()
+	}
+
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fatal("%v", err)
 	}
 	logger.Info("listening", "addr", l.Addr().String())
-	if err := (&service.OwnerService{Owner: owner, Logger: logger}).Serve(l); err != nil {
+	if err := svc.Serve(l); err != nil {
 		fatal("%v", err)
 	}
 }

@@ -12,7 +12,8 @@
 //	            [-replica-of primary:7002]
 //	            [-partition 0/2]
 //	            [-drain 5s] [-idle-timeout 0]
-//	            [-metrics-addr :7012] [-slow-query 250ms]
+//	            [-metrics-addr :7012] [-slow-query 250ms] [-slow-query-ms 250]
+//	            [-trace-sample 100]
 //	            [-log-format text|json] [-log-level info]
 //	            [-snapshot cloud.db]
 //
@@ -75,9 +76,25 @@
 // gauges and counters, per-follower replication lag — /healthz answers a
 // role-aware readiness check (a follower with its stream down or lagging
 // past budget reports 503), and /debug/pprof exposes the runtime profiles.
-// -slow-query logs any search or batch slower than the threshold at WARN.
-// Logs are structured (log/slog); -log-format json emits one object per
-// line for shippers and -log-level debug adds a line per request.
+// -slow-query logs any search or batch slower than the threshold at WARN
+// (-slow-query-ms is the same knob in integer milliseconds, for launchers
+// that cannot emit duration syntax; when both are given -slow-query-ms
+// wins). Logs are structured (log/slog); -log-format json emits one object
+// per line for shippers and -log-level debug adds a line per request.
+//
+// -trace-sample N enables distributed request tracing (internal/trace):
+// 1 in N requests is sampled into a trace — spans for the verb dispatch,
+// the arena scan, the query-cache lookup and every WAL append/fsync under
+// the request — and a trace context propagated by a coordinator is always
+// continued, so a sampled cluster search traces across every partition.
+// Completed traces land in a bounded in-memory ring served by the
+// telemetry sidecar as /traces and /traces/slow (JSON span trees; the slow
+// ring keeps everything over the -slow-query threshold, including searches
+// that were not sampled — those are captured as single-span traces).
+// Sampled requests log their trace_id, and the slowest traced request per
+// verb is exported as the mkse_request_slowest_traced_seconds series with
+// its trace_id as a label. N = 1 traces everything (tests/debugging);
+// 0 disables tracing entirely and costs the hot path nothing.
 //
 // -drain bounds the graceful-shutdown window: on SIGINT/SIGTERM the daemon
 // stops accepting connections, waits up to the window for in-flight
@@ -112,6 +129,7 @@ import (
 	"mkse/internal/service"
 	"mkse/internal/store"
 	"mkse/internal/telemetry"
+	"mkse/internal/trace"
 )
 
 func fatal(format string, args ...any) {
@@ -147,7 +165,9 @@ func main() {
 		drain       = flag.Duration("drain", 5*time.Second, "graceful-shutdown window for in-flight requests")
 		idle        = flag.Duration("idle-timeout", 0, "disconnect clients idle between requests this long (0 = never)")
 		metricsAddr = flag.String("metrics-addr", "", "telemetry sidecar address serving /metrics, /healthz and /debug/pprof (empty = disabled)")
-		slowQuery   = flag.Duration("slow-query", 0, "log searches slower than this at WARN (0 = disabled)")
+		slowQuery   = flag.Duration("slow-query", 0, "log searches slower than this at WARN and keep their traces in /traces/slow (0 = disabled)")
+		slowQueryMS = flag.Int("slow-query-ms", 0, "same as -slow-query, in integer milliseconds (overrides it when both are set; 0 = defer to -slow-query)")
+		traceSample = flag.Int("trace-sample", 0, "sample 1 in N requests into distributed traces served at /traces (1 = every request, 0 = tracing disabled)")
 		logFormat   = flag.String("log-format", "text", "log output format: text or json")
 		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 		version     = flag.Bool("version", false, "print version and exit")
@@ -181,6 +201,9 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *slowQueryMS > 0 {
+		*slowQuery = time.Duration(*slowQueryMS) * time.Millisecond
+	}
 	svc := &service.CloudService{Logger: logger, IdleTimeout: *idle, SlowQuery: *slowQuery}
 	if *partition != "" {
 		pi, pp, err := parsePartition(*partition)
@@ -276,6 +299,24 @@ func main() {
 		}
 	}
 
+	// Tracing must be wired before Serve: the Tracer field is read without a
+	// lock on the request path.
+	var traceBuf *trace.Buffer
+	if *traceSample > 0 {
+		traceBuf = trace.NewBuffer(256)
+		traceBuf.SetSlowThreshold(*slowQuery)
+		name := "cloud"
+		if svc.Partitions > 0 {
+			name = fmt.Sprintf("cloud-p%d", svc.Partition)
+		}
+		tr := trace.New(name, *traceSample, traceBuf)
+		svc.EnableTracing(tr)
+		if eng != nil {
+			eng.SetTracer(tr)
+		}
+		logger.Info("request tracing enabled", "sample", *traceSample, "slow_query", *slowQuery)
+	}
+
 	// The telemetry sidecar listens separately from the wire protocol so
 	// scrapes and profiles keep answering while the service port drains.
 	var metricsSrv interface{ Close() error }
@@ -289,8 +330,14 @@ func main() {
 		if eng != nil {
 			eng.EnableMetrics(reg)
 		}
+		var routes []telemetry.Route
+		if traceBuf != nil {
+			routes = append(routes,
+				telemetry.Route{Pattern: "/traces", Handler: traceBuf.RecentHandler()},
+				telemetry.Route{Pattern: "/traces/slow", Handler: traceBuf.SlowHandler()})
+		}
 		srv, err := telemetry.Serve(*metricsAddr, reg,
-			func() telemetry.Health { return svc.Health(0) }, logger)
+			func() telemetry.Health { return svc.Health(0) }, logger, routes...)
 		if err != nil {
 			fatal("%v", err)
 		}

@@ -162,6 +162,23 @@
 // (internal/buildinfo) and the mkse_build_info series. See README.md
 // ("Observability") for the full series table.
 //
+// # Distributed tracing
+//
+// Aggregates cannot explain a single slow query, so every request can
+// also carry a trace (internal/trace): a 128-bit trace ID and per-hop
+// span IDs propagated on the wire envelope, continued by each daemon and
+// echoed back with the spans it recorded — coordinator scatter, each
+// partition's RPC with redial and replica-fallback attempts, server verb
+// dispatch, shard scan, qcache hit/miss, WAL append/fsync, checkpoint
+// pause, replication apply. The client assembles one cross-daemon span
+// tree per sampled search; completed traces land in bounded ring buffers
+// served by the telemetry sidecar as /traces and /traces/slow JSON.
+// Sampling is head-based (-trace-sample, with slow queries captured even
+// when unsampled), a propagated sampled context is always honored, and
+// with tracing disabled the scan path stays allocation-free. The
+// mkse-client trace subcommand runs a forced-sample search and
+// pretty-prints the assembled tree; see ARCHITECTURE.md ("Tracing").
+//
 // # Package layout
 //
 // This root package is the public API: parameters, the three roles (Owner,
@@ -182,6 +199,8 @@
 //     including the replication stream and the read-balancing client
 //   - internal/telemetry, internal/buildinfo — the metrics registry, the
 //     /metrics + /healthz + pprof sidecar, and build stamping
+//   - internal/trace — the distributed-tracing core: span contexts,
+//     samplers, ring buffers and the /traces handlers
 //
 // # Quickstart
 //

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -109,9 +110,21 @@ type Server struct {
 	// TestSearchScanPathAllocationFree).
 	scanHist atomic.Pointer[telemetry.Histogram]
 
+	// scanObs, when set (ObserveScanContexts), additionally receives each
+	// scan's request context and timing. It is how the tracing layer hangs
+	// a "scan" span under a sampled request without core importing the
+	// trace package: the installed closure checks the context for a sampled
+	// trace and no-ops otherwise, so with tracing compiled in but disabled
+	// the scan path stays allocation-free.
+	scanObs atomic.Pointer[ScanObserverFunc]
+
 	// Costs tallies server-side binary comparisons (Table 2) and traffic.
 	Costs costs.Counters
 }
+
+// ScanObserverFunc receives one scan's request context, start time and
+// duration (see ObserveScanContexts).
+type ScanObserverFunc func(ctx context.Context, start time.Time, d time.Duration)
 
 // shard is one independently locked slice of the document store, laid out as
 // parallel columns: row i of every slice and arena describes one document.
@@ -192,6 +205,19 @@ func (s *Server) NumWorkers() int { return s.workers }
 // the number that moves when the kernel or the corpus does). A nil h
 // disables observation. Safe to call concurrently with searches.
 func (s *Server) ObserveScans(h *telemetry.Histogram) { s.scanHist.Store(h) }
+
+// ObserveScanContexts points the server's context-aware scan observer at
+// fn: every subsequent SearchTopContext or SearchBatchContext scan invokes
+// it with the request's context and the scan's timing, alongside any
+// ObserveScans histogram. A nil fn disables observation. Safe to call
+// concurrently with searches.
+func (s *Server) ObserveScanContexts(fn ScanObserverFunc) {
+	if fn == nil {
+		s.scanObs.Store(nil)
+		return
+	}
+	s.scanObs.Store(&fn)
+}
 
 // shardFor routes a document ID to its shard (inlined 32-bit FNV-1a — the
 // hash/fnv object would heap-allocate on every Upload/Fetch).
@@ -642,12 +668,21 @@ func (s *Server) Search(q *bitindex.Vector) ([]Match, error) {
 // every match. With τ > 0 each shard retains at most τ candidates and only
 // the global survivors' metadata vectors are copied out of the arenas.
 func (s *Server) SearchTop(q *bitindex.Vector, tau int) ([]Match, error) {
+	return s.SearchTopContext(context.Background(), q, tau)
+}
+
+// SearchTopContext is SearchTop with a request context for the scan
+// observer (ObserveScanContexts): a traced request's context flows to the
+// observer so its scan span lands in the right trace. ctx does not cancel
+// the scan.
+func (s *Server) SearchTopContext(ctx context.Context, q *bitindex.Vector, tau int) ([]Match, error) {
 	if err := s.validateQuery(q); err != nil {
 		return nil, err
 	}
 	h := s.scanHist.Load()
+	obs := s.scanObs.Load()
 	var start time.Time
-	if h != nil {
+	if h != nil || obs != nil {
 		start = time.Now()
 	}
 	// Wrap the query and result in pooled one-element slices so a SearchTop
@@ -664,8 +699,14 @@ func (s *Server) SearchTop(q *bitindex.Vector, tau int) ([]Match, error) {
 	sc.out[0] = nil
 	sc.qbuf[0] = nil
 	s.scratch.Put(sc)
-	if h != nil {
-		h.Observe(time.Since(start))
+	if h != nil || obs != nil {
+		d := time.Since(start)
+		if h != nil {
+			h.Observe(d)
+		}
+		if obs != nil {
+			(*obs)(ctx, start, d)
+		}
 	}
 	return res, nil
 }
@@ -676,6 +717,12 @@ func (s *Server) SearchTop(q *bitindex.Vector, tau int) ([]Match, error) {
 // instead of once per query. Result i is exactly what
 // SearchTop(queries[i], tau) would return.
 func (s *Server) SearchBatch(queries []*bitindex.Vector, tau int) ([][]Match, error) {
+	return s.SearchBatchContext(context.Background(), queries, tau)
+}
+
+// SearchBatchContext is SearchBatch with a request context for the scan
+// observer (see SearchTopContext).
+func (s *Server) SearchBatchContext(ctx context.Context, queries []*bitindex.Vector, tau int) ([][]Match, error) {
 	if len(queries) == 0 {
 		return nil, nil
 	}
@@ -685,16 +732,23 @@ func (s *Server) SearchBatch(queries []*bitindex.Vector, tau int) ([][]Match, er
 		}
 	}
 	h := s.scanHist.Load()
+	obs := s.scanObs.Load()
 	var start time.Time
-	if h != nil {
+	if h != nil || obs != nil {
 		start = time.Now()
 	}
 	out := make([][]Match, len(queries))
 	sc := s.scratch.Get().(*scanScratch)
 	s.searchSharded(sc, queries, tau, out)
 	s.scratch.Put(sc)
-	if h != nil {
-		h.Observe(time.Since(start))
+	if h != nil || obs != nil {
+		d := time.Since(start)
+		if h != nil {
+			h.Observe(d)
+		}
+		if obs != nil {
+			(*obs)(ctx, start, d)
+		}
 	}
 	return out, nil
 }

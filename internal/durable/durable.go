@@ -35,6 +35,7 @@
 package durable
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -51,6 +52,7 @@ import (
 	"mkse/internal/core"
 	"mkse/internal/store"
 	"mkse/internal/telemetry"
+	"mkse/internal/trace"
 )
 
 // FsyncPolicy says when the engine forces logged records to stable storage.
@@ -175,6 +177,11 @@ type Engine struct {
 	// latency observations. An atomic pointer so EnableMetrics can run after
 	// Open without racing the mutation path; nil costs one load per append.
 	metrics atomic.Pointer[engineMetrics]
+	// tracer, when set by SetTracer, records checkpoint traces and sampled
+	// replication-apply traces into the daemon's trace buffer; request-path
+	// WAL spans (wal.append, wal.fsync) instead follow the request's own
+	// context and need no tracer here.
+	tracer atomic.Pointer[trace.Tracer]
 	// openedAt anchors the checkpoint-age gauge until the first checkpoint;
 	// lastCkptAt (under mu) is when the newest checkpoint landed.
 	openedAt   time.Time
@@ -218,6 +225,12 @@ func (e *Engine) EnableMetrics(reg *telemetry.Registry) {
 		func() float64 { return float64(e.Stats().WALBytes) })
 	e.metrics.Store(m)
 }
+
+// SetTracer points the engine's background tracing at t: every checkpoint
+// records a trace (root span plus the mutation-stream pause as a child),
+// and replication applies record head-sampled single-span traces. A nil t
+// disables both. Safe to call while the engine is serving.
+func (e *Engine) SetTracer(t *trace.Tracer) { e.tracer.Store(t) }
 
 // checkpointAnchor returns the newest checkpoint's completion time, or when
 // the engine opened if it has not checkpointed yet.
@@ -362,12 +375,12 @@ func (e *Engine) SetTerm(term uint64) error {
 	}
 	pos := e.lsn // the control record's position
 	e.buf = appendTermOp(e.buf[:0], term)
-	if err := e.logLocked(e.buf); err != nil {
+	if err := e.logLocked(context.Background(), e.buf); err != nil {
 		return err
 	}
 	// A term claim must survive a crash whatever the fsync policy: a
 	// promoted primary that forgot its term would resurrect as fenceable.
-	if err := e.syncLocked(); err != nil {
+	if err := e.syncLocked(context.Background()); err != nil {
 		return err
 	}
 	e.term, e.termStart = term, pos
@@ -380,6 +393,13 @@ func (e *Engine) SetTerm(term uint64) error {
 // Upload returns cannot lose it under FsyncAlways. Re-uploading an existing
 // ID logs and applies a replacement, as in core.Server.Upload.
 func (e *Engine) Upload(si *core.SearchIndex, doc *core.EncryptedDocument) error {
+	return e.UploadCtx(context.Background(), si, doc)
+}
+
+// UploadCtx is Upload with a request context: a traced request's context
+// hangs the WAL append and fsync spans under the request. ctx does not
+// cancel the mutation.
+func (e *Engine) UploadCtx(ctx context.Context, si *core.SearchIndex, doc *core.EncryptedDocument) error {
 	if si == nil || doc == nil {
 		return fmt.Errorf("core: nil upload")
 	}
@@ -406,7 +426,7 @@ func (e *Engine) Upload(si *core.SearchIndex, doc *core.EncryptedDocument) error
 		return ErrClosed
 	}
 	e.buf = appendUploadOp(e.buf[:0], si.DocID, levels, doc.Ciphertext, doc.EncKey)
-	if err := e.logLocked(e.buf); err != nil {
+	if err := e.logLocked(ctx, e.buf); err != nil {
 		return err
 	}
 	if err := e.srv.Upload(si, doc); err != nil {
@@ -419,6 +439,11 @@ func (e *Engine) Upload(si *core.SearchIndex, doc *core.EncryptedDocument) error
 // Delete durably removes one document; deleting an unknown ID returns
 // core.ErrNotFound without touching the log.
 func (e *Engine) Delete(docID string) error {
+	return e.DeleteCtx(context.Background(), docID)
+}
+
+// DeleteCtx is Delete with a request context (see UploadCtx).
+func (e *Engine) DeleteCtx(ctx context.Context, docID string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closing {
@@ -428,7 +453,7 @@ func (e *Engine) Delete(docID string) error {
 		return err
 	}
 	e.buf = appendDeleteOp(e.buf[:0], docID)
-	if err := e.logLocked(e.buf); err != nil {
+	if err := e.logLocked(ctx, e.buf); err != nil {
 		return err
 	}
 	if err := e.srv.Delete(docID); err != nil {
@@ -439,8 +464,9 @@ func (e *Engine) Delete(docID string) error {
 }
 
 // logLocked frames rec, appends it to the live segment and syncs per
-// policy. Caller holds e.mu.
-func (e *Engine) logLocked(rec []byte) error {
+// policy. Caller holds e.mu. ctx only feeds tracing: on a sampled request
+// the append (and any policy fsync, separately) becomes a span.
+func (e *Engine) logLocked(ctx context.Context, rec []byte) error {
 	if e.broken {
 		return fmt.Errorf("durable: log is in an unknown state after an unrecoverable append failure")
 	}
@@ -448,8 +474,9 @@ func (e *Engine) logLocked(rec []byte) error {
 		return fmt.Errorf("durable: %d-byte mutation exceeds the %d-byte limit (documents must stay shippable to replicas in one frame)", len(rec), MaxOpSize)
 	}
 	m := e.metrics.Load()
+	traced := trace.Sampled(ctx)
 	var t0 time.Time
-	if m != nil {
+	if m != nil || traced {
 		t0 = time.Now()
 	}
 	var err error
@@ -480,28 +507,43 @@ func (e *Engine) logLocked(rec []byte) error {
 	close(e.notify)
 	e.notify = make(chan struct{})
 	if e.opts.Fsync == FsyncAlways {
-		err = e.syncLocked()
+		err = e.syncLocked(ctx)
 	}
-	if m != nil {
-		m.appendLat.Observe(time.Since(t0))
+	if m != nil || traced {
+		d := time.Since(t0)
+		if m != nil {
+			m.appendLat.Observe(d)
+		}
+		if traced {
+			trace.AddCompleted(ctx, "wal.append", t0, d)
+		}
 	}
 	return err
 }
 
-func (e *Engine) syncLocked() error {
+// syncLocked fsyncs the live segment; ctx only feeds tracing, like
+// logLocked. Background callers pass context.Background().
+func (e *Engine) syncLocked(ctx context.Context) error {
 	if !e.dirty {
 		return nil
 	}
 	m := e.metrics.Load()
+	traced := trace.Sampled(ctx)
 	var t0 time.Time
-	if m != nil {
+	if m != nil || traced {
 		t0 = time.Now()
 	}
 	if err := e.f.Sync(); err != nil {
 		return fmt.Errorf("durable: syncing WAL: %w", err)
 	}
-	if m != nil {
-		m.fsyncLat.Observe(time.Since(t0))
+	if m != nil || traced {
+		d := time.Since(t0)
+		if m != nil {
+			m.fsyncLat.Observe(d)
+		}
+		if traced {
+			trace.AddCompleted(ctx, "wal.fsync", t0, d)
+		}
 	}
 	e.dirty = false
 	return nil
@@ -511,7 +553,7 @@ func (e *Engine) syncLocked() error {
 func (e *Engine) Sync() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.syncLocked()
+	return e.syncLocked(context.Background())
 }
 
 // noteOpLocked counts a mutation toward the automatic checkpoint trigger.
@@ -610,6 +652,23 @@ func (e *Engine) checkpoint(force bool) error {
 		m.ckptPause.Observe(pause)
 		m.ckptDur.Observe(time.Since(start))
 	}
+	// Checkpoints are rare and always worth inspecting, so every one is
+	// recorded (no sampling): a root span for the whole checkpoint with the
+	// mutation-stream pause as a child, making a pause-induced latency
+	// outlier attributable from /traces alone.
+	if tr := e.tracer.Load(); tr != nil {
+		id := trace.NewTraceID()
+		rootID := trace.NewSpanID()
+		tr.RecordSpans([]trace.Span{
+			{Trace: id, ID: rootID, Service: tr.Service(), Name: "durable.checkpoint",
+				Start: start, Duration: time.Since(start), Attrs: []trace.Attr{
+					{Key: "lsn", Value: strconv.FormatUint(lsn, 10)},
+					{Key: "documents", Value: strconv.Itoa(len(snap.items))},
+				}},
+			{Trace: id, ID: trace.NewSpanID(), Parent: rootID, Service: tr.Service(),
+				Name: "checkpoint.pause", Start: start, Duration: pause},
+		})
+	}
 	e.cleanup()
 	logf(e.opts.Logger, "durable: checkpoint at LSN %d (%d documents, %v pause)", lsn, len(snap.items), pause)
 	return nil
@@ -618,7 +677,7 @@ func (e *Engine) checkpoint(force bool) error {
 // rotateLocked finishes the live segment and starts wal-<lsn>.log. Caller
 // holds e.mu.
 func (e *Engine) rotateLocked(lsn uint64) error {
-	if err := e.syncLocked(); err != nil {
+	if err := e.syncLocked(context.Background()); err != nil {
 		return err
 	}
 	if err := e.f.Close(); err != nil {
@@ -690,7 +749,7 @@ func (e *Engine) Close() error {
 	err := e.Checkpoint()
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if serr := e.syncLocked(); err == nil {
+	if serr := e.syncLocked(context.Background()); err == nil {
 		err = serr
 	}
 	if cerr := e.f.Close(); err == nil {

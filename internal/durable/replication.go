@@ -1,14 +1,17 @@
 package durable
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"time"
 
 	"mkse/internal/core"
 	"mkse/internal/store"
+	"mkse/internal/trace"
 )
 
 // This file is the engine's replication surface: everything a WAL-shipping
@@ -199,6 +202,15 @@ func (e *Engine) ReadCheckpoint() ([]byte, uint64, error) {
 // Records must be applied in log order; the caller aligns the stream with
 // Position.
 func (e *Engine) ApplyReplicated(payload []byte) error {
+	// Replication has no originating request to adopt a trace from, so the
+	// apply stream head-samples itself: 1 in N applies becomes a one-span
+	// trace in the follower's buffer.
+	tr := e.tracer.Load()
+	sampled := tr != nil && tr.SampleBackground()
+	var t0 time.Time
+	if sampled {
+		t0 = time.Now()
+	}
 	op, err := decodeOp(payload)
 	if err != nil {
 		return fmt.Errorf("durable: replicated record: %w", err)
@@ -221,7 +233,7 @@ func (e *Engine) ApplyReplicated(payload []byte) error {
 		return ErrClosed
 	}
 	pos := e.lsn // this record's position
-	if err := e.logLocked(payload); err != nil {
+	if err := e.logLocked(context.Background(), payload); err != nil {
 		return err
 	}
 	switch op.kind {
@@ -239,14 +251,32 @@ func (e *Engine) ApplyReplicated(payload []byte) error {
 		// the fsync policy — a follower that forgot the term would accept a
 		// zombie's stream after restarting.
 		if op.term > e.term {
-			if err := e.syncLocked(); err != nil {
+			if err := e.syncLocked(context.Background()); err != nil {
 				return err
 			}
 			e.term, e.termStart = op.term, pos
 		}
 	}
 	e.noteOpLocked()
+	if sampled {
+		tr.RecordRoot("replication.apply", t0, time.Since(t0),
+			trace.Attr{Key: "kind", Value: opKindName(op.kind)},
+			trace.Attr{Key: "position", Value: strconv.FormatUint(pos, 10)})
+	}
 	return nil
+}
+
+// opKindName names a WAL op kind for trace attributes.
+func opKindName(k byte) string {
+	switch k {
+	case opUpload:
+		return "upload"
+	case opDelete:
+		return "delete"
+	case opTerm:
+		return "term"
+	}
+	return "unknown"
 }
 
 // BootstrapCheckpoint cuts a fresh checkpoint — even when the engine is

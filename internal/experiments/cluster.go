@@ -15,6 +15,7 @@ import (
 	"mkse/internal/protocol"
 	"mkse/internal/rank"
 	"mkse/internal/service"
+	"mkse/internal/trace"
 )
 
 // ---------------------------------------------------------------------------
@@ -42,6 +43,11 @@ type ClusterPoint struct {
 // ClusterResult is the cluster sweep.
 type ClusterResult struct {
 	Points []ClusterPoint
+	// SampleTree, when the sweep ran traced, is the rendered span tree of
+	// one forced-sample search against the largest topology — coordinator
+	// scatter, per-partition RPC, and each server's dispatch/scan/qcache
+	// work, assembled cross-daemon.
+	SampleTree string
 }
 
 // ClusterSweep measures scatter-gather search at several corpus sizes and
@@ -52,7 +58,12 @@ type ClusterResult struct {
 // partition scanned, results merged under the global τ-cut — against a
 // single reference server holding the whole corpus, and records whether
 // every merged response was byte-identical, metadata and all.
-func ClusterSweep(sizes, partitions []int, queries int, seed int64) (*ClusterResult, error) {
+//
+// With traced set, every daemon starts with tracing enabled and each point
+// runs one forced-sample search outside the timed loop; the last point's
+// assembled span tree is kept on the result so a bench run doubles as a
+// tracing smoke test.
+func ClusterSweep(sizes, partitions []int, queries int, seed int64, traced bool) (*ClusterResult, error) {
 	owner, err := newExperimentOwner(rank.DefaultLevels(3, 15), seed)
 	if err != nil {
 		return nil, err
@@ -71,21 +82,24 @@ func ClusterSweep(sizes, partitions []int, queries int, seed int64) (*ClusterRes
 	res := &ClusterResult{}
 	for _, p := range partitions {
 		for _, n := range sizes {
-			pt, err := clusterPoint(owner, docs, indices, n, p, queries, seed)
+			pt, tree, err := clusterPoint(owner, docs, indices, n, p, queries, seed, traced)
 			if err != nil {
 				return nil, err
 			}
 			res.Points = append(res.Points, *pt)
+			if tree != "" {
+				res.SampleTree = tree
+			}
 		}
 	}
 	return res, nil
 }
 
-func clusterPoint(owner *core.Owner, docs []*corpus.Document, indices []*core.SearchIndex, n, partitions, queries int, seed int64) (*ClusterPoint, error) {
+func clusterPoint(owner *core.Owner, docs []*corpus.Document, indices []*core.SearchIndex, n, partitions, queries int, seed int64, traced bool) (*ClusterPoint, string, error) {
 	params := owner.Params()
-	clu, err := harness.StartCluster(params, partitions, harness.Options{})
+	clu, err := harness.StartCluster(params, partitions, harness.Options{Trace: traced})
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	defer clu.Close()
 
@@ -93,7 +107,7 @@ func clusterPoint(owner *core.Owner, docs []*corpus.Document, indices []*core.Se
 	// single-node way the merge must reproduce.
 	ref, err := core.NewServer(params)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	refSvc := &service.CloudService{Server: ref}
 
@@ -102,10 +116,10 @@ func clusterPoint(owner *core.Owner, docs []*corpus.Document, indices []*core.Se
 	for i := 0; i < n; i++ {
 		doc := &core.EncryptedDocument{ID: docs[i].ID, Ciphertext: payload, EncKey: payload[:16]}
 		if err := clu.Primaries[m.Owner(docs[i].ID)].Svc.Server.Upload(indices[i], doc); err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		if err := ref.Upload(indices[i], doc); err != nil {
-			return nil, err
+			return nil, "", err
 		}
 	}
 
@@ -114,12 +128,12 @@ func clusterPoint(owner *core.Owner, docs []*corpus.Document, indices []*core.Se
 	// --- Fat-client latency over loopback TCP ------------------------------
 	ol, oaddr, err := harness.StartOwner(owner)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	defer ol.Close()
 	client, err := service.DialCluster(fmt.Sprintf("cluster-bench-%d-%d", partitions, n), oaddr, clu.Config())
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	defer client.Close()
 
@@ -129,14 +143,26 @@ func clusterPoint(owner *core.Owner, docs []*corpus.Document, indices []*core.Se
 	}
 	for _, w := range words { // warm the trapdoor cache before timing
 		if _, err := client.Search(w, 10); err != nil {
-			return nil, err
+			return nil, "", err
 		}
+	}
+	var tree string
+	if traced {
+		// One forced-sample search outside the timed loop; the tracer is
+		// detached again so the measurement below stays span-free.
+		client.Tracer = trace.New("client", 0, nil)
+		_, spans, err := client.TraceSearch(words[0], 10)
+		if err != nil {
+			return nil, "", err
+		}
+		tree = trace.FormatTree(spans)
+		client.Tracer = nil
 	}
 	lat := make([]time.Duration, 0, queries)
 	for i := 0; i < queries; i++ {
 		start := time.Now()
 		if _, err := client.Search(words[i%len(words)], 10); err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		lat = append(lat, time.Since(start))
 	}
@@ -158,13 +184,13 @@ func clusterPoint(owner *core.Owner, docs []*corpus.Document, indices []*core.Se
 		for _, tau := range []int{0, 1, 5} {
 			want, err := refSvc.SearchWire(&protocol.SearchRequest{Query: q, TopK: tau})
 			if err != nil {
-				return nil, err
+				return nil, "", err
 			}
 			lists := make([][]protocol.MatchWire, partitions)
 			for pi, node := range clu.Primaries {
 				resp, err := node.Svc.SearchWire(&protocol.SearchRequest{Query: q, TopK: tau})
 				if err != nil {
-					return nil, err
+					return nil, "", err
 				}
 				lists[pi] = resp.Matches
 			}
@@ -175,7 +201,7 @@ func clusterPoint(owner *core.Owner, docs []*corpus.Document, indices []*core.Se
 			}
 		}
 	}
-	return pt, nil
+	return pt, tree, nil
 }
 
 // marshalQuery mirrors the client's wire encoding of a query vector.
@@ -217,6 +243,10 @@ func (r *ClusterResult) Format() string {
 			float64(p.P50)/float64(time.Millisecond),
 			float64(p.P99)/float64(time.Millisecond),
 			p.NsPerDoc, agree)
+	}
+	if r.SampleTree != "" {
+		b.WriteString("\nSample trace (forced-sample search, largest topology):\n")
+		b.WriteString(r.SampleTree)
 	}
 	return b.String()
 }

@@ -1,10 +1,11 @@
 // Package faultnet is a fault-injecting TCP proxy for failure-mode tests: it
 // forwards bytes between clients and a target address until told to stall
 // (hold every byte without closing anything — a network partition with
-// half-open connections) or sever (cut every connection and refuse new
-// ones — a crashed host). Faults apply to live connections, not just new
-// ones, which is what lets a test freeze an established replication stream
-// mid-flight.
+// half-open connections), sever (cut every connection and refuse new
+// ones — a crashed host), or delay (add a fixed latency before every
+// forwarded chunk — a slow link, for latency-attribution tests). Faults
+// apply to live connections, not just new ones, which is what lets a test
+// freeze an established replication stream mid-flight.
 package faultnet
 
 import (
@@ -12,6 +13,8 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Proxy forwards TCP connections to a target, injecting faults on command.
@@ -25,6 +28,11 @@ type Proxy struct {
 	severed bool
 	closed  bool
 	conns   map[net.Conn]struct{} // both legs of every live connection
+
+	// delay is the fixed latency (nanoseconds) injected before each
+	// forwarded chunk; atomic so SetDelay needs no lock and pump reads it
+	// per chunk, picking up changes on live connections.
+	delay atomic.Int64
 
 	wg sync.WaitGroup
 }
@@ -48,6 +56,16 @@ func (p *Proxy) Addr() string { return p.l.Addr().String() }
 
 // Target returns the address the proxy forwards to.
 func (p *Proxy) Target() string { return p.target }
+
+// SetDelay injects a fixed latency before every forwarded chunk in both
+// directions, on live and future connections alike (0 restores full-speed
+// forwarding). Unlike Stall it never holds bytes indefinitely — traffic
+// flows, just late — so a request through a delayed proxy completes with
+// its wall-clock inflated by at least d per traversal, which is exactly
+// what a tracing test needs to pin latency on one partition's link.
+func (p *Proxy) SetDelay(d time.Duration) {
+	p.delay.Store(int64(d))
+}
 
 // Stall freezes the proxy: established connections stay open but no byte
 // moves in either direction until Resume. New connections are accepted and
@@ -149,6 +167,9 @@ func (p *Proxy) pump(dst, src net.Conn) {
 	for {
 		n, rerr := src.Read(buf)
 		if n > 0 {
+			if d := p.delay.Load(); d > 0 {
+				time.Sleep(time.Duration(d))
+			}
 			if !p.gate() {
 				return
 			}

@@ -110,3 +110,47 @@ func TestProxyForwardsStallsAndSevers(t *testing.T) {
 		t.Fatalf("echo after Resume: %v", err)
 	}
 }
+
+func TestProxyDelay(t *testing.T) {
+	p, err := Listen(startEcho(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := echoOnce(t, conn, "warm"); err != nil {
+		t.Fatalf("echo through healthy proxy: %v", err)
+	}
+
+	// A 50ms per-chunk delay applies to both directions, so one echo round
+	// trip through the proxy costs at least 100ms of injected latency.
+	p.SetDelay(50 * time.Millisecond)
+	start := time.Now()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Write([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatalf("echo through delayed proxy: %v", err)
+	}
+	if d := time.Since(start); d < 100*time.Millisecond {
+		t.Fatalf("delayed round trip took %v, want >= 100ms", d)
+	}
+
+	// Clearing the delay restores full-speed forwarding on the live
+	// connection.
+	p.SetDelay(0)
+	start = time.Now()
+	if err := echoOnce(t, conn, "fast"); err != nil {
+		t.Fatalf("echo after clearing delay: %v", err)
+	}
+	if d := time.Since(start); d >= 50*time.Millisecond {
+		t.Fatalf("cleared delay still slow: %v", d)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"mkse/internal/core"
 	"mkse/internal/durable"
 	"mkse/internal/service"
+	"mkse/internal/trace"
 )
 
 // Options shapes a StartCluster topology.
@@ -36,6 +37,12 @@ type Options struct {
 	Heartbeat time.Duration
 	// Logger, when set, is handed to every daemon.
 	Logger *slog.Logger
+	// Trace enables request tracing on every daemon before it starts
+	// serving (enabling it later would race the request path). Daemons
+	// never head-sample on their own (rate 0) — they only continue traces
+	// a coordinator propagates, so an untraced benchmark loop stays
+	// span-free while a forced-sample search assembles the full tree.
+	Trace bool
 }
 
 // Node is one running cloud daemon: its service, listener and address, and —
@@ -129,6 +136,9 @@ func startNode(params core.Params, i, p int, opts Options, hb time.Duration, pri
 			return nil, err
 		}
 		svc.Server = srv
+	}
+	if opts.Trace {
+		svc.EnableTracing(trace.New(fmt.Sprintf("cloud-p%d", i), 0, trace.NewBuffer(64)))
 	}
 	node.Svc = svc
 	l, addr, err := ServeOn(svc.Serve)

@@ -23,6 +23,7 @@ import (
 
 	"mkse/internal/protocol"
 	"mkse/internal/telemetry"
+	"mkse/internal/trace"
 )
 
 // Config tunes an Observer. Primary and Followers are required.
@@ -41,6 +42,11 @@ type Config struct {
 	FailAfter int
 	// Logger, if set, receives probe and failover notices.
 	Logger *slog.Logger
+	// Tracer, if set, head-samples probe cycles into background traces — an
+	// "observer.tick" root with a "probe" child — landing in the tracer's
+	// buffer, so a sidecar /traces scrape shows what the observer has been
+	// doing and how long its probes take.
+	Tracer *trace.Tracer
 	// OnFailover, if set, is called after each completed promotion.
 	OnFailover func(oldPrimary, newPrimary string, term uint64)
 }
@@ -201,7 +207,32 @@ func (o *Observer) Tick() {
 	primary := o.primary
 	o.mu.Unlock()
 
+	tr := o.cfg.Tracer
+	sampled := tr != nil && tr.SampleBackground()
+	var start time.Time
+	var probeDur time.Duration
+	outcome := "healthy"
+	if sampled {
+		start = time.Now()
+		defer func() {
+			id := trace.NewTraceID()
+			rootID := trace.NewSpanID()
+			tr.RecordSpans([]trace.Span{
+				{Trace: id, ID: rootID, Service: tr.Service(), Name: "observer.tick",
+					Start: start, Duration: time.Since(start), Attrs: []trace.Attr{
+						{Key: "primary", Value: primary},
+						{Key: "outcome", Value: outcome},
+					}},
+				{Trace: id, ID: trace.NewSpanID(), Parent: rootID, Service: tr.Service(),
+					Name: "probe", Start: start, Duration: probeDur},
+			})
+		}()
+	}
+
 	st, err := o.probe(primary)
+	if sampled {
+		probeDur = time.Since(start)
+	}
 	if err == nil {
 		o.mu.Lock()
 		o.fails = 0
@@ -218,8 +249,10 @@ func (o *Observer) Tick() {
 	fails := o.fails
 	o.mu.Unlock()
 	o.probeFailures.Inc()
+	outcome = "probe-failed"
 	o.logf("observer: primary %s unreachable (%d/%d): %v", primary, fails, o.failAfter(), err)
 	if fails >= o.failAfter() {
+		outcome = "failover"
 		o.failover(primary)
 	}
 }

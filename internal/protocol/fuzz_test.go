@@ -67,6 +67,23 @@ func FuzzMessageDecode(f *testing.F) {
 	f.Add(frame(f, &Message{StatsResp: &StatsResponse{NumDocuments: 9, Partition: 2, Partitions: 4}}))
 	f.Add(frame(f, &Message{SearchReq: &SearchRequest{Query: []byte{1, 2, 3}, TopK: 5}}))
 	f.Add(frame(f, &Message{Error: &ErrorMsg{Text: "no", Code: CodeWrongPartition}}))
+	f.Add(frame(f, &Message{
+		Trace:     &TraceContextWire{TraceHi: 0xdead, TraceLo: 0xbeef, SpanID: 7, Sampled: true},
+		SearchReq: &SearchRequest{Query: []byte{9}, TopK: 3},
+	}))
+	f.Add(frame(f, &Message{ // garbage trace context: zero IDs claiming sampled
+		Trace:     &TraceContextWire{Sampled: true},
+		SearchReq: &SearchRequest{Query: []byte{9}, TopK: 3},
+	}))
+	f.Add(frame(f, &Message{
+		SearchResp: &SearchResponse{Matches: []MatchWire{{DocID: "d", Rank: 1}}},
+		Spans: []SpanWire{
+			{TraceHi: 1, TraceLo: 2, SpanID: 3, ParentID: 4, Service: "cloud-p0",
+				Name: "server:search", StartUnixNano: 12345, DurationNanos: 6789,
+				Attrs: []SpanAttrWire{{Key: "verb", Value: "search"}}},
+			{Name: "scan"}, // truncated span: zero IDs must decode harmlessly
+		},
+	}))
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 4, 1, 2})                   // length longer than payload
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}) // absurd length prefix

@@ -73,6 +73,21 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 type Message struct {
 	Error *ErrorMsg
 
+	// Trace, when non-nil on a request, carries the sender's distributed-
+	// tracing context (internal/trace): the 128-bit trace ID, the sender's
+	// span ID, and the head-sampling decision. A tracing server continues
+	// the trace as a child of the carried span and echoes the spans it
+	// recorded back in the response's Spans field; a server without tracing
+	// ignores both fields entirely. Because gob drops fields the receiving
+	// struct does not declare (and zero-values fields the sender omitted),
+	// traced and traceless peers interoperate in both directions.
+	Trace *TraceContextWire
+
+	// Spans, on a response, returns the spans the server recorded while
+	// handling a traced request, for the request's origin to graft into its
+	// assembled cross-daemon span tree. Empty on untraced requests.
+	Spans []SpanWire
+
 	EnrollReq  *EnrollRequest
 	EnrollResp *EnrollResponse
 
@@ -150,6 +165,36 @@ const (
 type ErrorMsg struct {
 	Text string
 	Code string
+}
+
+// TraceContextWire is the propagated part of a distributed trace: the
+// trace ID (128 bits as two words), the sender's span ID, and whether the
+// trace is sampled. Receivers validate before adopting: a zero trace or
+// span ID (a truncated or garbage frame) is ignored rather than continued.
+type TraceContextWire struct {
+	TraceHi, TraceLo uint64
+	SpanID           uint64
+	Sampled          bool
+}
+
+// SpanAttrWire is one key/value annotation on a wire span.
+type SpanAttrWire struct {
+	Key, Value string
+}
+
+// SpanWire is one completed span echoed on a response: the stage's
+// position in the trace (trace ID, own and parent span IDs), the recording
+// process, and its timing. StartUnixNano carries the wall-clock start so
+// the origin can order siblings; DurationNanos is the span's length.
+type SpanWire struct {
+	TraceHi, TraceLo uint64
+	SpanID           uint64
+	ParentID         uint64
+	Service          string
+	Name             string
+	StartUnixNano    int64
+	DurationNanos    int64
+	Attrs            []SpanAttrWire
 }
 
 // PublicKeyWire carries an RSA public key.

@@ -1,0 +1,78 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+// legacyMessage mirrors the pre-tracing Message envelope: the same verb
+// fields but no Trace or Spans. Gob matches struct fields by name and
+// silently drops fields the receiver does not declare, so a peer built
+// before tracing existed and a traced daemon must round-trip against each
+// other in both directions — these tests pin that property.
+type legacyMessage struct {
+	Error *ErrorMsg
+
+	SearchReq  *SearchRequest
+	SearchResp *SearchResponse
+
+	StatsReq  *StatsRequest
+	StatsResp *StatsResponse
+
+	ClusterInfoReq  *ClusterInfoRequest
+	ClusterInfoResp *ClusterInfoResponse
+}
+
+func TestTracedMessageDecodesOnTracelessPeer(t *testing.T) {
+	// A traced daemon replies with Spans attached (and a traced client
+	// sends Trace attached); a PR 9 binary must decode the verb payload
+	// and never see the trace fields.
+	var wire bytes.Buffer
+	err := NewConn(&wire).Send(&Message{
+		Trace:      &TraceContextWire{TraceHi: 1, TraceLo: 2, SpanID: 3, Sampled: true},
+		Spans:      []SpanWire{{TraceHi: 1, TraceLo: 2, SpanID: 9, Name: "server:search"}},
+		SearchResp: &SearchResponse{Matches: []MatchWire{{DocID: "doc-1", Rank: 4}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := ReadFrame(&wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var legacy legacyMessage
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&legacy); err != nil {
+		t.Fatalf("traceless peer failed to decode traced frame: %v", err)
+	}
+	if legacy.SearchResp == nil || len(legacy.SearchResp.Matches) != 1 ||
+		legacy.SearchResp.Matches[0].DocID != "doc-1" {
+		t.Fatalf("verb payload mangled for traceless peer: %+v", legacy.SearchResp)
+	}
+}
+
+func TestTracelessMessageDecodesOnTracedDaemon(t *testing.T) {
+	// A PR 9 peer sends frames that never mention Trace/Spans; a traced
+	// daemon must decode them with both fields zero-valued.
+	var payload bytes.Buffer
+	err := gob.NewEncoder(&payload).Encode(&legacyMessage{
+		SearchReq: &SearchRequest{Query: []byte{1, 2, 3}, TopK: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire bytes.Buffer
+	if err := WriteFrame(&wire, payload.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewConn(&wire).Recv()
+	if err != nil {
+		t.Fatalf("traced daemon failed to decode traceless frame: %v", err)
+	}
+	if m.Trace != nil || m.Spans != nil {
+		t.Fatalf("traceless frame grew trace fields: Trace=%+v Spans=%+v", m.Trace, m.Spans)
+	}
+	if m.SearchReq == nil || m.SearchReq.TopK != 5 || !bytes.Equal(m.SearchReq.Query, []byte{1, 2, 3}) {
+		t.Fatalf("verb payload mangled on traced daemon: %+v", m.SearchReq)
+	}
+}

@@ -1,16 +1,19 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
 	"mkse/internal/bitindex"
 	"mkse/internal/core"
 	"mkse/internal/protocol"
+	"mkse/internal/trace"
 )
 
 // DefaultMaxReplicaLag is how many log records a read replica may trail the
@@ -64,6 +67,13 @@ type Client struct {
 	// read on a cluster client (0 = DefaultPartitionTimeout). Set before
 	// the first request.
 	PartitionTimeout time.Duration
+
+	// Tracer, when set, samples this client's searches into distributed
+	// traces: the coordinator records the root span, scatter/partition/rpc
+	// children, and grafts in the spans each partition server echoes on its
+	// response — the whole cross-daemon tree assembles client-side. Use
+	// TraceSearch to force-sample one search regardless of the sample rate.
+	Tracer *trace.Tracer
 
 	mu        sync.Mutex
 	ownerConn *protocol.Conn
@@ -495,22 +505,79 @@ type Match struct {
 // Search builds a randomized query index for the keywords and submits it to
 // the cloud (step 2 of Figure 1), returning up to topK rank-ordered matches.
 func (c *Client) Search(words []string, topK int) ([]Match, error) {
+	out, _, err := c.search(words, topK, false)
+	return out, err
+}
+
+// TraceSearch is Search with its trace forced on: the search is sampled
+// regardless of the client Tracer's rate, and the assembled span tree —
+// coordinator root, per-partition fan-out, and every span the servers
+// echoed back — is returned alongside the matches (render it with
+// trace.FormatTree). The client must have a Tracer set.
+func (c *Client) TraceSearch(words []string, topK int) ([]Match, []trace.Span, error) {
+	if c.Tracer == nil {
+		return nil, nil, fmt.Errorf("service: TraceSearch requires a client Tracer")
+	}
+	return c.search(words, topK, true)
+}
+
+// search is the one search path: with a Tracer set the request may be
+// sampled (always, when forced) under a "client:search" root span, and the
+// returned spans are the trace as assembled at the coordinator.
+func (c *Client) search(words []string, topK int, force bool) ([]Match, []trace.Span, error) {
 	if err := c.EnsureTrapdoors(words); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	ctx := context.Background()
+	var root *trace.ActiveSpan
+	if c.Tracer != nil {
+		ctx, root = c.Tracer.StartRequest(ctx, "client:search", force)
+		root.SetAttr("keywords", strconv.Itoa(len(words)))
+		root.SetAttr("topk", strconv.Itoa(topK))
+	}
+	out, err := c.searchLocked(ctx, words, topK)
+	var spans []trace.Span
+	if root != nil {
+		if err != nil {
+			root.SetAttr("error", err.Error())
+		}
+		root.End()
+		spans = root.Spans()
+	}
+	return out, spans, err
+}
+
+// searchLocked runs one search under an (optionally traced) context: the
+// cluster scatter-gather, or the single-server round trip with an "rpc"
+// span carrying the propagation context and importing the server's echoed
+// spans. Caller holds c.mu.
+func (c *Client) searchLocked(ctx context.Context, words []string, topK int) ([]Match, error) {
 	q, err := c.user.BuildQuery(words)
 	if err != nil {
 		return nil, err
 	}
 	if c.clu != nil {
-		return c.clusterSearchLocked(marshalVector(q), topK)
+		return c.clusterSearchLocked(ctx, marshalVector(q), topK)
 	}
-	resp, err := c.readRoundtrip(&protocol.Message{SearchReq: &protocol.SearchRequest{
+	m := &protocol.Message{SearchReq: &protocol.SearchRequest{
 		Query: marshalVector(q),
 		TopK:  topK,
-	}})
+	}}
+	rctx, sp := trace.Start(ctx, "rpc")
+	if sp != nil {
+		m.Trace = traceCtxToWire(sp.Context())
+	}
+	resp, err := c.readRoundtrip(m)
+	if sp != nil {
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		} else {
+			trace.Import(rctx, spansFromWire(sp.TraceID(), resp.Spans))
+		}
+		sp.End()
+	}
 	if err != nil {
 		return nil, fmt.Errorf("service: search: %w", err)
 	}
@@ -544,13 +611,46 @@ func (c *Client) SearchBatch(queries [][]string, topK int) ([][]Match, error) {
 		}
 		wire[i] = marshalVector(q)
 	}
-	if c.clu != nil {
-		return c.clusterSearchBatchLocked(wire, topK)
+	ctx := context.Background()
+	var root *trace.ActiveSpan
+	if c.Tracer != nil {
+		ctx, root = c.Tracer.StartRequest(ctx, "client:searchbatch", false)
+		root.SetAttr("queries", strconv.Itoa(len(queries)))
+		root.SetAttr("topk", strconv.Itoa(topK))
 	}
-	resp, err := c.readRoundtrip(&protocol.Message{SearchBatchReq: &protocol.SearchBatchRequest{
+	if c.clu != nil {
+		out, err := c.clusterSearchBatchLocked(ctx, wire, topK)
+		if root != nil {
+			if err != nil {
+				root.SetAttr("error", err.Error())
+			}
+			root.End()
+		}
+		return out, err
+	}
+	m := &protocol.Message{SearchBatchReq: &protocol.SearchBatchRequest{
 		Queries: wire,
 		TopK:    topK,
-	}})
+	}}
+	rctx, sp := trace.Start(ctx, "rpc")
+	if sp != nil {
+		m.Trace = traceCtxToWire(sp.Context())
+	}
+	resp, err := c.readRoundtrip(m)
+	if sp != nil {
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		} else {
+			trace.Import(rctx, spansFromWire(sp.TraceID(), resp.Spans))
+		}
+		sp.End()
+	}
+	if root != nil {
+		if err != nil {
+			root.SetAttr("error", err.Error())
+		}
+		root.End()
+	}
 	if err != nil {
 		return nil, fmt.Errorf("service: batch search: %w", err)
 	}
@@ -597,7 +697,7 @@ func (c *Client) Retrieve(docID string) ([]byte, error) {
 	var resp *protocol.Message
 	var err error
 	if c.clu != nil {
-		resp, _, err = c.readPart(c.clusterOwnerLocked(docID), fetch)
+		resp, _, err = c.readPart(context.Background(), c.clusterOwnerLocked(docID), fetch)
 	} else {
 		resp, err = c.primaryRoundtripLocked(fetch)
 	}

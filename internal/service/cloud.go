@@ -1,9 +1,11 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
@@ -13,6 +15,7 @@ import (
 	"mkse/internal/durable"
 	"mkse/internal/protocol"
 	"mkse/internal/qcache"
+	"mkse/internal/trace"
 )
 
 // ResultCache is the query-result cache a cloud daemon may carry: query
@@ -81,8 +84,16 @@ type CloudService struct {
 	Metrics *ServiceMetrics
 	// SlowQuery, when non-zero, logs any search or batch search that takes
 	// longer than the threshold at WARN level with verb/duration/remote
-	// fields — the always-on tail-latency tripwire.
+	// fields — the always-on tail-latency tripwire. The same threshold
+	// governs /traces/slow retention (set the trace buffer's threshold to
+	// this value), so logs and traces agree on what "slow" means.
 	SlowQuery time.Duration
+	// Tracer, when set (EnableTracing), samples requests into distributed
+	// traces: an incoming sampled trace context is continued as a child of
+	// the sender's span, other requests are head-sampled 1 in N, and
+	// searches that cross SlowQuery without being sampled are still
+	// captured as single-span traces. A nil Tracer disables tracing.
+	Tracer *trace.Tracer
 	// Partition and Partitions give the daemon its static cluster identity
 	// (-partition i/P): this server owns the documents the doc-ID hash map
 	// assigns to index Partition out of Partitions. With Partitions > 1 the
@@ -172,33 +183,73 @@ func (s *CloudService) Serve(l net.Listener) error {
 		verb := verbOf(m)
 		mt := s.Metrics
 		var start time.Time
-		if mt != nil || s.SlowQuery > 0 || s.Logger != nil {
+		if mt != nil || s.SlowQuery > 0 || s.Logger != nil || s.Tracer != nil {
 			start = time.Now()
 		}
+		ctx, root := s.traceRequest(m, verb)
 		mt.begin()
-		resp := s.dispatch(pc, conn, m, verb)
+		resp := s.dispatch(ctx, pc, conn, m, verb)
 		mt.end()
+		traceID := ""
+		if root != nil {
+			if resp != nil && resp.Error != nil {
+				root.SetAttr("error", resp.Error.Text)
+			}
+			root.SetAttr("remote", conn.RemoteAddr().String())
+			root.End()
+			traceID = root.TraceID().String()
+			if resp != nil {
+				// Echo everything this process recorded so the request's
+				// origin can graft our subtree into its assembled trace.
+				resp.Spans = spansToWire(root.Spans())
+			}
+		}
 		if start.IsZero() {
 			return resp
 		}
 		dur := time.Since(start)
+		// Capture-all-slow: a search that crossed the slow threshold without
+		// being head-sampled still lands in /traces/slow as one root span,
+		// so the tail the latency histograms flag is always inspectable.
+		if root == nil && s.Tracer != nil && s.SlowQuery > 0 && dur >= s.SlowQuery &&
+			(verb == VerbSearch || verb == VerbSearchBatch) {
+			id := s.Tracer.RecordRoot("server:"+verb, start, dur,
+				trace.Attr{Key: "verb", Value: verb},
+				trace.Attr{Key: "remote", Value: conn.RemoteAddr().String()},
+				trace.Attr{Key: "documents", Value: strconv.Itoa(s.Server.NumDocuments())})
+			if !id.IsZero() {
+				traceID = id.String()
+			}
+		}
 		// A replication subscribe returns nil after owning the connection for
 		// the stream's whole lifetime — its "duration" is not a request
 		// latency, so it is counted but never observed.
 		if mt != nil && resp != nil {
-			mt.observe(verb, dur, resp.Error != nil)
+			mt.observe(verb, dur, resp.Error != nil, traceID)
 		}
 		if s.Logger == nil {
 			return resp
 		}
 		if s.SlowQuery > 0 && dur >= s.SlowQuery && (verb == VerbSearch || verb == VerbSearchBatch) {
-			s.Logger.Warn("slow query",
+			args := []any{
 				"verb", verb, "duration", dur, "remote", conn.RemoteAddr().String(),
-				"budget", s.SlowQuery, "documents", s.Server.NumDocuments())
+				"budget", s.SlowQuery, "documents", s.Server.NumDocuments()}
+			if traceID != "" {
+				args = append(args, "trace_id", traceID)
+			}
+			s.Logger.Warn("slow query", args...)
 		} else if resp != nil && resp.Error != nil {
-			s.Logger.Warn("request failed",
+			args := []any{
 				"verb", verb, "duration", dur, "remote", conn.RemoteAddr().String(),
-				"err", resp.Error.Text)
+				"err", resp.Error.Text}
+			if traceID != "" {
+				args = append(args, "trace_id", traceID)
+			}
+			s.Logger.Warn("request failed", args...)
+		} else if traceID != "" {
+			s.Logger.Debug("request served",
+				"verb", verb, "duration", dur, "remote", conn.RemoteAddr().String(),
+				"trace_id", traceID)
 		} else {
 			s.Logger.Debug("request served",
 				"verb", verb, "duration", dur, "remote", conn.RemoteAddr().String())
@@ -207,17 +258,31 @@ func (s *CloudService) Serve(l net.Listener) error {
 	})
 }
 
-// dispatch routes one decoded request to its handler.
-func (s *CloudService) dispatch(pc *protocol.Conn, conn net.Conn, m *protocol.Message, verb string) *protocol.Message {
+// traceRequest opens this process's root span for one request: an incoming
+// sampled trace context is continued as a child of the sender's span;
+// otherwise the local head sampler decides. Replication subscribes are
+// never traced — they are connection-lifetime streams, not requests.
+func (s *CloudService) traceRequest(m *protocol.Message, verb string) (context.Context, *trace.ActiveSpan) {
+	ctx := context.Background()
+	if s.Tracer == nil || verb == VerbReplicaSubscribe {
+		return ctx, nil
+	}
+	return s.Tracer.ContinueRequest(ctx, "server:"+verb, traceCtxFromWire(m.Trace))
+}
+
+// dispatch routes one decoded request to its handler. ctx carries the
+// request's trace (context.Background() when unsampled) into the handlers
+// that record spans: search scans, qcache lookups, WAL appends.
+func (s *CloudService) dispatch(ctx context.Context, pc *protocol.Conn, conn net.Conn, m *protocol.Message, verb string) *protocol.Message {
 	switch verb {
 	case VerbUpload:
-		return s.handleUpload(m.UploadReq)
+		return s.handleUpload(ctx, m.UploadReq)
 	case VerbDelete:
-		return s.handleDelete(m.DeleteReq)
+		return s.handleDelete(ctx, m.DeleteReq)
 	case VerbSearch:
-		return s.handleSearch(m.SearchReq)
+		return s.handleSearch(ctx, m.SearchReq)
 	case VerbSearchBatch:
-		return s.handleSearchBatch(m.SearchBatchReq)
+		return s.handleSearchBatch(ctx, m.SearchBatchReq)
 	case VerbFetch:
 		return s.handleFetch(m.FetchReq)
 	case VerbStats:
@@ -338,7 +403,7 @@ func (s *CloudService) checkOwnership(docID string) *protocol.Message {
 	return nil
 }
 
-func (s *CloudService) handleUpload(req *protocol.UploadRequest) *protocol.Message {
+func (s *CloudService) handleUpload(ctx context.Context, req *protocol.UploadRequest) *protocol.Message {
 	if s.replica() != nil {
 		return errMsgCode(protocol.CodeReadOnly, fmt.Errorf("cloud: this server is a read-only replica; route uploads to the primary"))
 	}
@@ -358,13 +423,20 @@ func (s *CloudService) handleUpload(req *protocol.UploadRequest) *protocol.Messa
 	}
 	si := &core.SearchIndex{DocID: req.DocID, Levels: levels}
 	doc := &core.EncryptedDocument{ID: req.DocID, Ciphertext: req.Ciphertext, EncKey: req.EncKey}
-	if err := s.backend().Upload(si, doc); err != nil {
+	b := s.backend()
+	var err error
+	if cb, ok := b.(ctxBackend); ok {
+		err = cb.UploadCtx(ctx, si, doc)
+	} else {
+		err = b.Upload(si, doc)
+	}
+	if err != nil {
 		return errMsg(err)
 	}
 	return &protocol.Message{UploadResp: &protocol.UploadResponse{Stored: s.Server.NumDocuments()}}
 }
 
-func (s *CloudService) handleDelete(req *protocol.DeleteRequest) *protocol.Message {
+func (s *CloudService) handleDelete(ctx context.Context, req *protocol.DeleteRequest) *protocol.Message {
 	if s.replica() != nil {
 		return errMsgCode(protocol.CodeReadOnly, fmt.Errorf("cloud: this server is a read-only replica; route deletions to the primary"))
 	}
@@ -374,15 +446,22 @@ func (s *CloudService) handleDelete(req *protocol.DeleteRequest) *protocol.Messa
 	if reject := s.checkOwnership(req.DocID); reject != nil {
 		return reject
 	}
-	if err := s.backend().Delete(req.DocID); err != nil {
+	b := s.backend()
+	var err error
+	if cb, ok := b.(ctxBackend); ok {
+		err = cb.DeleteCtx(ctx, req.DocID)
+	} else {
+		err = b.Delete(req.DocID)
+	}
+	if err != nil {
 		return errMsg(err)
 	}
 	logf(s.Logger, "cloud: deleted %q, %d documents remain", req.DocID, s.Server.NumDocuments())
 	return &protocol.Message{DeleteResp: &protocol.DeleteResponse{Stored: s.Server.NumDocuments()}}
 }
 
-func (s *CloudService) handleSearch(req *protocol.SearchRequest) *protocol.Message {
-	resp, err := s.SearchWire(req)
+func (s *CloudService) handleSearch(ctx context.Context, req *protocol.SearchRequest) *protocol.Message {
+	resp, err := s.SearchWireCtx(ctx, req)
 	if err != nil {
 		return errMsg(err)
 	}
@@ -390,8 +469,8 @@ func (s *CloudService) handleSearch(req *protocol.SearchRequest) *protocol.Messa
 	return &protocol.Message{SearchResp: resp}
 }
 
-func (s *CloudService) handleSearchBatch(req *protocol.SearchBatchRequest) *protocol.Message {
-	resp, err := s.SearchBatchWire(req)
+func (s *CloudService) handleSearchBatch(ctx context.Context, req *protocol.SearchBatchRequest) *protocol.Message {
+	resp, err := s.SearchBatchWireCtx(ctx, req)
 	if err != nil {
 		return errMsg(err)
 	}
@@ -426,6 +505,17 @@ func wireSize(ms []protocol.MatchWire) int64 {
 // epoch. The returned match slice may be shared with the cache and other
 // requests; callers must not mutate it.
 func (s *CloudService) SearchWire(req *protocol.SearchRequest) (*protocol.SearchResponse, error) {
+	return s.SearchWireCtx(context.Background(), req)
+}
+
+// SearchWireCtx is SearchWire under a request context: when the context
+// carries a sampled trace, the cache lookup records a "qcache" span
+// (outcome=hit|miss) and the arena scan records its "scan" span through the
+// core server's context observer. The trace.Sampled guard keeps the
+// unsampled path free of the allocations attribute slices would otherwise
+// cost.
+func (s *CloudService) SearchWireCtx(ctx context.Context, req *protocol.SearchRequest) (*protocol.SearchResponse, error) {
+	traced := trace.Sampled(ctx)
 	var key qcache.Key
 	var epoch uint64
 	if s.Cache != nil {
@@ -433,8 +523,21 @@ func (s *CloudService) SearchWire(req *protocol.SearchRequest) (*protocol.Search
 		// between this read and the scan invalidates the entry we are about
 		// to store, never the other way around.
 		epoch = s.Server.Epoch()
+		var t0 time.Time
+		if traced {
+			t0 = time.Now()
+		}
 		key = qcache.Fingerprint(s.Server.Params().R, req.TopK, req.Query)
-		if wire, ok := s.Cache.Get(key, epoch); ok {
+		wire, ok := s.Cache.Get(key, epoch)
+		if traced {
+			outcome := "miss"
+			if ok {
+				outcome = "hit"
+			}
+			trace.AddCompleted(ctx, "qcache", t0, time.Since(t0),
+				trace.Attr{Key: "outcome", Value: outcome})
+		}
+		if ok {
 			return &protocol.SearchResponse{Matches: wire}, nil
 		}
 	}
@@ -442,7 +545,7 @@ func (s *CloudService) SearchWire(req *protocol.SearchRequest) (*protocol.Search
 	if err != nil {
 		return nil, fmt.Errorf("cloud: malformed query: %w", err)
 	}
-	matches, err := s.Server.SearchTop(q, req.TopK)
+	matches, err := s.Server.SearchTopContext(ctx, q, req.TopK)
 	if err != nil {
 		return nil, err
 	}
@@ -467,6 +570,15 @@ type batchGroup struct {
 // one sharded SearchBatch pass. Result slices may be shared between
 // duplicate slots and with the cache; callers must not mutate them.
 func (s *CloudService) SearchBatchWire(req *protocol.SearchBatchRequest) (*protocol.SearchBatchResponse, error) {
+	return s.SearchBatchWireCtx(context.Background(), req)
+}
+
+// SearchBatchWireCtx is SearchBatchWire under a request context: a sampled
+// trace records one "qcache" span covering the whole grouped lookup (with
+// hits/misses counts) and the miss scan records its "scan" span through the
+// core server's context observer.
+func (s *CloudService) SearchBatchWireCtx(ctx context.Context, req *protocol.SearchBatchRequest) (*protocol.SearchBatchResponse, error) {
+	traced := trace.Sampled(ctx)
 	out := make([][]protocol.MatchWire, len(req.Queries))
 	if len(req.Queries) == 0 {
 		return &protocol.SearchBatchResponse{Results: out}, nil
@@ -475,6 +587,11 @@ func (s *CloudService) SearchBatchWire(req *protocol.SearchBatchRequest) (*proto
 	if s.Cache != nil {
 		epoch = s.Server.Epoch() // before any scan, as in SearchWire
 	}
+	var cacheT0 time.Time
+	if traced {
+		cacheT0 = time.Now()
+	}
+	cacheHits := 0
 
 	// Group slots by query fingerprint, preserving first-appearance order.
 	r := s.Server.Params().R
@@ -497,6 +614,7 @@ func (s *CloudService) SearchBatchWire(req *protocol.SearchBatchRequest) (*proto
 	for _, g := range groups {
 		if s.Cache != nil {
 			if wire, ok := s.Cache.Get(g.key, epoch); ok {
+				cacheHits++
 				for _, slot := range g.slots {
 					out[slot] = wire
 				}
@@ -510,9 +628,14 @@ func (s *CloudService) SearchBatchWire(req *protocol.SearchBatchRequest) (*proto
 		misses = append(misses, g)
 		queries = append(queries, q)
 	}
+	if traced && s.Cache != nil {
+		trace.AddCompleted(ctx, "qcache", cacheT0, time.Since(cacheT0),
+			trace.Attr{Key: "hits", Value: strconv.Itoa(cacheHits)},
+			trace.Attr{Key: "misses", Value: strconv.Itoa(len(misses))})
+	}
 
 	if len(queries) > 0 {
-		results, err := s.Server.SearchBatch(queries, req.TopK)
+		results, err := s.Server.SearchBatchContext(ctx, queries, req.TopK)
 		if err != nil {
 			return nil, err
 		}

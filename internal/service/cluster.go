@@ -1,14 +1,17 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
 	"mkse/internal/cluster"
 	"mkse/internal/protocol"
+	"mkse/internal/trace"
 )
 
 // DefaultPartitionTimeout bounds each partition's share of a scatter-gather
@@ -152,28 +155,44 @@ func roundtripDeadline(conn *protocol.Conn, raw net.Conn, m *protocol.Message, d
 // The caller must own the partition's connections exclusively — either by
 // holding the Client mutex, or by being the one fan-out goroutine assigned
 // to this partition while the mutex is held.
-func (c *Client) readPart(p *clusterPart, m *protocol.Message) (*protocol.Message, string, error) {
+func (c *Client) readPart(ctx context.Context, p *clusterPart, m *protocol.Message) (*protocol.Message, string, error) {
 	timeout := c.partitionTimeout()
 	var primaryErr error
 	if p.conn == nil {
+		_, dsp := trace.Start(ctx, "redial")
+		dsp.SetAttr("addr", p.cfg.Primary)
 		raw, err := net.DialTimeout("tcp", p.cfg.Primary, replicaDialTimeout)
 		if err != nil {
+			dsp.SetAttr("error", err.Error())
 			primaryErr = err
 		} else {
 			p.raw, p.conn = raw, protocol.NewConn(raw)
 		}
+		dsp.End()
 	}
 	if p.conn != nil {
+		_, sp := trace.Start(ctx, "attempt")
+		sp.SetAttr("addr", p.cfg.Primary)
+		sp.SetAttr("role", "primary")
 		resp, err := roundtripDeadline(p.conn, p.raw, m, timeout)
 		var remote *protocol.RemoteError
 		if err == nil || errors.As(err, &remote) {
+			if err != nil {
+				sp.SetAttr("error", err.Error())
+			}
+			sp.End()
 			return resp, p.cfg.Primary, err
 		}
+		sp.SetAttr("error", err.Error())
+		sp.End()
 		primaryErr = err
 		p.raw.Close()
 		p.raw, p.conn = nil, nil
 	}
 	for _, addr := range p.cfg.Replicas {
+		_, sp := trace.Start(ctx, "attempt")
+		sp.SetAttr("addr", addr)
+		sp.SetAttr("role", "replica")
 		if p.rconn == nil || p.raddr != addr {
 			if p.rraw != nil {
 				p.rraw.Close()
@@ -181,6 +200,8 @@ func (c *Client) readPart(p *clusterPart, m *protocol.Message) (*protocol.Messag
 			}
 			raw, err := net.DialTimeout("tcp", addr, replicaDialTimeout)
 			if err != nil {
+				sp.SetAttr("error", err.Error())
+				sp.End()
 				continue
 			}
 			p.rraw, p.rconn, p.raddr = raw, protocol.NewConn(raw), addr
@@ -188,8 +209,14 @@ func (c *Client) readPart(p *clusterPart, m *protocol.Message) (*protocol.Messag
 		resp, err := roundtripDeadline(p.rconn, p.rraw, m, timeout)
 		var remote *protocol.RemoteError
 		if err == nil || errors.As(err, &remote) {
+			if err != nil {
+				sp.SetAttr("error", err.Error())
+			}
+			sp.End()
 			return resp, addr, err
 		}
+		sp.SetAttr("error", err.Error())
+		sp.End()
 		p.rraw.Close()
 		p.rraw, p.rconn = nil, nil
 	}
@@ -201,7 +228,13 @@ func (c *Client) readPart(p *clusterPart, m *protocol.Message) (*protocol.Messag
 // replicas) failed; the returned *cluster.PartialError names each failed
 // partition, or is nil when every partition answered. Caller holds c.mu;
 // each goroutine touches only its own partition's connections.
-func (c *Client) scatterLocked(m *protocol.Message) ([]*protocol.Message, *cluster.PartialError) {
+//
+// Under a sampled trace each partition gets its own "partition" span and a
+// shallow copy of the request carrying that span's propagation context —
+// the shared Message must not be stamped in place, or every partition would
+// claim the same parent. The partition server's echoed spans are imported
+// under the partition span, assembling the cross-daemon tree client-side.
+func (c *Client) scatterLocked(ctx context.Context, m *protocol.Message) ([]*protocol.Message, *cluster.PartialError) {
 	parts := c.clu.parts
 	resps := make([]*protocol.Message, len(parts))
 	addrs := make([]string, len(parts))
@@ -211,7 +244,25 @@ func (c *Client) scatterLocked(m *protocol.Message) ([]*protocol.Message, *clust
 		wg.Add(1)
 		go func(i int, p *clusterPart) {
 			defer wg.Done()
-			resps[i], addrs[i], errs[i] = c.readPart(p, m)
+			pctx, sp := trace.Start(ctx, "partition")
+			req := m
+			if sp != nil {
+				sp.SetAttr("partition", strconv.Itoa(i))
+				cp := *m
+				cp.Trace = traceCtxToWire(sp.Context())
+				req = &cp
+			}
+			resps[i], addrs[i], errs[i] = c.readPart(pctx, p, req)
+			if sp != nil {
+				sp.SetAttr("addr", addrs[i])
+				if errs[i] != nil {
+					sp.SetAttr("error", errs[i].Error())
+				}
+				if resps[i] != nil {
+					trace.Import(pctx, spansFromWire(sp.TraceID(), resps[i].Spans))
+				}
+				sp.End()
+			}
 		}(i, p)
 	}
 	wg.Wait()
@@ -238,11 +289,14 @@ func (c *Client) scatterLocked(m *protocol.Message) ([]*protocol.Message, *clust
 // byte-identical to a single-node scan of the whole corpus. When partitions
 // failed, the merged result covers the survivors and the *cluster.PartialError
 // names the rest — callers choose whether a partial answer is usable.
-func (c *Client) clusterSearchLocked(query []byte, topK int) ([]Match, error) {
-	resps, pe := c.scatterLocked(&protocol.Message{SearchReq: &protocol.SearchRequest{
+func (c *Client) clusterSearchLocked(ctx context.Context, query []byte, topK int) ([]Match, error) {
+	sctx, sp := trace.Start(ctx, "scatter")
+	resps, pe := c.scatterLocked(sctx, &protocol.Message{SearchReq: &protocol.SearchRequest{
 		Query: query,
 		TopK:  topK,
 	}})
+	sp.SetAttr("partitions", strconv.Itoa(len(resps)))
+	sp.End()
 	lists := make([][]protocol.MatchWire, 0, len(resps))
 	for i, r := range resps {
 		if r == nil {
@@ -266,11 +320,14 @@ func (c *Client) clusterSearchLocked(query []byte, topK int) ([]Match, error) {
 
 // clusterSearchBatchLocked is the scatter-gather SearchBatch: one batch
 // round trip per partition, then a per-query merge under the global τ-cut.
-func (c *Client) clusterSearchBatchLocked(wire [][]byte, topK int) ([][]Match, error) {
-	resps, pe := c.scatterLocked(&protocol.Message{SearchBatchReq: &protocol.SearchBatchRequest{
+func (c *Client) clusterSearchBatchLocked(ctx context.Context, wire [][]byte, topK int) ([][]Match, error) {
+	sctx, sp := trace.Start(ctx, "scatter")
+	resps, pe := c.scatterLocked(sctx, &protocol.Message{SearchBatchReq: &protocol.SearchBatchRequest{
 		Queries: wire,
 		TopK:    topK,
 	}})
+	sp.SetAttr("partitions", strconv.Itoa(len(resps)))
+	sp.End()
 	perQuery := make([][][]protocol.MatchWire, len(wire))
 	for pi, r := range resps {
 		if r == nil {
@@ -351,7 +408,7 @@ func (c *Client) ClusterStats() ([]*protocol.StatsResponse, error) {
 }
 
 func (c *Client) clusterStatsLocked() ([]*protocol.StatsResponse, error) {
-	resps, pe := c.scatterLocked(&protocol.Message{StatsReq: &protocol.StatsRequest{}})
+	resps, pe := c.scatterLocked(context.Background(), &protocol.Message{StatsReq: &protocol.StatsRequest{}})
 	out := make([]*protocol.StatsResponse, len(resps))
 	for i, r := range resps {
 		if r == nil {

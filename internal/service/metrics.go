@@ -1,6 +1,7 @@
 package service
 
 import (
+	"sync"
 	"time"
 
 	"mkse/internal/protocol"
@@ -88,12 +89,19 @@ const (
 	SeriesFollowerLag      = "mkse_follower_lag_records"
 	SeriesRole             = "mkse_role"
 	SeriesBuildInfo        = "mkse_build_info"
+	SeriesSlowestTraced    = "mkse_request_slowest_traced_seconds"
 )
 
-// verbMetrics is one verb's latency histogram and error counter.
+// verbMetrics is one verb's latency histogram and error counter, plus the
+// exemplar-style record of its slowest traced request: histograms alone say
+// the p99 is bad, the attached trace_id says which trace to open.
 type verbMetrics struct {
 	latency *telemetry.Histogram
 	errors  *telemetry.Counter
+
+	slowMu    sync.Mutex
+	slowDur   time.Duration
+	slowTrace string
 }
 
 // ServiceMetrics carries the cloud service's request instruments. Build it
@@ -119,7 +127,11 @@ func (m *ServiceMetrics) end() {
 }
 
 // observe records one finished request's verb, latency and error outcome.
-func (m *ServiceMetrics) observe(verb string, d time.Duration, isErr bool) {
+// A non-empty traceID marks the request as traced; the slowest traced
+// observation per verb is retained with its trace_id and exported by the
+// mkse_request_slowest_traced_seconds collector — a poor man's exemplar that
+// survives the plain-text exposition format.
+func (m *ServiceMetrics) observe(verb string, d time.Duration, isErr bool, traceID string) {
 	if m == nil {
 		return
 	}
@@ -130,6 +142,14 @@ func (m *ServiceMetrics) observe(verb string, d time.Duration, isErr bool) {
 	vm.latency.Observe(d)
 	if isErr {
 		vm.errors.Inc()
+	}
+	if traceID != "" {
+		vm.slowMu.Lock()
+		if d > vm.slowDur {
+			vm.slowDur = d
+			vm.slowTrace = traceID
+		}
+		vm.slowMu.Unlock()
 	}
 }
 
@@ -157,6 +177,26 @@ func (s *CloudService) EnableMetrics(reg *telemetry.Registry) *ServiceMetrics {
 		errors: reg.Counter(SeriesRequestErrors, "Requests answered with an error, by verb.",
 			telemetry.Label{Key: "verb", Value: VerbUnknown}),
 	}
+
+	// Slowest traced request per verb, labelled with its trace_id — collected
+	// at scrape time because the trace_id label value changes as slower
+	// requests displace the record.
+	reg.Collect(SeriesSlowestTraced, "Slowest traced request per verb; trace_id points into /traces.",
+		telemetry.KindGauge, func(emit func([]telemetry.Label, float64)) {
+			for _, v := range verbs {
+				vm := m.verbs[v]
+				vm.slowMu.Lock()
+				d, id := vm.slowDur, vm.slowTrace
+				vm.slowMu.Unlock()
+				if id == "" {
+					continue
+				}
+				emit([]telemetry.Label{
+					{Key: "verb", Value: v},
+					{Key: "trace_id", Value: id},
+				}, d.Seconds())
+			}
+		})
 
 	// The arena-scan histogram hooks into core.Server via an atomic pointer:
 	// observing it is one bucket add, keeping the scan path allocation-free

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"math/big"
@@ -9,6 +10,7 @@ import (
 
 	"mkse/internal/core"
 	"mkse/internal/protocol"
+	"mkse/internal/trace"
 )
 
 // OwnerService exposes a core.Owner over TCP: Enroll, Trapdoor and
@@ -20,25 +22,66 @@ type OwnerService struct {
 	// IdleTimeout, when non-zero, bounds how long a connection may sit
 	// between requests before it is dropped.
 	IdleTimeout time.Duration
-	Logger      *slog.Logger // optional
+	// Tracer, when set, samples requests into single-span traces (the owner
+	// daemon has no downstream calls to fan a trace into): an incoming
+	// sampled context is continued so a traced client's enrollment or
+	// blind-decrypt round trip shows up in the assembled tree, other
+	// requests are head-sampled 1 in N.
+	Tracer *trace.Tracer
+	Logger *slog.Logger // optional
 }
 
 // Serve accepts connections on l until it is closed.
 func (s *OwnerService) Serve(l net.Listener) error {
 	return serveLoop(l, s.Logger, s.IdleTimeout, nil, func(_ *protocol.Conn, _ net.Conn, m *protocol.Message) *protocol.Message {
-		switch {
-		case m.EnrollReq != nil:
-			return s.handleEnroll(m.EnrollReq)
-		case m.TrapdoorReq != nil:
-			return s.handleTrapdoor(m.TrapdoorReq)
-		case m.RefreshReq != nil:
-			return s.handleRefresh(m.RefreshReq)
-		case m.BlindDecryptReq != nil:
-			return s.handleBlindDecrypt(m.BlindDecryptReq)
-		default:
-			return errMsg(fmt.Errorf("owner: unsupported request"))
+		verb := ownerVerbOf(m)
+		var root *trace.ActiveSpan
+		if s.Tracer != nil {
+			_, root = s.Tracer.ContinueRequest(context.Background(), "owner:"+verb, traceCtxFromWire(m.Trace))
 		}
+		resp := s.dispatchOwner(m, verb)
+		if root != nil {
+			if resp != nil && resp.Error != nil {
+				root.SetAttr("error", resp.Error.Text)
+			}
+			root.End()
+			if resp != nil {
+				resp.Spans = spansToWire(root.Spans())
+			}
+		}
+		return resp
 	})
+}
+
+// ownerVerbOf classifies an owner-side request for trace span names.
+func ownerVerbOf(m *protocol.Message) string {
+	switch {
+	case m.EnrollReq != nil:
+		return "enroll"
+	case m.TrapdoorReq != nil:
+		return "trapdoor"
+	case m.RefreshReq != nil:
+		return "refresh"
+	case m.BlindDecryptReq != nil:
+		return "blinddecrypt"
+	default:
+		return "unknown"
+	}
+}
+
+func (s *OwnerService) dispatchOwner(m *protocol.Message, verb string) *protocol.Message {
+	switch verb {
+	case "enroll":
+		return s.handleEnroll(m.EnrollReq)
+	case "trapdoor":
+		return s.handleTrapdoor(m.TrapdoorReq)
+	case "refresh":
+		return s.handleRefresh(m.RefreshReq)
+	case "blinddecrypt":
+		return s.handleBlindDecrypt(m.BlindDecryptReq)
+	default:
+		return errMsg(fmt.Errorf("owner: unsupported request"))
+	}
 }
 
 func (s *OwnerService) handleEnroll(req *protocol.EnrollRequest) *protocol.Message {

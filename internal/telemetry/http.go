@@ -17,19 +17,28 @@ import (
 // load balancer scraping /healthz routes around exactly the daemons the
 // cluster itself would.
 type Health struct {
-	Ready bool   `json:"ready"`
-	Role  string `json:"role"`           // primary, follower, standalone, fenced, observer
-	Term  uint64 `json:"term"`           // promotion (fencing) term, 0 when memory-only
-	Lag   uint64 `json:"lag"`            // replication lag in records (followers)
+	Ready  bool   `json:"ready"`
+	Role   string `json:"role"`             // primary, follower, standalone, fenced, observer
+	Term   uint64 `json:"term"`             // promotion (fencing) term, 0 when memory-only
+	Lag    uint64 `json:"lag"`              // replication lag in records (followers)
 	Detail string `json:"detail,omitempty"` // human-readable reason when not ready
+}
+
+// Route mounts an extra handler on the telemetry sidecar — how daemons add
+// surfaces the sidecar does not know about (the trace buffer's /traces and
+// /traces/slow) without telemetry importing their packages.
+type Route struct {
+	Pattern string
+	Handler http.Handler
 }
 
 // Handler builds the telemetry sidecar's HTTP mux: /metrics renders reg in
 // the Prometheus exposition format, /healthz serves health() as JSON with a
 // readiness-gated status code, and /debug/pprof/* exposes the runtime
 // profiles (CPU, heap, goroutine, trace) without touching the default mux.
-// health may be nil, in which case /healthz always reports ready.
-func Handler(reg *Registry, health func() Health) http.Handler {
+// health may be nil, in which case /healthz always reports ready. Any extra
+// routes are mounted verbatim.
+func Handler(reg *Registry, health func() Health, extra ...Route) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -51,6 +60,9 @@ func Handler(reg *Registry, health func() Health) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, r := range extra {
+		mux.Handle(r.Pattern, r.Handler)
+	}
 	return mux
 }
 
@@ -59,14 +71,14 @@ func Handler(reg *Registry, health func() Health) http.Handler {
 // shutdown. The sidecar is deliberately a separate listener from the wire
 // protocol: scrapes and profiles must keep answering while the service
 // port drains, and operators can firewall the two surfaces independently.
-func Serve(addr string, reg *Registry, health func() Health, logger *slog.Logger) (*http.Server, error) {
+func Serve(addr string, reg *Registry, health func() Health, logger *slog.Logger, extra ...Route) (*http.Server, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listening on %s: %w", addr, err)
 	}
 	srv := &http.Server{
 		Addr:              l.Addr().String(), // resolved, so ":0" callers learn the port
-		Handler:           Handler(reg, health),
+		Handler:           Handler(reg, health, extra...),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go func() {
@@ -77,8 +89,12 @@ func Serve(addr string, reg *Registry, health func() Health, logger *slog.Logger
 		}
 	}()
 	if logger != nil {
+		endpoints := "/metrics /healthz /debug/pprof"
+		for _, r := range extra {
+			endpoints += " " + r.Pattern
+		}
 		logger.Info("telemetry listening", "addr", l.Addr().String(),
-			"endpoints", "/metrics /healthz /debug/pprof")
+			"endpoints", endpoints)
 	}
 	return srv, nil
 }

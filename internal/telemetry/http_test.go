@@ -85,6 +85,32 @@ func TestHandlerPprof(t *testing.T) {
 	}
 }
 
+func TestHandlerExtraRoutes(t *testing.T) {
+	traced := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte(`[{"trace_id":"abc"}]`))
+	})
+	ts := httptest.NewServer(Handler(New(), nil, Route{Pattern: "/traces", Handler: traced}))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "trace_id") {
+		t.Errorf("extra route not mounted, body: %s", body)
+	}
+	// The built-in surfaces survive extra routes.
+	resp2, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("/metrics status = %d with extra routes", resp2.StatusCode)
+	}
+}
+
 func TestServe(t *testing.T) {
 	reg := New()
 	reg.Gauge("mkse_documents", "Documents.").Set(5)

@@ -1,0 +1,213 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilAndUnsampledPathsAreInert(t *testing.T) {
+	ctx := context.Background()
+	if Sampled(ctx) {
+		t.Fatal("background context reported sampled")
+	}
+	if got := ID(ctx); !got.IsZero() {
+		t.Fatalf("untraced context has trace ID %v", got)
+	}
+	ctx2, sp := Start(ctx, "child")
+	if sp != nil {
+		t.Fatal("Start on untraced context returned a span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("Start on untraced context replaced the context")
+	}
+	// Nil span and nil tracer methods must all no-op.
+	sp.SetAttr("k", "v")
+	sp.End()
+	if sp.Spans() != nil || sp.Context().Sampled || !sp.TraceID().IsZero() {
+		t.Fatal("nil span leaked state")
+	}
+	var tr *Tracer
+	if _, root := tr.StartRequest(ctx, "r", true); root != nil {
+		t.Fatal("nil tracer sampled a request")
+	}
+	if _, root := tr.ContinueRequest(ctx, "r", SpanContext{Sampled: true, Trace: TraceID{Lo: 1}, Span: 1}); root != nil {
+		t.Fatal("nil tracer continued a trace")
+	}
+	if id := tr.RecordRoot("x", time.Now(), time.Millisecond); !id.IsZero() {
+		t.Fatal("nil tracer recorded a root")
+	}
+	AddCompleted(ctx, "scan", time.Now(), time.Millisecond)
+	Import(ctx, []Span{{Name: "x"}})
+}
+
+func TestStartRequestSamplingAndForce(t *testing.T) {
+	tr := New("svc", 3, nil)
+	sampled := 0
+	for i := 0; i < 9; i++ {
+		if _, sp := tr.StartRequest(context.Background(), "r", false); sp != nil {
+			sampled++
+			sp.End()
+		}
+	}
+	if sampled != 3 {
+		t.Fatalf("1-in-3 sampler fired %d times over 9 requests", sampled)
+	}
+	off := New("svc", 0, nil)
+	if _, sp := off.StartRequest(context.Background(), "r", false); sp != nil {
+		t.Fatal("sampleN=0 tracer sampled without force")
+	}
+	_, sp := off.StartRequest(context.Background(), "r", true)
+	if sp == nil {
+		t.Fatal("forced request not sampled")
+	}
+	sp.End()
+}
+
+func TestSpanTreeAssemblyAndImport(t *testing.T) {
+	buf := NewBuffer(32)
+	tr := New("client", 1, buf)
+	ctx, root := tr.StartRequest(context.Background(), "client:search", false)
+	if root == nil {
+		t.Fatal("sampleN=1 did not sample")
+	}
+	root.SetAttr("topk", "10")
+	cctx, child := Start(ctx, "partition")
+	child.SetAttr("partition", "0")
+
+	// Simulate a server continuing the trace from the child's wire context.
+	sc := child.Context()
+	if !sc.Valid() {
+		t.Fatal("child span context invalid")
+	}
+	remote := New("cloud-p0", 0, nil)
+	rctx, rroot := remote.ContinueRequest(context.Background(), "server:search", sc)
+	if rroot == nil {
+		t.Fatal("server did not adopt sampled wire context")
+	}
+	AddCompleted(rctx, "scan", time.Now(), 2*time.Millisecond)
+	rroot.End()
+	Import(cctx, rroot.Spans())
+
+	// A span from a different trace must not import.
+	Import(cctx, []Span{{Trace: NewTraceID(), ID: NewSpanID(), Name: "alien"}})
+
+	child.End()
+	root.End()
+
+	spans := root.Spans()
+	if len(spans) != 4 { // root, partition, server:search, scan
+		t.Fatalf("got %d spans: %+v", len(spans), spans)
+	}
+	for _, sp := range spans {
+		if sp.Name == "alien" {
+			t.Fatal("cross-trace span imported")
+		}
+		if sp.Trace != root.TraceID() {
+			t.Fatalf("span %q carries wrong trace", sp.Name)
+		}
+	}
+
+	got := buf.Recent(10)
+	if len(got) != 1 || got[0].ID != root.TraceID() {
+		t.Fatalf("buffer holds %d traces", len(got))
+	}
+	rootSpan := got[0].Root()
+	if rootSpan == nil || rootSpan.Name != "client:search" {
+		t.Fatalf("root detection failed: %+v", rootSpan)
+	}
+
+	// The rendered tree must nest coordinator → partition → server → scan.
+	text := FormatTree(got[0].Spans)
+	for _, want := range []string{"client:search", "partition", "server:search", "scan"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("tree missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Index(text, "client:search") > strings.Index(text, "scan") {
+		t.Fatalf("scan rendered before root:\n%s", text)
+	}
+}
+
+func TestInvalidWireContextFallsBackToLocalSampler(t *testing.T) {
+	tr := New("cloud", 0, nil)
+	for _, sc := range []SpanContext{
+		{},
+		{Sampled: true},                        // garbage: zero IDs
+		{Sampled: true, Trace: TraceID{Lo: 7}}, // zero span ID
+		{Trace: TraceID{Lo: 7}, Span: 9},       // not sampled
+		{Sampled: true, Span: 9},               // zero trace ID
+	} {
+		if _, sp := tr.ContinueRequest(context.Background(), "r", sc); sp != nil {
+			t.Fatalf("invalid wire context %+v was adopted", sc)
+		}
+	}
+}
+
+func TestBufferSlowRetentionAndHandlers(t *testing.T) {
+	buf := NewBuffer(64)
+	buf.SetSlowThreshold(50 * time.Millisecond)
+	tr := New("cloud", 1, buf)
+	fast := tr.RecordRoot("server:search", time.Now(), 5*time.Millisecond)
+	slow := tr.RecordRoot("server:search", time.Now(), 80*time.Millisecond,
+		Attr{Key: "verb", Value: "search"})
+	if fast.IsZero() || slow.IsZero() {
+		t.Fatal("RecordRoot returned zero ID")
+	}
+	if got := buf.Recent(10); len(got) != 2 {
+		t.Fatalf("recent ring holds %d traces", len(got))
+	}
+	slowTraces := buf.Slow(10)
+	if len(slowTraces) != 1 || slowTraces[0].ID != slow {
+		t.Fatalf("slow ring holds %d traces", len(slowTraces))
+	}
+
+	rec := httptest.NewRecorder()
+	buf.RecentHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/traces", nil))
+	var out []map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("recent handler emitted invalid JSON: %v", err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("/traces returned %d traces", len(out))
+	}
+	rec = httptest.NewRecorder()
+	buf.SlowHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/traces/slow?n=1", nil))
+	out = nil
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("slow handler emitted invalid JSON: %v", err)
+	}
+	if len(out) != 1 || out[0]["trace_id"] != slow.String() {
+		t.Fatalf("/traces/slow returned %+v", out)
+	}
+}
+
+func TestBufferRingOverwrites(t *testing.T) {
+	buf := NewBuffer(8) // one slot per shard
+	tr := New("x", 1, buf)
+	for i := 0; i < 100; i++ {
+		tr.RecordRoot("r", time.Now(), time.Millisecond)
+	}
+	if got := buf.Recent(1000); len(got) > 8 {
+		t.Fatalf("ring grew past capacity: %d", len(got))
+	}
+}
+
+func TestBackgroundSpansRecord(t *testing.T) {
+	buf := NewBuffer(16)
+	tr := New("durable", 1, buf)
+	id := NewTraceID()
+	rootID := NewSpanID()
+	start := time.Now()
+	tr.RecordSpans([]Span{
+		{Trace: id, ID: rootID, Service: "durable", Name: "durable.checkpoint", Start: start, Duration: 10 * time.Millisecond},
+		{Trace: id, ID: NewSpanID(), Parent: rootID, Service: "durable", Name: "checkpoint.pause", Start: start, Duration: 2 * time.Millisecond},
+	})
+	got := buf.Recent(10)
+	if len(got) != 1 || got[0].Root() == nil || got[0].Root().Name != "durable.checkpoint" {
+		t.Fatalf("checkpoint trace mis-recorded: %+v", got)
+	}
+}
